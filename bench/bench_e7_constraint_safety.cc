@@ -1,0 +1,117 @@
+// Experiment E7 -- the cost of constraint-safety checking (Section 4.3).
+//
+// Constraint safety asks whether a new tuple's constraint set is implied by
+// the disjunction of the constraints of stored tuples with the same free
+// extension:  constraints(gt') => constraints(gt1) v ... v constraints(gtn).
+// Our decision procedure is exact DBM subtraction; these benchmarks measure
+// its cost as the number of disjuncts and the number of temporal variables
+// grow, plus the building blocks (closure, implication, subtraction).
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "src/constraints/dbm.h"
+
+namespace {
+
+using lrpdb::Dbm;
+
+// A family of n disjuncts tiling [0, 10n) in bands of width 10, plus the
+// query DBM covering the whole band -- the worst case forces subtraction
+// through every disjunct.
+std::vector<Dbm> BandDisjuncts(int n, int vars) {
+  std::vector<Dbm> disjuncts;
+  for (int i = 0; i < n; ++i) {
+    Dbm d(vars);
+    d.AddLowerBound(1, 10 * i);
+    d.AddUpperBound(1, 10 * i + 9);
+    for (int v = 2; v <= vars; ++v) d.AddDifferenceEquality(v, v - 1, 1);
+    disjuncts.push_back(std::move(d));
+  }
+  return disjuncts;
+}
+
+void BM_ImpliedByUnion(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  int vars = static_cast<int>(state.range(1));
+  std::vector<Dbm> disjuncts = BandDisjuncts(n, vars);
+  Dbm query(vars);
+  query.AddLowerBound(1, 0);
+  query.AddUpperBound(1, 10 * n - 1);
+  for (int v = 2; v <= vars; ++v) query.AddDifferenceEquality(v, v - 1, 1);
+  for (auto _ : state) {
+    bool implied = query.ImpliedByUnion(disjuncts);
+    LRPDB_CHECK(implied);
+    benchmark::DoNotOptimize(implied);
+  }
+  state.counters["disjuncts"] = n;
+  state.counters["vars"] = vars;
+}
+BENCHMARK(BM_ImpliedByUnion)
+    ->Args({2, 2})
+    ->Args({4, 2})
+    ->Args({8, 2})
+    ->Args({16, 2})
+    ->Args({32, 2})
+    ->Args({8, 1})
+    ->Args({8, 3})
+    ->Args({8, 4})
+    ->Args({8, 6});
+
+void BM_ImpliedByUnionNegative(benchmark::State& state) {
+  // A gap in the tiling: the decision must find the uncovered band.
+  int n = static_cast<int>(state.range(0));
+  std::vector<Dbm> disjuncts = BandDisjuncts(n, 2);
+  disjuncts.erase(disjuncts.begin() + n / 2);
+  Dbm query(2);
+  query.AddLowerBound(1, 0);
+  query.AddUpperBound(1, 10 * n - 1);
+  query.AddDifferenceEquality(2, 1, 1);
+  for (auto _ : state) {
+    bool implied = query.ImpliedByUnion(disjuncts);
+    LRPDB_CHECK(!implied);
+    benchmark::DoNotOptimize(implied);
+  }
+}
+BENCHMARK(BM_ImpliedByUnionNegative)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Closure(benchmark::State& state) {
+  int vars = static_cast<int>(state.range(0));
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> bound(-20, 20);
+  std::uniform_int_distribution<int> var(0, vars);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Dbm d(vars);
+    for (int k = 0; k < 3 * vars; ++k) {
+      int i = var(rng);
+      int j = var(rng);
+      if (i != j) d.AddDifferenceUpperBound(i, j, bound(rng) + 40);
+    }
+    state.ResumeTiming();
+    d.Close();
+    benchmark::DoNotOptimize(d.IsSatisfiable());
+  }
+}
+BENCHMARK(BM_Closure)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Subtract(benchmark::State& state) {
+  int vars = static_cast<int>(state.range(0));
+  Dbm a(vars);
+  a.AddLowerBound(1, 0);
+  a.AddUpperBound(1, 100);
+  Dbm b(vars);
+  b.AddLowerBound(1, 40);
+  b.AddUpperBound(1, 60);
+  for (int v = 2; v <= vars; ++v) b.AddDifferenceEquality(v, 1, v);
+  for (auto _ : state) {
+    std::vector<Dbm> pieces = a.Subtract(b);
+    benchmark::DoNotOptimize(pieces.size());
+  }
+}
+BENCHMARK(BM_Subtract)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+// Expressiveness tour: Section 3 of the paper, executable.
+//
+// 1. Data expressiveness: one periodic schedule represented in all three
+//    formalisms -- a generalized relation with lrps [KSW90], a Datalog1S
+//    program [CI88], and a Templog program -- converted and checked equal
+//    (they all denote eventually periodic sets).
+// 2. The bridge to omega-words: the characteristic word of the schedule and
+//    its singleton Buchi automaton.
+// 3. Query expressiveness: a recursive query (parity) that the deductive
+//    languages express and first-order logic cannot, next to a first-order
+//    query with negation that the positive deductive languages cannot.
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/automata/automata.h"
+#include "src/core/evaluator.h"
+#include "src/datalog1s/datalog1s.h"
+#include "src/fo/fo.h"
+#include "src/ltl/ltl.h"
+#include "src/parser/parser.h"
+#include "src/templog/templog.h"
+
+int main() {
+  // --- 1. One schedule, three formalisms -------------------------------
+  std::printf("== Data expressiveness: {5 + 40k : k >= 0} three ways ==\n");
+
+  // (a) Generalized database with lrps.
+  lrpdb::Database gdb;
+  auto gdb_unit = lrpdb::Parse(R"(
+    .decl departs(time)
+    .fact departs(40n+5) with T1 >= 0.
+  )",
+                               &gdb);
+  if (!gdb_unit.ok()) return EXIT_FAILURE;
+
+  // (b) Datalog1S.
+  lrpdb::Database db1s;
+  auto ci_unit = lrpdb::Parse(R"(
+    .decl departs(time)
+    departs(5).
+    departs(t + 40) :- departs(t).
+  )",
+                              &db1s);
+  if (!ci_unit.ok()) return EXIT_FAILURE;
+  auto ci_model = lrpdb::EvaluateDatalog1S(ci_unit->program, db1s);
+  if (!ci_model.ok()) return EXIT_FAILURE;
+
+  // (c) Templog, translated through TL1 into Datalog1S.
+  auto templog = lrpdb::ParseTemplog(R"(
+    next^5 departs.
+    always next^40 departs :- departs.
+  )");
+  if (!templog.ok()) return EXIT_FAILURE;
+  lrpdb::Database tl_db;
+  auto tl_program = lrpdb::TranslateToDatalog1S(*templog, &tl_db);
+  if (!tl_program.ok()) return EXIT_FAILURE;
+  auto tl_model = lrpdb::EvaluateDatalog1S(*tl_program, tl_db);
+  if (!tl_model.ok()) return EXIT_FAILURE;
+
+  const lrpdb::EventuallyPeriodicSet& ci_set =
+      ci_model->model.at("departs").at({});
+  const lrpdb::EventuallyPeriodicSet& tl_set =
+      tl_model->model.at("departs").at({});
+  auto relation = gdb.Relation("departs");
+  bool all_equal = ci_set == tl_set;
+  for (int64_t t = 0; t < 400 && all_equal; ++t) {
+    all_equal = (*relation)->ContainsGround({t}, {}) == ci_set.Contains(t);
+  }
+  std::printf("  [KSW90 lrp db]  40n+5 with T1 >= 0\n");
+  std::printf("  [CI88]          %s\n", ci_set.ToString().c_str());
+  std::printf("  [Templog]       %s\n", tl_set.ToString().c_str());
+  std::printf("  all three equal: %s\n\n", all_equal ? "YES" : "NO");
+
+  // --- 2. The omega-word view ------------------------------------------
+  lrpdb::PeriodicWord word = lrpdb::PeriodicWord::Characteristic(ci_set);
+  lrpdb::BuchiAutomaton singleton =
+      lrpdb::BuchiAutomaton::SingletonWord(word, 2);
+  std::printf("== Omega-word bridge ==\n");
+  std::printf("  characteristic word: prefix %zu symbols, loop %zu symbols\n",
+              word.prefix().size(), word.loop().size());
+  std::printf("  singleton automaton accepts the Templog model's word: %s\n\n",
+              singleton.Accepts(lrpdb::PeriodicWord::Characteristic(tl_set))
+                  ? "YES"
+                  : "NO");
+
+  // --- 3. Query expressiveness -----------------------------------------
+  std::printf("== Query expressiveness ==\n");
+  // Parity: even(0); even(t+2) <- even(t). Recursion in one temporal
+  // argument -- finitely regular but NOT star-free, so no [KSW90]
+  // first-order query expresses it (Section 3.2).
+  lrpdb::Database parity_db;
+  auto parity = lrpdb::Parse(R"(
+    .decl even(time)
+    even(0).
+    even(t + 2) :- even(t).
+  )",
+                             &parity_db);
+  if (!parity.ok()) return EXIT_FAILURE;
+  auto parity_model = lrpdb::EvaluateDatalog1S(parity->program, parity_db);
+  if (!parity_model.ok()) return EXIT_FAILURE;
+  std::printf("  recursive parity query (no FO equivalent): %s\n",
+              parity_model->model.at("even").at({}).ToString().c_str());
+
+  // First-order with negation: gaps in the schedule -- inexpressible in
+  // the negation-free deductive languages of Sections 2.2/2.3.
+  auto gap_query = lrpdb::ParseFoQuery(
+      R"(t >= 0 & ~departs(t) & ~departs(t + 1))", &gdb);
+  if (!gap_query.ok()) return EXIT_FAILURE;
+  auto gaps = lrpdb::EvaluateFoQuery(*gap_query, gdb);
+  if (!gaps.ok()) return EXIT_FAILURE;
+  std::printf("  FO query with negation, closed form over Z:\n%s",
+              gaps->relation.ToString(&gdb.interner()).c_str());
+
+  // The separating omega-language "infinitely many 1s": omega-regular,
+  // not finitely regular -- no finite prefix certifies membership.
+  lrpdb::Nfa nfa = lrpdb::Nfa::Empty(2);
+  int zero = nfa.AddState(false);
+  int one = nfa.AddState(true);
+  nfa.AddTransition(zero, 0, zero);
+  nfa.AddTransition(zero, 1, one);
+  nfa.AddTransition(one, 0, zero);
+  nfa.AddTransition(one, 1, one);
+  nfa.initial.push_back(zero);
+  lrpdb::BuchiAutomaton inf_ones((lrpdb::Nfa(nfa)));
+  std::printf("  Buchi 'infinitely many 1s' accepts (01)^w: %s, "
+              "accepts 111(0)^w: %s\n",
+              inf_ones.Accepts(lrpdb::PeriodicWord({}, {0, 1})) ? "YES" : "NO",
+              inf_ones.Accepts(lrpdb::PeriodicWord({1, 1, 1}, {0})) ? "YES"
+                                                                    : "NO");
+
+  // The temporal-logic view of the FO class ([GPSS80], Section 3.2): LTL
+  // with X/F/G/U, model-checked against the schedule's characteristic word.
+  auto ltl = lrpdb::ParseLtl("G (departs -> X ~departs)");
+  if (!ltl.ok()) return EXIT_FAILURE;
+  lrpdb::PeriodicWord schedule = lrpdb::PeriodicWord::Characteristic(ci_set);
+  std::printf("  LTL 'no two consecutive departures' on the schedule: %s\n",
+              lrpdb::EvaluateLtl(*ltl->formula, schedule) ? "YES" : "NO");
+  auto recur = lrpdb::ParseLtl("G F departs");
+  if (!recur.ok()) return EXIT_FAILURE;
+  std::printf("  LTL 'departures recur forever': %s\n",
+              lrpdb::EvaluateLtl(*recur->formula, schedule) ? "YES" : "NO");
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,186 @@
+// lrpdbsh: a small command-line driver for lrpdb program files.
+//
+// Usage:
+//   lrpdbsh <program-file> [--window LO HI] [--fo "<formula>"] [--trace]
+//           [--export]
+//
+// --export prints the computed model as .decl/.fact statements (the
+// "convert once and for all" workflow: re-load the closed form later as a
+// plain extensional database, no re-derivation needed).
+//
+// Reads a program in the surface syntax (declarations, generalized facts,
+// rules, `?-` queries), evaluates the deductive layer bottom-up, prints the
+// closed form of every derived relation, answers the `?-` queries, and
+// optionally evaluates one first-order formula over the database and the
+// computed model.
+//
+// With no program file, runs the built-in demo (the paper's Example 4.1).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/core/evaluator.h"
+#include "src/fo/fo.h"
+#include "src/gdb/serialize.h"
+#include "src/parser/parser.h"
+
+namespace {
+
+constexpr char kDemo[] = R"(
+  .decl course(time, time, data)
+  .decl problems(time, time, data)
+  .fact course(168n+8, 168n+10, "database") with T2 = T1 + 2.
+  problems(t1 + 2, t2 + 2, N) :- course(t1, t2, N).
+  problems(t1 + 48, t2 + 48, N) :- problems(t1, t2, N).
+  ?- problems(t1, t2, "database").
+)";
+
+int Fail(const lrpdb::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+void PrintRelation(const char* name, const lrpdb::GeneralizedRelation& r,
+                   const lrpdb::Database& db, int64_t lo, int64_t hi) {
+  std::printf("%s (%zu generalized tuples):\n%s", name, r.size(),
+              r.ToString(&db.interner()).c_str());
+  auto ground = r.EnumerateGround(lo, hi);
+  std::printf("  ground tuples in [%ld, %ld): %zu\n",
+              static_cast<long>(lo), static_cast<long>(hi), ground.size());
+  size_t shown = 0;
+  for (const lrpdb::GroundTuple& t : ground) {
+    if (++shown > 10) {
+      std::printf("    ...\n");
+      break;
+    }
+    std::string row = "    (";
+    for (size_t i = 0; i < t.times.size(); ++i) {
+      if (i > 0) row += ", ";
+      row += std::to_string(t.times[i]);
+    }
+    for (size_t i = 0; i < t.data.size(); ++i) {
+      if (!t.times.empty() || i > 0) row += ", ";
+      row += db.interner().NameOf(t.data[i]);
+    }
+    row += ")";
+    std::printf("%s\n", row.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string source = kDemo;
+  std::string fo_formula;
+  int64_t window_lo = 0;
+  int64_t window_hi = 400;
+  bool trace = false;
+  bool export_model = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--window") == 0 && i + 2 < argc) {
+      window_lo = std::atoll(argv[++i]);
+      window_hi = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--fo") == 0 && i + 1 < argc) {
+      fo_formula = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
+    } else if (std::strcmp(argv[i], "--export") == 0) {
+      export_model = true;
+    } else {
+      std::ifstream file(argv[i]);
+      if (!file) {
+        std::fprintf(stderr, "cannot open %s\n", argv[i]);
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << file.rdbuf();
+      source = buffer.str();
+    }
+  }
+
+  lrpdb::Database db;
+  auto unit = lrpdb::Parse(source, &db);
+  if (!unit.ok()) return Fail(unit.status());
+
+  lrpdb::EvaluationOptions options;
+  options.record_trace = trace;
+  auto result = lrpdb::Evaluate(unit->program, db, options);
+  if (!result.ok()) return Fail(result.status());
+
+  std::printf("== evaluation ==\n");
+  std::printf("iterations: %d, fixpoint: %s%s%s\n\n", result->iterations,
+              result->reached_fixpoint ? "yes" : "NO",
+              result->gave_up_reason.empty() ? "" : " -- ",
+              result->gave_up_reason.c_str());
+  if (trace) {
+    for (const lrpdb::TraceEntry& entry : result->trace) {
+      std::printf("  it=%d %s %s %s\n", entry.iteration,
+                  entry.predicate.c_str(),
+                  entry.tuple.ToString(&db.interner()).c_str(),
+                  entry.inserted ? "+" : "(subsumed)");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("== derived relations (closed form) ==\n");
+  for (const auto& [name, relation] : result->idb) {
+    PrintRelation(name.c_str(), relation, db, window_lo, window_hi);
+  }
+
+  if (export_model) {
+    std::printf("== exported model (.decl/.fact, reload with lrpdbsh) ==\n");
+    for (const auto& [name, relation] : result->idb) {
+      std::printf("%s", lrpdb::SerializeDeclaration(name, relation.schema())
+                            .c_str());
+    }
+    for (const auto& [name, relation] : result->idb) {
+      std::printf("%s",
+                  lrpdb::SerializeRelationAsFacts(name, relation,
+                                                  db.interner())
+                      .c_str());
+    }
+    std::printf("\n");
+  }
+
+  for (size_t q = 0; q < unit->queries.size(); ++q) {
+    auto answers =
+        lrpdb::QueryAtom(unit->program, db, *result, unit->queries[q]);
+    if (!answers.ok()) return Fail(answers.status());
+    std::printf("== query %zu answers ==\n", q + 1);
+    PrintRelation("answers", *answers, db, window_lo, window_hi);
+  }
+
+  if (!fo_formula.empty()) {
+    // Make the derived relations visible to the FO layer.
+    std::map<std::string, lrpdb::RelationSchema> schemas;
+    for (const auto& [name, relation] : result->idb) {
+      schemas.emplace(name, relation.schema());
+    }
+    auto query = lrpdb::ParseFoQuery(fo_formula, &db, &schemas);
+    if (!query.ok()) return Fail(query.status());
+    lrpdb::FoOptions fo_options;
+    fo_options.extra_relations = &result->idb;
+    auto fo_result = lrpdb::EvaluateFoQuery(*query, db, fo_options);
+    if (!fo_result.ok()) return Fail(fo_result.status());
+    std::printf("== FO query ==\n%s\n", fo_formula.c_str());
+    std::string header;
+    for (const std::string& v : fo_result->temporal_vars) {
+      header += v + " ";
+    }
+    for (const std::string& v : fo_result->data_vars) header += v + " ";
+    std::printf("columns: %s\n", header.empty() ? "(none: yes/no)"
+                                                : header.c_str());
+    if (fo_result->relation.schema().temporal_arity == 0 &&
+        fo_result->relation.schema().data_arity == 0) {
+      std::printf("answer: %s\n",
+                  fo_result->relation.empty() ? "false" : "true");
+    } else {
+      PrintRelation("answers", fo_result->relation, db, window_lo,
+                    window_hi);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Abstract syntax for the temporal deductive language (paper, Section 4.1).
+//
+// Terms:
+//   - temporal term: a temporal variable, the constant 0, or +1/-1 applied to
+//     a temporal term. Flattened, every temporal term is "variable + c" or an
+//     integer constant.
+//   - data term: an uninterpreted constant or a data variable.
+// Atoms:
+//   - predicate atoms p(tau1..taum, d1..dl), intensional or extensional
+//     (classified against the program's declarations),
+//   - constraint atoms tau1 OP tau2 with OP in {<, <=, =, >=, >}.
+// A clause is Head <- A1, ..., Ar where the head is an intensional atom; a
+// program is a finite set of clauses plus predicate declarations.
+#ifndef LRPDB_AST_AST_H_
+#define LRPDB_AST_AST_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/interner.h"
+#include "src/common/statusor.h"
+#include "src/gdb/schema.h"
+
+namespace lrpdb {
+
+inline constexpr SymbolId kNoVariable = -1;
+
+// A flattened temporal term: `variable + offset`, or the integer constant
+// `offset` when variable == kNoVariable.
+struct TemporalTerm {
+  SymbolId variable = kNoVariable;
+  int64_t offset = 0;
+
+  static TemporalTerm Constant(int64_t value) { return {kNoVariable, value}; }
+  static TemporalTerm Variable(SymbolId var, int64_t offset = 0) {
+    return {var, offset};
+  }
+  bool is_constant() const { return variable == kNoVariable; }
+
+  friend bool operator==(const TemporalTerm& a, const TemporalTerm& b) {
+    return a.variable == b.variable && a.offset == b.offset;
+  }
+};
+
+// A data term: a constant (interned DataValue) or a data variable.
+struct DataTerm {
+  SymbolId variable = kNoVariable;
+  DataValue constant = -1;
+
+  static DataTerm Constant(DataValue value) { return {kNoVariable, value}; }
+  static DataTerm Variable(SymbolId var) { return {var, -1}; }
+  bool is_constant() const { return variable == kNoVariable; }
+
+  friend bool operator==(const DataTerm& a, const DataTerm& b) {
+    return a.variable == b.variable && a.constant == b.constant;
+  }
+};
+
+// p(tau1..taum, d1..dl), possibly negated when used as a body literal
+// (stratified negation; see Section 3's discussion of the omega-regular
+// query expressiveness of the extended languages). `negated` is meaningful
+// only inside clause bodies.
+struct PredicateAtom {
+  SymbolId predicate = -1;
+  bool negated = false;
+  std::vector<TemporalTerm> temporal_args;
+  std::vector<DataTerm> data_args;
+};
+
+enum class ComparisonOp { kLess, kLessEqual, kEqual, kGreaterEqual, kGreater };
+
+// lhs OP rhs over temporal terms. Note every such atom reduces to difference
+// bounds (Section 4.1): strict < over Z is <= with the constant bumped.
+struct ConstraintAtom {
+  ComparisonOp op = ComparisonOp::kEqual;
+  TemporalTerm lhs;
+  TemporalTerm rhs;
+};
+
+using BodyAtom = std::variant<PredicateAtom, ConstraintAtom>;
+
+// Head <- body. The head must use an intensional predicate.
+struct Clause {
+  PredicateAtom head;
+  std::vector<BodyAtom> body;
+};
+
+// A deductive program: declarations plus clauses. Predicate, variable and
+// data-constant names are interned; the data-constant interner is shared
+// with the extensional Database so ids agree at evaluation time.
+class Program {
+ public:
+  // `data_interner` must outlive the program (typically
+  // &database.interner()).
+  explicit Program(Interner* data_interner) : data_interner_(data_interner) {}
+
+  Interner& predicates() { return predicates_; }
+  const Interner& predicates() const { return predicates_; }
+  Interner& variables() { return variables_; }
+  const Interner& variables() const { return variables_; }
+  Interner& data_constants() { return *data_interner_; }
+  const Interner& data_constants() const { return *data_interner_; }
+
+  // Declares predicate `name` with the given schema.
+  Status Declare(const std::string& name, RelationSchema schema);
+  std::optional<RelationSchema> SchemaOf(SymbolId predicate) const;
+
+  Status AddClause(Clause clause);
+  const std::vector<Clause>& clauses() const { return clauses_; }
+
+  // Predicates appearing in some clause head.
+  const std::set<SymbolId>& idb_predicates() const { return idb_; }
+  bool IsIntensional(SymbolId predicate) const { return idb_.count(predicate) > 0; }
+
+  // All declared predicates with their schemas.
+  const std::map<SymbolId, RelationSchema>& declarations() const {
+    return declarations_;
+  }
+
+  // Checks arity consistency of every atom against the declarations, range
+  // restriction of head data variables, that heads are not negated, and
+  // that every variable of a negated body atom also occurs in a positive
+  // body predicate atom (safety of negation).
+  Status Validate() const;
+
+  // Assigns a stratum to every predicate such that positive dependencies
+  // stay within a stratum or go down and negative dependencies strictly go
+  // down. Extensional predicates sit at stratum 0. Fails when the program
+  // has recursion through negation.
+  StatusOr<std::map<SymbolId, int>> Stratify() const;
+
+  std::string ToString() const;
+  std::string AtomToString(const PredicateAtom& atom) const;
+  std::string AtomToString(const ConstraintAtom& atom) const;
+  std::string TermToString(const TemporalTerm& term) const;
+
+ private:
+  Interner predicates_;
+  Interner variables_;
+  Interner* data_interner_;  // Not owned.
+  std::map<SymbolId, RelationSchema> declarations_;
+  std::vector<Clause> clauses_;
+  std::set<SymbolId> idb_;
+};
+
+}  // namespace lrpdb
+
+#endif  // LRPDB_AST_AST_H_

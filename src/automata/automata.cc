@@ -1,0 +1,436 @@
+#include "src/automata/automata.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "src/common/logging.h"
+
+namespace lrpdb {
+namespace {
+
+// Minimal cyclic period of `loop`.
+std::vector<int> MinimizeLoop(const std::vector<int>& loop) {
+  int64_t n = static_cast<int64_t>(loop.size());
+  for (int64_t d = 1; d <= n; ++d) {
+    if (n % d != 0) continue;
+    bool ok = true;
+    for (int64_t i = d; i < n && ok; ++i) ok = loop[i] == loop[i - d];
+    if (ok) return std::vector<int>(loop.begin(), loop.begin() + d);
+  }
+  return loop;
+}
+
+}  // namespace
+
+PeriodicWord::PeriodicWord(std::vector<int> prefix, std::vector<int> loop)
+    : prefix_(std::move(prefix)), loop_(std::move(loop)) {
+  LRPDB_CHECK(!loop_.empty());
+  Canonicalize();
+}
+
+void PeriodicWord::Canonicalize() {
+  loop_ = MinimizeLoop(loop_);
+  while (!prefix_.empty() && prefix_.back() == loop_.back()) {
+    std::rotate(loop_.rbegin(), loop_.rbegin() + 1, loop_.rend());
+    prefix_.pop_back();
+    loop_ = MinimizeLoop(loop_);
+  }
+}
+
+int PeriodicWord::At(int64_t position) const {
+  LRPDB_CHECK_GE(position, 0);
+  if (position < static_cast<int64_t>(prefix_.size())) {
+    return prefix_[position];
+  }
+  return loop_[(position - prefix_.size()) % loop_.size()];
+}
+
+PeriodicWord PeriodicWord::Characteristic(const EventuallyPeriodicSet& set) {
+  std::vector<int> prefix(set.offset());
+  for (int64_t t = 0; t < set.offset(); ++t) prefix[t] = set.Contains(t);
+  std::vector<int> loop(set.period());
+  for (int64_t i = 0; i < set.period(); ++i) {
+    loop[i] = set.Contains(set.offset() + i);
+  }
+  return PeriodicWord(std::move(prefix), std::move(loop));
+}
+
+EventuallyPeriodicSet PeriodicWord::ToSet() const {
+  std::vector<bool> prefix(prefix_.size());
+  for (size_t i = 0; i < prefix_.size(); ++i) {
+    LRPDB_CHECK(prefix_[i] == 0 || prefix_[i] == 1);
+    prefix[i] = prefix_[i] == 1;
+  }
+  std::vector<bool> tail(loop_.size());
+  for (size_t i = 0; i < loop_.size(); ++i) {
+    LRPDB_CHECK(loop_[i] == 0 || loop_[i] == 1);
+    tail[i] = loop_[i] == 1;
+  }
+  auto set = EventuallyPeriodicSet::Create(std::move(prefix), std::move(tail));
+  LRPDB_CHECK(set.ok());
+  return std::move(set).value();
+}
+
+Nfa Nfa::Empty(int alphabet_size) {
+  Nfa nfa;
+  nfa.alphabet_size = alphabet_size;
+  return nfa;
+}
+
+int Nfa::AddState(bool is_accepting) {
+  transitions.emplace_back(alphabet_size);
+  accepting.push_back(is_accepting);
+  return num_states++;
+}
+
+void Nfa::AddTransition(int from, int symbol, int to) {
+  LRPDB_CHECK(from >= 0 && from < num_states);
+  LRPDB_CHECK(to >= 0 && to < num_states);
+  LRPDB_CHECK(symbol >= 0 && symbol < alphabet_size);
+  transitions[from][symbol].push_back(to);
+}
+
+namespace {
+
+// Disjoint union of two NFAs; returns the offset of b's states.
+int AppendNfa(Nfa* a, const Nfa& b) {
+  LRPDB_CHECK_EQ(a->alphabet_size, b.alphabet_size);
+  int offset = a->num_states;
+  for (int q = 0; q < b.num_states; ++q) a->AddState(b.accepting[q]);
+  for (int q = 0; q < b.num_states; ++q) {
+    for (int s = 0; s < b.alphabet_size; ++s) {
+      for (int to : b.transitions[q][s]) {
+        a->AddTransition(offset + q, s, offset + to);
+      }
+    }
+  }
+  return offset;
+}
+
+// Subset step of an NFA.
+std::set<int> Step(const Nfa& nfa, const std::set<int>& states, int symbol) {
+  std::set<int> next;
+  for (int q : states) {
+    for (int to : nfa.transitions[q][symbol]) next.insert(to);
+  }
+  return next;
+}
+
+bool AnyAccepting(const Nfa& nfa, const std::set<int>& states) {
+  for (int q : states) {
+    if (nfa.accepting[q]) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool FiniteAcceptanceAutomaton::Accepts(const PeriodicWord& word) const {
+  // Simulate the subset construction along the word; the subset sequence on
+  // the loop eventually cycles, so track (loop position, subset) pairs.
+  std::set<int> current(nfa_.initial.begin(), nfa_.initial.end());
+  if (AnyAccepting(nfa_, current)) return true;  // Empty prefix accepted.
+  for (int symbol : word.prefix()) {
+    current = Step(nfa_, current, symbol);
+    if (AnyAccepting(nfa_, current)) return true;
+  }
+  std::set<std::pair<size_t, std::set<int>>> seen;
+  size_t position = 0;
+  while (seen.insert({position, current}).second) {
+    current = Step(nfa_, current, word.loop()[position]);
+    if (AnyAccepting(nfa_, current)) return true;
+    position = (position + 1) % word.loop().size();
+  }
+  return false;
+}
+
+FiniteAcceptanceAutomaton FiniteAcceptanceAutomaton::ExtensionClosure()
+    const {
+  Nfa closed = nfa_;
+  int sink = closed.AddState(true);
+  for (int s = 0; s < closed.alphabet_size; ++s) {
+    closed.AddTransition(sink, s, sink);
+  }
+  // Any transition into an accepting state may instead go to the sink;
+  // accepting states themselves also feed the sink.
+  for (int q = 0; q < closed.num_states - 1; ++q) {
+    for (int s = 0; s < closed.alphabet_size; ++s) {
+      for (int to : nfa_.transitions[q][s]) {
+        if (closed.accepting[to]) closed.AddTransition(q, s, sink);
+      }
+      if (closed.accepting[q]) closed.AddTransition(q, s, sink);
+    }
+  }
+  return FiniteAcceptanceAutomaton(std::move(closed));
+}
+
+FiniteAcceptanceAutomaton FiniteAcceptanceAutomaton::Union(
+    const FiniteAcceptanceAutomaton& a, const FiniteAcceptanceAutomaton& b) {
+  Nfa result = a.nfa_;
+  int offset = AppendNfa(&result, b.nfa_);
+  for (int q : b.nfa_.initial) result.initial.push_back(offset + q);
+  return FiniteAcceptanceAutomaton(std::move(result));
+}
+
+FiniteAcceptanceAutomaton FiniteAcceptanceAutomaton::Intersect(
+    const FiniteAcceptanceAutomaton& a, const FiniteAcceptanceAutomaton& b) {
+  // Close both so prefix witnesses can be padded to a common length, then
+  // take the synchronous product.
+  Nfa ca = a.ExtensionClosure().nfa_;
+  Nfa cb = b.ExtensionClosure().nfa_;
+  Nfa product = Nfa::Empty(ca.alphabet_size);
+  for (int qa = 0; qa < ca.num_states; ++qa) {
+    for (int qb = 0; qb < cb.num_states; ++qb) {
+      product.AddState(ca.accepting[qa] && cb.accepting[qb]);
+    }
+  }
+  auto index = [&](int qa, int qb) { return qa * cb.num_states + qb; };
+  for (int qa = 0; qa < ca.num_states; ++qa) {
+    for (int qb = 0; qb < cb.num_states; ++qb) {
+      for (int s = 0; s < ca.alphabet_size; ++s) {
+        for (int ta : ca.transitions[qa][s]) {
+          for (int tb : cb.transitions[qb][s]) {
+            product.AddTransition(index(qa, qb), s, index(ta, tb));
+          }
+        }
+      }
+    }
+  }
+  for (int qa : ca.initial) {
+    for (int qb : cb.initial) product.initial.push_back(index(qa, qb));
+  }
+  return FiniteAcceptanceAutomaton(std::move(product));
+}
+
+bool FiniteAcceptanceAutomaton::IsEmpty() const {
+  // Non-empty iff an accepting state is reachable (any finite word extends
+  // to infinitely many infinite words).
+  std::deque<int> queue(nfa_.initial.begin(), nfa_.initial.end());
+  std::vector<bool> seen(nfa_.num_states, false);
+  for (int q : queue) seen[q] = true;
+  while (!queue.empty()) {
+    int q = queue.front();
+    queue.pop_front();
+    if (nfa_.accepting[q]) return false;
+    for (int s = 0; s < nfa_.alphabet_size; ++s) {
+      for (int to : nfa_.transitions[q][s]) {
+        if (!seen[to]) {
+          seen[to] = true;
+          queue.push_back(to);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool BuchiAutomaton::Accepts(const PeriodicWord& word) const {
+  // States reachable after the prefix.
+  std::set<int> start(nfa_.initial.begin(), nfa_.initial.end());
+  for (int symbol : word.prefix()) start = Step(nfa_, start, symbol);
+  // Lasso graph: nodes (state, loop position).
+  size_t loop_len = word.loop().size();
+  int n = nfa_.num_states;
+  auto node = [&](int q, size_t i) { return q * static_cast<int>(loop_len) +
+                                            static_cast<int>(i); };
+  // Reachability from the start set at loop position 0.
+  std::vector<bool> reachable(n * loop_len, false);
+  std::deque<std::pair<int, size_t>> queue;
+  for (int q : start) {
+    if (!reachable[node(q, 0)]) {
+      reachable[node(q, 0)] = true;
+      queue.emplace_back(q, 0);
+    }
+  }
+  while (!queue.empty()) {
+    auto [q, i] = queue.front();
+    queue.pop_front();
+    for (int to : nfa_.transitions[q][word.loop()[i]]) {
+      size_t next = (i + 1) % loop_len;
+      if (!reachable[node(to, next)]) {
+        reachable[node(to, next)] = true;
+        queue.emplace_back(to, next);
+      }
+    }
+  }
+  // Accepting iff some reachable (q accepting, i) lies on a cycle.
+  for (int q = 0; q < n; ++q) {
+    if (!nfa_.accepting[q]) continue;
+    for (size_t i = 0; i < loop_len; ++i) {
+      if (!reachable[node(q, i)]) continue;
+      // BFS from (q, i) back to itself.
+      std::vector<bool> visited(n * loop_len, false);
+      std::deque<std::pair<int, size_t>> bfs{{q, i}};
+      bool found = false;
+      while (!bfs.empty() && !found) {
+        auto [cq, ci] = bfs.front();
+        bfs.pop_front();
+        for (int to : nfa_.transitions[cq][word.loop()[ci]]) {
+          size_t next = (ci + 1) % loop_len;
+          if (to == q && next == i) {
+            found = true;
+            break;
+          }
+          if (!visited[node(to, next)]) {
+            visited[node(to, next)] = true;
+            bfs.emplace_back(to, next);
+          }
+        }
+      }
+      if (found) return true;
+    }
+  }
+  return false;
+}
+
+bool BuchiAutomaton::IsEmpty() const {
+  // Non-empty iff some accepting state is reachable from an initial state
+  // and lies on a cycle.
+  int n = nfa_.num_states;
+  std::vector<bool> reachable(n, false);
+  std::deque<int> queue;
+  for (int q : nfa_.initial) {
+    if (!reachable[q]) {
+      reachable[q] = true;
+      queue.push_back(q);
+    }
+  }
+  while (!queue.empty()) {
+    int q = queue.front();
+    queue.pop_front();
+    for (int s = 0; s < nfa_.alphabet_size; ++s) {
+      for (int to : nfa_.transitions[q][s]) {
+        if (!reachable[to]) {
+          reachable[to] = true;
+          queue.push_back(to);
+        }
+      }
+    }
+  }
+  for (int q = 0; q < n; ++q) {
+    if (!nfa_.accepting[q] || !reachable[q]) continue;
+    // Cycle through q?
+    std::vector<bool> visited(n, false);
+    std::deque<int> bfs{q};
+    while (!bfs.empty()) {
+      int cq = bfs.front();
+      bfs.pop_front();
+      for (int s = 0; s < nfa_.alphabet_size; ++s) {
+        for (int to : nfa_.transitions[cq][s]) {
+          if (to == q) return false;
+          if (!visited[to]) {
+            visited[to] = true;
+            bfs.push_back(to);
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+BuchiAutomaton BuchiAutomaton::Union(const BuchiAutomaton& a,
+                                     const BuchiAutomaton& b) {
+  Nfa result = a.nfa_;
+  int offset = AppendNfa(&result, b.nfa_);
+  for (int q : b.nfa_.initial) result.initial.push_back(offset + q);
+  return BuchiAutomaton(std::move(result));
+}
+
+BuchiAutomaton BuchiAutomaton::Intersect(const BuchiAutomaton& a,
+                                         const BuchiAutomaton& b) {
+  // Two-phase product: phase 0 waits for an accepting a-state, phase 1 for
+  // an accepting b-state; visiting both infinitely often iff the product's
+  // phase-flip state recurs.
+  const Nfa& na = a.nfa_;
+  const Nfa& nb = b.nfa_;
+  LRPDB_CHECK_EQ(na.alphabet_size, nb.alphabet_size);
+  Nfa product = Nfa::Empty(na.alphabet_size);
+  auto index = [&](int qa, int qb, int phase) {
+    return (qa * nb.num_states + qb) * 2 + phase;
+  };
+  for (int qa = 0; qa < na.num_states; ++qa) {
+    for (int qb = 0; qb < nb.num_states; ++qb) {
+      for (int phase = 0; phase < 2; ++phase) {
+        // Accepting: phase 1 and b-accepting (the flip point).
+        product.AddState(phase == 1 && nb.accepting[qb]);
+      }
+    }
+  }
+  for (int qa = 0; qa < na.num_states; ++qa) {
+    for (int qb = 0; qb < nb.num_states; ++qb) {
+      for (int phase = 0; phase < 2; ++phase) {
+        int next_phase;
+        if (phase == 0) {
+          next_phase = na.accepting[qa] ? 1 : 0;
+        } else {
+          next_phase = nb.accepting[qb] ? 0 : 1;
+        }
+        for (int s = 0; s < na.alphabet_size; ++s) {
+          for (int ta : na.transitions[qa][s]) {
+            for (int tb : nb.transitions[qb][s]) {
+              product.AddTransition(index(qa, qb, phase), s,
+                                    index(ta, tb, next_phase));
+            }
+          }
+        }
+      }
+    }
+  }
+  for (int qa : na.initial) {
+    for (int qb : nb.initial) product.initial.push_back(index(qa, qb, 0));
+  }
+  return BuchiAutomaton(std::move(product));
+}
+
+BuchiAutomaton BuchiAutomaton::FromFiniteAcceptance(
+    const FiniteAcceptanceAutomaton& fa) {
+  // The extension closure's sink loops forever through an accepting state;
+  // making only the sink Buchi-accepting yields exactly the extension
+  // language. The closure construction puts the sink first among the added
+  // states and it is the unique accepting state with self-loops on all
+  // symbols; rebuild here explicitly for clarity.
+  const Nfa& src = fa.nfa();
+  Nfa result = src;
+  // Original accepting states are not Buchi-accepting.
+  for (int q = 0; q < result.num_states; ++q) result.accepting[q] = false;
+  int sink = result.AddState(true);
+  for (int s = 0; s < result.alphabet_size; ++s) {
+    result.AddTransition(sink, s, sink);
+  }
+  for (int q = 0; q < src.num_states; ++q) {
+    for (int s = 0; s < src.alphabet_size; ++s) {
+      for (int to : src.transitions[q][s]) {
+        if (src.accepting[to]) result.AddTransition(q, s, sink);
+      }
+    }
+  }
+  bool initially_accepting = false;
+  for (int q : src.initial) initially_accepting |= src.accepting[q];
+  if (initially_accepting) result.initial.push_back(sink);
+  return BuchiAutomaton(std::move(result));
+}
+
+BuchiAutomaton BuchiAutomaton::SingletonWord(const PeriodicWord& word,
+                                             int alphabet_size) {
+  Nfa nfa = Nfa::Empty(alphabet_size);
+  size_t total = word.prefix().size() + word.loop().size();
+  for (size_t i = 0; i < total; ++i) nfa.AddState(true);
+  // Prefix states are 0..|u|-1 and loop states |u|..|u|+|v|-1, so state i
+  // always advances to i+1 (the last prefix state advances into the loop).
+  for (size_t i = 0; i < word.prefix().size(); ++i) {
+    nfa.AddTransition(static_cast<int>(i), word.prefix()[i],
+                      static_cast<int>(i + 1));
+  }
+  size_t base = word.prefix().size();
+  for (size_t i = 0; i < word.loop().size(); ++i) {
+    size_t to = (i + 1 == word.loop().size()) ? base : base + i + 1;
+    nfa.AddTransition(static_cast<int>(base + i), word.loop()[i],
+                      static_cast<int>(to));
+  }
+  nfa.initial.push_back(0);
+  return BuchiAutomaton(std::move(nfa));
+}
+
+}  // namespace lrpdb

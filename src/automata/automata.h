@@ -1,0 +1,135 @@
+// Omega-automata underpinning the paper's expressiveness results (Sec. 3).
+//
+// The paper characterizes query expressiveness in terms of classes of
+// omega-languages:
+//   * finitely regular omega-languages -- languages of *finite-acceptance*
+//     automata, which accept an infinite word iff they accept some finite
+//     prefix of it (the Templog / [CI88] class),
+//   * omega-regular languages -- Buchi automata (Templog with stratified
+//     negation),
+//   * star-free omega-regular languages -- first-order / [KSW90] queries.
+// This module implements finite-acceptance automata and Buchi automata with
+// the operations the experiments need: union, intersection, emptiness, and
+// membership of ultimately periodic words; plus the bridge from eventually
+// periodic sets (data expressiveness) to characteristic omega-words and
+// singleton automata.
+#ifndef LRPDB_AUTOMATA_AUTOMATA_H_
+#define LRPDB_AUTOMATA_AUTOMATA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/statusor.h"
+#include "src/lrp/periodic_set.h"
+
+namespace lrpdb {
+
+// An ultimately periodic omega-word u . v^omega over an integer alphabet.
+class PeriodicWord {
+ public:
+  // `loop` must be non-empty.
+  PeriodicWord(std::vector<int> prefix, std::vector<int> loop);
+
+  int At(int64_t position) const;
+  const std::vector<int>& prefix() const { return prefix_; }
+  const std::vector<int>& loop() const { return loop_; }
+
+  // The characteristic word of an eventually periodic set over {0, 1}.
+  static PeriodicWord Characteristic(const EventuallyPeriodicSet& set);
+
+  // Interprets a {0,1} word back as a set; CHECKs the alphabet is {0,1}.
+  EventuallyPeriodicSet ToSet() const;
+
+  friend bool operator==(const PeriodicWord& a, const PeriodicWord& b) {
+    // Canonical comparison via the underlying sequences: reduce both to
+    // minimal form first.
+    return a.prefix_ == b.prefix_ && a.loop_ == b.loop_;
+  }
+
+ private:
+  void Canonicalize();
+
+  std::vector<int> prefix_;
+  std::vector<int> loop_;
+};
+
+// A nondeterministic automaton skeleton shared by both acceptance modes.
+struct Nfa {
+  int num_states = 0;
+  int alphabet_size = 0;
+  // transitions[state][symbol] -> successor states.
+  std::vector<std::vector<std::vector<int>>> transitions;
+  std::vector<int> initial;
+  std::vector<bool> accepting;
+
+  static Nfa Empty(int alphabet_size);
+  int AddState(bool is_accepting);
+  void AddTransition(int from, int symbol, int to);
+};
+
+// Finite-acceptance automaton on infinite words: accepts w iff the
+// underlying NFA accepts some finite prefix of w. Its languages are exactly
+// the finitely regular omega-languages.
+class FiniteAcceptanceAutomaton {
+ public:
+  explicit FiniteAcceptanceAutomaton(Nfa nfa) : nfa_(std::move(nfa)) {}
+
+  const Nfa& nfa() const { return nfa_; }
+
+  bool Accepts(const PeriodicWord& word) const;
+
+  // The automaton whose prefix language is L . Sigma* (extension-closed);
+  // same omega-language, but product constructions become sound.
+  FiniteAcceptanceAutomaton ExtensionClosure() const;
+
+  // Union / intersection of the omega-languages. Intersection requires the
+  // extension closure internally (prefix witnesses may have different
+  // lengths).
+  static FiniteAcceptanceAutomaton Union(const FiniteAcceptanceAutomaton& a,
+                                         const FiniteAcceptanceAutomaton& b);
+  static FiniteAcceptanceAutomaton Intersect(
+      const FiniteAcceptanceAutomaton& a, const FiniteAcceptanceAutomaton& b);
+
+  // True iff no infinite word is accepted (no accepting NFA state is
+  // reachable, treating symbols as unconstrained).
+  bool IsEmpty() const;
+
+ private:
+  Nfa nfa_;
+};
+
+// Buchi automaton: accepts w iff some run visits an accepting state
+// infinitely often. Languages: omega-regular.
+class BuchiAutomaton {
+ public:
+  explicit BuchiAutomaton(Nfa nfa) : nfa_(std::move(nfa)) {}
+
+  const Nfa& nfa() const { return nfa_; }
+
+  bool Accepts(const PeriodicWord& word) const;
+  bool IsEmpty() const;
+
+  static BuchiAutomaton Union(const BuchiAutomaton& a,
+                              const BuchiAutomaton& b);
+  // Standard two-phase product.
+  static BuchiAutomaton Intersect(const BuchiAutomaton& a,
+                                  const BuchiAutomaton& b);
+
+  // The Buchi automaton accepting exactly the finite-acceptance automaton's
+  // language (finitely regular subset of omega-regular).
+  static BuchiAutomaton FromFiniteAcceptance(
+      const FiniteAcceptanceAutomaton& fa);
+
+  // A deterministic Buchi automaton accepting exactly {word} -- used to
+  // check set/word/automaton round trips in the expressiveness experiments.
+  static BuchiAutomaton SingletonWord(const PeriodicWord& word,
+                                      int alphabet_size);
+
+ private:
+  Nfa nfa_;
+};
+
+}  // namespace lrpdb
+
+#endif  // LRPDB_AUTOMATA_AUTOMATA_H_

@@ -1,0 +1,59 @@
+// String interning: maps symbol names (predicate names, data constants,
+// variable names) to dense int32 ids so the rest of the engine compares and
+// hashes integers instead of strings.
+#ifndef LRPDB_COMMON_INTERNER_H_
+#define LRPDB_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace lrpdb {
+
+// Dense id assigned by an Interner. Ids are only meaningful relative to the
+// interner that produced them.
+using SymbolId = int32_t;
+
+// Bidirectional string <-> id map. Not thread-safe.
+class Interner {
+ public:
+  Interner() = default;
+  Interner(const Interner&) = default;
+  Interner& operator=(const Interner&) = default;
+
+  // Returns the id for `name`, creating one if needed.
+  SymbolId Intern(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    SymbolId id = static_cast<SymbolId>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  // Returns the id for `name` or -1 if it was never interned.
+  SymbolId Find(std::string_view name) const {
+    auto it = ids_.find(std::string(name));
+    return it == ids_.end() ? -1 : it->second;
+  }
+
+  const std::string& NameOf(SymbolId id) const {
+    LRPDB_CHECK_GE(id, 0);
+    LRPDB_CHECK_LT(static_cast<size_t>(id), names_.size());
+    return names_[id];
+  }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, SymbolId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace lrpdb
+
+#endif  // LRPDB_COMMON_INTERNER_H_

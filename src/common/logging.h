@@ -1,0 +1,49 @@
+// Minimal check/logging macros. LRPDB_CHECK crashes on violated invariants in
+// all build modes (database-engine convention: fail stop rather than corrupt).
+#ifndef LRPDB_COMMON_LOGGING_H_
+#define LRPDB_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+
+namespace lrpdb::internal {
+
+// Emits the failure banner and aborts. Kept out-of-line-ish via a small
+// struct so the macro below can stream extra context.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    std::cerr << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    std::cerr << value;
+    return *this;
+  }
+};
+
+}  // namespace lrpdb::internal
+
+#define LRPDB_CHECK(condition)                                      \
+  if (condition) {                                                  \
+  } else                                                            \
+    ::lrpdb::internal::CheckFailure(__FILE__, __LINE__, #condition)
+
+#define LRPDB_CHECK_EQ(a, b) LRPDB_CHECK((a) == (b))
+#define LRPDB_CHECK_NE(a, b) LRPDB_CHECK((a) != (b))
+#define LRPDB_CHECK_LT(a, b) LRPDB_CHECK((a) < (b))
+#define LRPDB_CHECK_LE(a, b) LRPDB_CHECK((a) <= (b))
+#define LRPDB_CHECK_GT(a, b) LRPDB_CHECK((a) > (b))
+#define LRPDB_CHECK_GE(a, b) LRPDB_CHECK((a) >= (b))
+
+#define LRPDB_CHECK_OK(expr)                              \
+  do {                                                    \
+    const ::lrpdb::Status lrpdb_check_ok_ = (expr);       \
+    LRPDB_CHECK(lrpdb_check_ok_.ok()) << lrpdb_check_ok_; \
+  } while (false)
+
+#endif  // LRPDB_COMMON_LOGGING_H_

@@ -1,0 +1,37 @@
+#include "src/common/math_util.h"
+
+namespace lrpdb {
+
+int64_t Gcd(int64_t a, int64_t b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+int64_t Lcm(int64_t a, int64_t b) {
+  LRPDB_CHECK(a != 0 && b != 0);
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  return a / Gcd(a, b) * b;
+}
+
+int64_t ExtendedGcd(int64_t a, int64_t b, int64_t* x, int64_t* y) {
+  if (b == 0) {
+    *x = (a >= 0) ? 1 : -1;
+    *y = 0;
+    return a >= 0 ? a : -a;
+  }
+  int64_t x1 = 0;
+  int64_t y1 = 0;
+  int64_t g = ExtendedGcd(b, a % b, &x1, &y1);
+  *x = y1;
+  *y = x1 - (a / b) * y1;
+  return g;
+}
+
+}  // namespace lrpdb

@@ -1,0 +1,49 @@
+// Integer arithmetic helpers shared by the lrp and constraint modules. All
+// operate on int64_t; overflow is the caller's responsibility (periods and
+// offsets in this library stay far below 2^62 by construction, and the
+// evaluator bounds the lcm of periods it will align to).
+#ifndef LRPDB_COMMON_MATH_UTIL_H_
+#define LRPDB_COMMON_MATH_UTIL_H_
+
+#include <cstdint>
+
+#include "src/common/logging.h"
+
+namespace lrpdb {
+
+// Floored division: FloorDiv(7, 2) == 3, FloorDiv(-7, 2) == -4. `b` > 0.
+inline int64_t FloorDiv(int64_t a, int64_t b) {
+  LRPDB_CHECK_GT(b, 0);
+  int64_t q = a / b;
+  if (a % b != 0 && a < 0) --q;
+  return q;
+}
+
+// Ceiling division with `b` > 0.
+inline int64_t CeilDiv(int64_t a, int64_t b) {
+  LRPDB_CHECK_GT(b, 0);
+  int64_t q = a / b;
+  if (a % b != 0 && a > 0) ++q;
+  return q;
+}
+
+// Mathematical modulus: result in [0, b). `b` > 0.
+inline int64_t FloorMod(int64_t a, int64_t b) {
+  LRPDB_CHECK_GT(b, 0);
+  int64_t m = a % b;
+  if (m < 0) m += b;
+  return m;
+}
+
+// Greatest common divisor of |a| and |b|; Gcd(0, 0) == 0.
+int64_t Gcd(int64_t a, int64_t b);
+
+// Least common multiple of |a| and |b|; both must be non-zero.
+int64_t Lcm(int64_t a, int64_t b);
+
+// Extended Euclid: returns g = gcd(a, b) and sets x, y with a*x + b*y == g.
+int64_t ExtendedGcd(int64_t a, int64_t b, int64_t* x, int64_t* y);
+
+}  // namespace lrpdb
+
+#endif  // LRPDB_COMMON_MATH_UTIL_H_

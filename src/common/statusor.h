@@ -1,0 +1,83 @@
+// StatusOr<T>: a value of type T or the Status explaining why it is absent.
+#ifndef LRPDB_COMMON_STATUSOR_H_
+#define LRPDB_COMMON_STATUSOR_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace lrpdb {
+
+// Holds either a T (when status().ok()) or a non-OK Status. Accessing the
+// value of a non-OK StatusOr aborts the process; callers must check ok()
+// first or use the LRPDB_ASSIGN_OR_RETURN macro.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, so functions returning StatusOr<T> can
+  // `return value;` or `return SomeError(...);` directly (absl convention).
+  StatusOr(const T& value) : value_(value) {}
+  StatusOr(T&& value) : value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      std::cerr << "StatusOr constructed with OK status but no value\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckHasValue() const {
+    if (!value_.has_value()) {
+      std::cerr << "StatusOr::value() on error: " << status_.ToString()
+                << "\n";
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace lrpdb
+
+// Evaluates `expr` (a StatusOr expression); on error returns its status from
+// the enclosing function, otherwise moves the value into `lhs`.
+#define LRPDB_ASSIGN_OR_RETURN(lhs, expr)             \
+  LRPDB_ASSIGN_OR_RETURN_IMPL_(                       \
+      LRPDB_STATUS_MACRO_CONCAT_(statusor_, __LINE__), lhs, expr)
+
+#define LRPDB_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto var = (expr);                                 \
+  if (!var.ok()) {                                   \
+    return var.status();                             \
+  }                                                  \
+  lhs = std::move(var).value()
+
+#define LRPDB_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define LRPDB_STATUS_MACRO_CONCAT_(x, y) LRPDB_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+#endif  // LRPDB_COMMON_STATUSOR_H_

@@ -1,0 +1,158 @@
+// Difference-bound matrices over the integers.
+//
+// The paper's constraint atoms (Section 2.1 / 4.1) all normalize to bounds of
+// the form Ti - Tj <= c with integer c, where one distinguished variable T0
+// is the constant zero (absolute bounds Ti < c, c < Ti, Ti = c go through
+// T0). Strict bounds over Z reduce to non-strict ones (x < c iff x <= c-1),
+// so a conjunction of the paper's constraints is exactly an integer DBM.
+//
+// Canonical form is the all-pairs-shortest-path closure; difference
+// constraint systems are integral (totally unimodular), so the closure is
+// exact over Z: the system is satisfiable iff no diagonal entry is negative,
+// and the closed matrix entries are the tightest implied bounds.
+#ifndef LRPDB_CONSTRAINTS_DBM_H_
+#define LRPDB_CONSTRAINTS_DBM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace lrpdb {
+
+// A bound value: an integer or +infinity (no constraint).
+class Bound {
+ public:
+  // Unconstrained.
+  Bound() : value_(kInfValue) {}
+  static Bound Finite(int64_t c) {
+    Bound b;
+    b.value_ = c;
+    return b;
+  }
+  static Bound Infinity() { return Bound(); }
+
+  bool is_infinite() const { return value_ == kInfValue; }
+  int64_t value() const {
+    LRPDB_CHECK(!is_infinite());
+    return value_;
+  }
+
+  // Saturating addition (inf + x = inf).
+  friend Bound operator+(Bound a, Bound b) {
+    if (a.is_infinite() || b.is_infinite()) return Infinity();
+    return Finite(a.value_ + b.value_);
+  }
+  friend bool operator<(Bound a, Bound b) {
+    if (b.is_infinite()) return !a.is_infinite();
+    if (a.is_infinite()) return false;
+    return a.value_ < b.value_;
+  }
+  friend bool operator<=(Bound a, Bound b) { return !(b < a); }
+  friend bool operator==(Bound a, Bound b) { return a.value_ == b.value_; }
+  friend bool operator!=(Bound a, Bound b) { return a.value_ != b.value_; }
+
+  std::string ToString() const;
+
+ private:
+  // Sentinel chosen so that Finite(x) + Finite(y) cannot reach it for the
+  // bound magnitudes this library produces.
+  static constexpr int64_t kInfValue = INT64_MAX / 4;
+  int64_t value_;
+};
+
+// A conjunction of integer difference bounds over variables x1..xm plus the
+// implicit zero variable x0 == 0. Entry (i, j) bounds xi - xj <= m(i, j).
+class Dbm {
+ public:
+  // A DBM over `num_vars` real variables (indices 1..num_vars) with no
+  // constraints.
+  explicit Dbm(int num_vars);
+
+  int num_vars() const { return num_vars_; }
+
+  // Index 0 addresses the constant-zero variable.
+  Bound bound(int i, int j) const { return At(i, j); }
+
+  // --- Constraint construction (all invalidate the closure) ---
+
+  // xi - xj <= c. Keeps the tighter of the existing and new bound.
+  void AddDifferenceUpperBound(int i, int j, int64_t c);
+  // xi - xj = c.
+  void AddDifferenceEquality(int i, int j, int64_t c);
+  // xi <= c / xi >= c / xi == c (absolute, via x0).
+  void AddUpperBound(int i, int64_t c) { AddDifferenceUpperBound(i, 0, c); }
+  void AddLowerBound(int i, int64_t c) { AddDifferenceUpperBound(0, i, -c); }
+  void AddEquality(int i, int64_t c) { AddDifferenceEquality(i, 0, c); }
+
+  // Conjoins all bounds of `other` (same num_vars) into this.
+  void And(const Dbm& other);
+
+  // Substitutes xi := xi + c everywhere (used when a stored column lrp is
+  // shifted): bounds mentioning xi translate accordingly.
+  void ShiftVariable(int i, int64_t c);
+
+  // --- Queries (close the DBM as needed; Close() is memoized) ---
+
+  // Shortest-path closure. Idempotent; after it, satisfiable() is valid and
+  // bound(i, j) entries are the tightest implied bounds.
+  void Close();
+  bool IsSatisfiable() const;
+
+  // True iff every integer solution of this DBM satisfies `other`
+  // (trivially true when this is unsatisfiable).
+  bool Implies(const Dbm& other) const;
+
+  // True iff the two DBMs have the same solution set.
+  bool EquivalentTo(const Dbm& other) const;
+
+  // The DBM over variables `keep` (1-based indices into this DBM, in the
+  // given order), containing exactly the projection of this solution set:
+  // closure makes existential projection a submatrix operation.
+  Dbm Project(const std::vector<int>& keep) const;
+
+  // this AND NOT other, as a disjoint union of DBMs (possibly empty).
+  // Exact over Z. The pieces partition the set difference.
+  std::vector<Dbm> Subtract(const Dbm& other) const;
+
+  // True iff every solution of this DBM satisfies some disjunct. Exact:
+  // decided by recursive subtraction. This is the decision procedure behind
+  // constraint safety (paper, Section 4.3).
+  bool ImpliedByUnion(const std::vector<Dbm>& disjuncts) const;
+
+  // True iff the integer point (v1..vm) satisfies all bounds.
+  bool ContainsPoint(const std::vector<int64_t>& values) const;
+
+  // Human-readable conjunction, e.g. "T1 >= 0 & T2 = T1 + 60". Variables are
+  // printed as T1..Tm using the supplied names when provided.
+  std::string ToString(const std::vector<std::string>* names = nullptr) const;
+
+  // Semantic equality: same solution set (alias for EquivalentTo).
+  friend bool operator==(const Dbm& a, const Dbm& b) {
+    return a.num_vars_ == b.num_vars_ && a.EquivalentTo(b);
+  }
+
+ private:
+  Bound& At(int i, int j) {
+    LRPDB_CHECK(i >= 0 && i <= num_vars_ && j >= 0 && j <= num_vars_);
+    return bounds_[i * (num_vars_ + 1) + j];
+  }
+  const Bound& At(int i, int j) const {
+    LRPDB_CHECK(i >= 0 && i <= num_vars_ && j >= 0 && j <= num_vars_);
+    return bounds_[i * (num_vars_ + 1) + j];
+  }
+
+  // Memoized closure; logically const (the solution set never changes).
+  void EnsureClosed() const;
+
+  int num_vars_;
+  // (num_vars_+1)^2 row-major bounds, index 0 = the zero variable.
+  mutable std::vector<Bound> bounds_;
+  mutable bool closed_ = true;       // An unconstrained DBM is trivially closed.
+  mutable bool satisfiable_ = true;  // Valid only when closed_.
+};
+
+}  // namespace lrpdb
+
+#endif  // LRPDB_CONSTRAINTS_DBM_H_

@@ -1,0 +1,535 @@
+#include "src/core/evaluator.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+#include "src/gdb/algebra.h"
+
+#include "src/gdb/normalized_tuple.h"
+
+namespace lrpdb {
+namespace {
+
+// A partial assignment of the clause's variables built while joining body
+// atoms: per temporal variable an optional lrp (unset = only DBM-bounded so
+// far, i.e. effectively all of Z), a DBM over all temporal variables, and
+// per data variable an optional constant.
+struct Binding {
+  std::vector<std::optional<Lrp>> lrps;
+  Dbm constraint;
+  std::vector<std::optional<DataValue>> data;
+
+  Binding(int num_temporal, int num_data, Dbm initial)
+      : lrps(num_temporal), constraint(std::move(initial)), data(num_data) {}
+};
+
+// Extends `binding` (in place) with one stored tuple matched against `atom`.
+// Returns false when the combination is visibly infeasible (data clash, lrp
+// residue clash on a single variable, or DBM unsatisfiable).
+bool UnifyTuple(const NormalizedBodyAtom& atom, const GeneralizedTuple& tuple,
+                Binding* binding) {
+  // Data arguments.
+  for (size_t k = 0; k < atom.data_args.size(); ++k) {
+    const NormalizedDataArg& arg = atom.data_args[k];
+    DataValue actual = tuple.data()[k];
+    if (arg.is_constant()) {
+      if (arg.constant != actual) return false;
+    } else {
+      std::optional<DataValue>& slot = binding->data[arg.variable];
+      if (slot.has_value()) {
+        if (*slot != actual) return false;
+      } else {
+        slot = actual;
+      }
+    }
+  }
+  // Temporal arguments: column value == var + offset, so var ranges over the
+  // column's lrp shifted by -offset.
+  for (size_t k = 0; k < atom.temporal_args.size(); ++k) {
+    auto [var, offset] = atom.temporal_args[k];
+    Lrp var_lrp = tuple.lrp(static_cast<int>(k)).Shifted(-offset);
+    std::optional<Lrp>& slot = binding->lrps[var];
+    if (slot.has_value()) {
+      std::optional<Lrp> merged = Lrp::Intersect(*slot, var_lrp);
+      if (!merged.has_value()) return false;
+      slot = *merged;
+    } else {
+      slot = var_lrp;
+    }
+  }
+  // Tuple constraints: column_i - column_j <= c becomes
+  // var_i - var_j <= c - offset_i + offset_j.
+  const Dbm& tc = tuple.constraint();
+  auto var_of = [&](int col) {  // DBM index in the binding's DBM.
+    return col == 0 ? 0 : atom.temporal_args[col - 1].first + 1;
+  };
+  auto offset_of = [&](int col) -> int64_t {
+    return col == 0 ? 0 : atom.temporal_args[col - 1].second;
+  };
+  for (int i = 0; i <= tc.num_vars(); ++i) {
+    for (int j = 0; j <= tc.num_vars(); ++j) {
+      if (i == j) continue;
+      Bound b = tc.bound(i, j);
+      if (b.is_infinite()) continue;
+      int vi = var_of(i);
+      int vj = var_of(j);
+      int64_t c = b.value() - offset_of(i) + offset_of(j);
+      if (vi == vj) {
+        if (c < 0) return false;  // Bound between two aliases of one var.
+        continue;
+      }
+      binding->constraint.AddDifferenceUpperBound(vi, vj, c);
+    }
+  }
+  return binding->constraint.IsSatisfiable();
+}
+
+// Relation sources for one body atom during a round.
+struct AtomSource {
+  const GeneralizedRelation* relation = nullptr;
+};
+
+// Applies `clause` over the given per-atom relations, collecting candidate
+// head tuples. The state is read-only; insertion happens at end of round.
+Status ApplyClause(const NormalizedClause& clause,
+                   const std::vector<AtomSource>& sources,
+                   const NormalizeLimits& limits,
+                   std::vector<GeneralizedTuple>* candidates) {
+  if (clause.always_false) return OkStatus();
+  std::vector<Binding> frontier;
+  frontier.emplace_back(clause.num_temporal_vars, clause.num_data_vars,
+                        clause.constraint);
+  if (!frontier.back().constraint.IsSatisfiable()) return OkStatus();
+  for (size_t a = 0; a < clause.body.size(); ++a) {
+    const GeneralizedRelation& relation = *sources[a].relation;
+    std::vector<Binding> next;
+    for (const Binding& binding : frontier) {
+      for (size_t t = 0; t < relation.size(); ++t) {
+        Binding extended = binding;
+        if (UnifyTuple(clause.body[a], relation.tuple(t), &extended)) {
+          next.push_back(std::move(extended));
+        }
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) return OkStatus();
+  }
+  // Project each surviving binding onto the head.
+  for (const Binding& binding : frontier) {
+    // Full binding tuple over all clause temporal variables; unset lrps
+    // default to Z (period 1).
+    std::vector<Lrp> lrps(clause.num_temporal_vars);
+    for (int v = 0; v < clause.num_temporal_vars; ++v) {
+      if (binding.lrps[v].has_value()) lrps[v] = *binding.lrps[v];
+    }
+    GeneralizedTuple full(std::move(lrps), {}, binding.constraint);
+    // Exact residue-aware projection onto the head variables: a plain DBM
+    // projection would lose congruences of projected-out variables.
+    LRPDB_ASSIGN_OR_RETURN(std::vector<NormalizedTuple> pieces,
+                           NormalizedTuple::Normalize(full, limits));
+    std::vector<DataValue> head_data;
+    head_data.reserve(clause.head_data.size());
+    for (const NormalizedDataArg& arg : clause.head_data) {
+      if (arg.is_constant()) {
+        head_data.push_back(arg.constant);
+      } else {
+        const std::optional<DataValue>& v = binding.data[arg.variable];
+        LRPDB_CHECK(v.has_value()) << "unbound head data variable";
+        head_data.push_back(*v);
+      }
+    }
+    for (const NormalizedTuple& piece : pieces) {
+      NormalizedTuple projected =
+          piece.ProjectTemporal(clause.head_temporal_vars);
+      GeneralizedTuple head = projected.ToGeneralizedTuple();
+      candidates->emplace_back(head.lrps(), head_data, head.constraint());
+    }
+  }
+  return OkStatus();
+}
+
+// Shared machinery between Evaluate and QueryAtom: resolves the relation a
+// body atom reads from, including the complement relations backing negated
+// body literals (stratified negation: by the time a stratum reads !q, q is
+// final, so its complement can be materialized once).
+class RelationResolver {
+ public:
+  RelationResolver(const Program& program, const Database& db,
+                   std::map<std::string, GeneralizedRelation>* idb)
+      : program_(program), db_(db), idb_(idb) {}
+
+  StatusOr<const GeneralizedRelation*> Resolve(SymbolId predicate,
+                                               bool is_intensional) const {
+    const std::string& name = program_.predicates().NameOf(predicate);
+    if (is_intensional) {
+      auto it = idb_->find(name);
+      LRPDB_CHECK(it != idb_->end());
+      return &it->second;
+    }
+    return db_.Relation(name);
+  }
+
+  StatusOr<const GeneralizedRelation*> ResolveNegated(
+      SymbolId predicate, bool is_intensional,
+      const NormalizeLimits& limits) {
+    auto it = complements_.find(predicate);
+    if (it != complements_.end()) return &it->second;
+    LRPDB_ASSIGN_OR_RETURN(const GeneralizedRelation* relation,
+                           Resolve(predicate, is_intensional));
+    LRPDB_ASSIGN_OR_RETURN(std::vector<std::vector<DataValue>> universe,
+                           DataUniverse(relation->schema().data_arity));
+    LRPDB_ASSIGN_OR_RETURN(GeneralizedRelation complement,
+                           Complement(*relation, universe, limits));
+    auto [inserted, unused] =
+        complements_.emplace(predicate, std::move(complement));
+    return &inserted->second;
+  }
+
+  // Collects the active data domain: every constant stored in the database
+  // plus every constant written in the program.
+  void SetActiveDomain(std::vector<DataValue> domain) {
+    active_domain_ = std::move(domain);
+  }
+
+ private:
+  StatusOr<std::vector<std::vector<DataValue>>> DataUniverse(int arity) const {
+    constexpr int64_t kMaxRows = 65536;
+    std::vector<std::vector<DataValue>> rows;
+    if (arity == 0) {
+      rows.push_back({});
+      return rows;
+    }
+    int64_t count = 1;
+    for (int i = 0; i < arity; ++i) {
+      count *= static_cast<int64_t>(active_domain_.size());
+      if (count > kMaxRows) {
+        return ResourceExhaustedError(
+            "data universe for negation exceeds the row budget");
+      }
+    }
+    std::vector<size_t> index(arity, 0);
+    if (active_domain_.empty()) return rows;
+    while (true) {
+      std::vector<DataValue> row(arity);
+      for (int i = 0; i < arity; ++i) row[i] = active_domain_[index[i]];
+      rows.push_back(std::move(row));
+      int pos = arity;
+      bool done = false;
+      while (pos > 0) {
+        --pos;
+        if (++index[pos] < active_domain_.size()) break;
+        index[pos] = 0;
+        done = pos == 0;
+      }
+      if (done) break;
+    }
+    return rows;
+  }
+
+  const Program& program_;
+  const Database& db_;
+  std::map<std::string, GeneralizedRelation>* idb_;
+  std::vector<DataValue> active_domain_;
+  std::map<SymbolId, GeneralizedRelation> complements_;
+};
+
+// All data constants visible to the evaluation.
+std::vector<DataValue> CollectActiveDomain(const Program& program,
+                                           const Database& db) {
+  std::set<DataValue> domain;
+  for (const std::string& name : db.RelationNames()) {
+    auto relation = db.Relation(name);
+    for (size_t i = 0; i < (*relation)->size(); ++i) {
+      for (DataValue d : (*relation)->tuple(i).data()) domain.insert(d);
+    }
+  }
+  for (const Clause& clause : program.clauses()) {
+    auto collect = [&domain](const PredicateAtom& atom) {
+      for (const DataTerm& d : atom.data_args) {
+        if (d.is_constant()) domain.insert(d.constant);
+      }
+    };
+    collect(clause.head);
+    for (const BodyAtom& atom : clause.body) {
+      if (const auto* pred = std::get_if<PredicateAtom>(&atom)) {
+        collect(*pred);
+      }
+    }
+  }
+  return {domain.begin(), domain.end()};
+}
+
+}  // namespace
+
+const GeneralizedRelation& EvaluationResult::Relation(
+    const std::string& name) const {
+  auto it = idb.find(name);
+  LRPDB_CHECK(it != idb.end()) << "no intensional relation '" << name << "'";
+  return it->second;
+}
+
+StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
+                                    const EvaluationOptions& options) {
+  LRPDB_ASSIGN_OR_RETURN(NormalizedProgram normalized, Normalize(program));
+
+  EvaluationResult result;
+  // Initialize empty IDB relations for every intensional predicate.
+  for (SymbolId predicate : program.idb_predicates()) {
+    const std::string& name = program.predicates().NameOf(predicate);
+    std::optional<RelationSchema> schema = program.SchemaOf(predicate);
+    if (!schema.has_value()) {
+      return NotFoundError("intensional predicate '" + name +
+                           "' has no declaration");
+    }
+    if (db.IsDeclared(name)) {
+      return InvalidArgumentError(
+          "predicate '" + name +
+          "' is defined by clauses but also exists extensionally");
+    }
+    result.idb.emplace(name, GeneralizedRelation(*schema));
+  }
+  // Check extensional predicates exist.
+  for (const NormalizedClause& clause : normalized.clauses) {
+    for (const NormalizedBodyAtom& atom : clause.body) {
+      if (atom.is_intensional) continue;
+      const std::string& name = program.predicates().NameOf(atom.predicate);
+      if (!db.IsDeclared(name)) {
+        return NotFoundError("extensional predicate '" + name +
+                             "' not present in the database");
+      }
+    }
+  }
+
+  // Stratify (programs without negation collapse to a single stratum).
+  using StrataMap = std::map<SymbolId, int>;
+  LRPDB_ASSIGN_OR_RETURN(StrataMap strata, program.Stratify());
+  int max_stratum = 0;
+  for (const auto& [unused, s] : strata) max_stratum = std::max(max_stratum, s);
+
+  RelationResolver resolver(program, db, &result.idb);
+  resolver.SetActiveDomain(CollectActiveDomain(program, db));
+  // Free-extension signatures seen so far, per predicate name.
+  std::map<std::string,
+           std::unordered_set<FreeExtension, FreeExtensionHash>>
+      signatures;
+
+  int last_new_fe_round = 0;
+  int total_rounds = 0;
+  for (int stratum = 0; stratum <= max_stratum; ++stratum) {
+    // Delta relations from the previous round (semi-naive), per stratum.
+    std::map<std::string, GeneralizedRelation> previous_delta;
+    const int stratum_start = total_rounds;
+    for (int round = 1;; ++round) {
+      if (total_rounds + 1 > options.max_iterations) {
+        result.iterations = options.max_iterations;
+        result.gave_up_reason = "max_iterations reached";
+        result.free_extension_safe_at = last_new_fe_round;
+        return result;
+      }
+      ++total_rounds;
+      // Collect candidates against the state at round start.
+      std::vector<std::pair<int, GeneralizedTuple>> candidates;
+      for (size_t ci = 0; ci < normalized.clauses.size(); ++ci) {
+        const NormalizedClause& clause = normalized.clauses[ci];
+        if (strata.at(clause.head_predicate) != stratum) continue;
+        // Intensional atoms of the *current* stratum drive semi-naive
+        // deltas; lower-stratum relations are final and behave like EDB.
+        int recursive = 0;
+        for (const NormalizedBodyAtom& atom : clause.body) {
+          if (atom.is_intensional && !atom.negated &&
+              strata.at(atom.predicate) == stratum) {
+            ++recursive;
+          }
+        }
+        if (options.semi_naive && round > 1 && recursive == 0) continue;
+
+        std::vector<AtomSource> sources(clause.body.size());
+        for (size_t a = 0; a < clause.body.size(); ++a) {
+          const NormalizedBodyAtom& atom = clause.body[a];
+          if (atom.negated) {
+            LRPDB_ASSIGN_OR_RETURN(
+                sources[a].relation,
+                resolver.ResolveNegated(atom.predicate, atom.is_intensional,
+                                        options.limits));
+          } else {
+            LRPDB_ASSIGN_OR_RETURN(
+                sources[a].relation,
+                resolver.Resolve(atom.predicate, atom.is_intensional));
+          }
+        }
+        std::vector<GeneralizedTuple> clause_candidates;
+        if (!options.semi_naive || round == 1 || recursive == 0) {
+          LRPDB_RETURN_IF_ERROR(ApplyClause(clause, sources, options.limits,
+                                            &clause_candidates));
+        } else {
+          for (size_t pivot = 0; pivot < clause.body.size(); ++pivot) {
+            const NormalizedBodyAtom& atom = clause.body[pivot];
+            if (!atom.is_intensional || atom.negated ||
+                strata.at(atom.predicate) != stratum) {
+              continue;
+            }
+            const std::string& name =
+                program.predicates().NameOf(atom.predicate);
+            auto it = previous_delta.find(name);
+            if (it == previous_delta.end() || it->second.empty()) continue;
+            std::vector<AtomSource> pivot_sources = sources;
+            pivot_sources[pivot].relation = &it->second;
+            LRPDB_RETURN_IF_ERROR(ApplyClause(clause, pivot_sources,
+                                              options.limits,
+                                              &clause_candidates));
+          }
+        }
+        for (GeneralizedTuple& t : clause_candidates) {
+          candidates.emplace_back(static_cast<int>(ci), std::move(t));
+        }
+      }
+
+      // Insert candidates; track deltas, free extensions and growth.
+      RoundStats stats;
+      stats.round = total_rounds;
+      stats.stratum = stratum;
+      stats.candidates = static_cast<int>(candidates.size());
+      std::map<std::string, GeneralizedRelation> delta;
+      bool grew = false;
+      for (auto& [clause_index, tuple] : candidates) {
+        const std::string& name = program.predicates().NameOf(
+            normalized.clauses[clause_index].head_predicate);
+        GeneralizedRelation& relation = result.idb.at(name);
+        FreeExtension fe = tuple.free_extension();
+        LRPDB_ASSIGN_OR_RETURN(bool inserted,
+                               relation.InsertIfNew(tuple, options.limits));
+        if (options.record_trace) {
+          result.trace.push_back(TraceEntry{total_rounds, clause_index, name,
+                                            tuple, inserted});
+        }
+        if (inserted) {
+          grew = true;
+          ++stats.inserted;
+          if (signatures[name].insert(std::move(fe)).second) {
+            last_new_fe_round = total_rounds;
+            ++stats.new_free_extensions;
+          }
+          auto [it, unused] =
+              delta.emplace(name, GeneralizedRelation(relation.schema()));
+          LRPDB_RETURN_IF_ERROR(
+              it->second.InsertUnlessEmpty(std::move(tuple), options.limits)
+                  .status());
+        }
+      }
+
+      result.iterations = total_rounds;
+      result.rounds.push_back(stats);
+      if (!grew) break;  // This stratum reached its fixpoint.
+      if (total_rounds - std::max(last_new_fe_round, stratum_start) >=
+          options.fes_patience) {
+        result.gave_up_reason =
+            "free-extension safe but not constraint safe after " +
+            std::to_string(options.fes_patience) + " rounds (Section 4.3 "
+            "give-up)";
+        result.free_extension_safe_at = last_new_fe_round;
+        return result;
+      }
+      previous_delta = std::move(delta);
+    }
+  }
+  result.reached_fixpoint = true;
+  result.free_extension_safe_at = last_new_fe_round;
+  if (options.compact_results) {
+    for (auto& [name, relation] : result.idb) {
+      std::vector<GeneralizedTuple> tuples;
+      tuples.reserve(relation.size());
+      for (size_t i = 0; i < relation.size(); ++i) {
+        tuples.push_back(relation.tuple(i));
+      }
+      LRPDB_ASSIGN_OR_RETURN(tuples,
+                             CoalesceTuples(std::move(tuples),
+                                            options.limits));
+      GeneralizedRelation compacted(relation.schema());
+      for (GeneralizedTuple& t : tuples) {
+        LRPDB_RETURN_IF_ERROR(
+            compacted.InsertIfNew(std::move(t), options.limits).status());
+      }
+      relation = std::move(compacted);
+    }
+  }
+  return result;
+}
+
+StatusOr<GeneralizedRelation> QueryAtom(const Program& program,
+                                        const Database& db,
+                                        const EvaluationResult& result,
+                                        const PredicateAtom& query,
+                                        const EvaluationOptions& options) {
+  // Build a one-atom synthetic clause whose head lists the query's distinct
+  // variables, then reuse ApplyClause.
+  NormalizedClause clause;
+  clause.head_predicate = -1;
+  std::map<SymbolId, int> temporal_ids;
+  std::map<SymbolId, int> data_ids;
+  NormalizedBodyAtom atom;
+  atom.predicate = query.predicate;
+  const std::string& name = program.predicates().NameOf(query.predicate);
+  atom.is_intensional = result.idb.count(name) > 0;
+  std::vector<std::pair<int, int64_t>> pinned;  // (var, constant value).
+  for (const TemporalTerm& t : query.temporal_args) {
+    if (t.is_constant()) {
+      int v = clause.num_temporal_vars++;
+      clause.temporal_var_names.push_back("$c");
+      pinned.emplace_back(v, t.offset);
+      atom.temporal_args.emplace_back(v, 0);
+    } else {
+      auto [it, inserted] =
+          temporal_ids.emplace(t.variable, clause.num_temporal_vars);
+      if (inserted) {
+        ++clause.num_temporal_vars;
+        clause.temporal_var_names.push_back(
+            program.variables().NameOf(t.variable));
+        clause.head_temporal_vars.push_back(it->second);
+      }
+      atom.temporal_args.emplace_back(it->second, t.offset);
+    }
+  }
+  for (const DataTerm& d : query.data_args) {
+    if (d.is_constant()) {
+      atom.data_args.push_back({.variable = -1, .constant = d.constant});
+    } else {
+      auto [it, inserted] = data_ids.emplace(d.variable, clause.num_data_vars);
+      if (inserted) {
+        ++clause.num_data_vars;
+        clause.data_var_names.push_back(
+            program.variables().NameOf(d.variable));
+        clause.head_data.push_back({.variable = it->second, .constant = -1});
+      }
+      atom.data_args.push_back({.variable = it->second, .constant = -1});
+    }
+  }
+  clause.body.push_back(std::move(atom));
+  clause.constraint = Dbm(clause.num_temporal_vars);
+  for (auto [v, value] : pinned) clause.constraint.AddEquality(v + 1, value);
+
+  // Resolve the relation.
+  auto idb = const_cast<std::map<std::string, GeneralizedRelation>*>(
+      &result.idb);
+  RelationResolver resolver(program, db, idb);
+  std::vector<AtomSource> sources(1);
+  LRPDB_ASSIGN_OR_RETURN(
+      sources[0].relation,
+      resolver.Resolve(query.predicate, clause.body[0].is_intensional));
+
+  std::vector<GeneralizedTuple> candidates;
+  LRPDB_RETURN_IF_ERROR(
+      ApplyClause(clause, sources, options.limits, &candidates));
+  GeneralizedRelation answers(
+      {static_cast<int>(clause.head_temporal_vars.size()),
+       static_cast<int>(clause.head_data.size())});
+  for (GeneralizedTuple& t : candidates) {
+    LRPDB_RETURN_IF_ERROR(
+        answers.InsertIfNew(std::move(t), options.limits).status());
+  }
+  return answers;
+}
+
+}  // namespace lrpdb

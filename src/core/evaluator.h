@@ -1,0 +1,125 @@
+// Generalized-tuple-at-a-time bottom-up evaluation (paper, Section 4.3).
+//
+// The engine iterates the mapping T_GP + I over generalized Herbrand
+// interpretations: each round applies every normalized clause to the
+// current generalized relations -- a join of the body atoms' binding
+// relations, projected onto the head variables -- producing candidate head
+// tuples whose possibly infinite ground sets are inserted with an exact
+// "adds nothing new" test.
+//
+// Termination bookkeeping mirrors the paper:
+//  * free-extension safety (Theorem 4.2): a round adds no generalized tuple
+//    with a new free extension (lrp vector + data). This is guaranteed to
+//    happen eventually because the lrp periods that can appear divide the
+//    product of the EDB periods.
+//  * constraint safety (Theorem 4.3): every candidate's constraint set is
+//    implied by the union of the constraints of stored tuples with the same
+//    free extension. Decided exactly via DBM subtraction.
+// Both safeties hold simultaneously iff a round inserts nothing, i.e. the
+// least fixpoint has been reached in closed form. Programs such as
+// (i, i^2) reach free-extension safety but never constraint safety; the
+// engine then gives up per options.fes_patience with kResourceExhausted,
+// matching the paper's recommendation.
+#ifndef LRPDB_CORE_EVALUATOR_H_
+#define LRPDB_CORE_EVALUATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/ast/ast.h"
+#include "src/common/statusor.h"
+#include "src/core/normalizer.h"
+#include "src/gdb/database.h"
+
+namespace lrpdb {
+
+struct EvaluationOptions {
+  // Use semi-naive (delta-driven) evaluation; naive re-derives everything
+  // each round. Both produce the same model; iteration counts below refer to
+  // T_GP + I rounds and match between the two modes.
+  bool semi_naive = true;
+  // Hard cap on T_GP + I rounds.
+  int max_iterations = 10000;
+  // Give up this many rounds after free-extension safety if constraint
+  // safety still has not been reached (Section 4.3: "it is reasonable to
+  // give up on the computation if the interpretation does not become
+  // constraint safe after a few iterations").
+  int fes_patience = 64;
+  // Budgets for the residue normalization underlying exact containment.
+  NormalizeLimits limits;
+  // Record every candidate tuple per round (for traces such as the
+  // Example 4.1 table).
+  bool record_trace = false;
+  // After reaching the fixpoint, coalesce each result relation (merge
+  // residue classes with identical constraints and drop subsumed tuples)
+  // so the reported closed form is near-minimal. Ground sets are unchanged.
+  bool compact_results = true;
+};
+
+// One candidate head tuple derivation.
+struct TraceEntry {
+  int iteration = 0;
+  int clause_index = 0;
+  std::string predicate;
+  GeneralizedTuple tuple;
+  bool inserted = false;  // False when subsumed (no new ground tuples).
+};
+
+// Per-round bookkeeping, exposed for analysis (e.g. experiment E2 reads the
+// orbit structure off these).
+struct RoundStats {
+  int round = 0;    // 1-based, cumulative across strata.
+  int stratum = 0;  // Stratum the round ran in.
+  int candidates = 0;
+  int inserted = 0;
+  int new_free_extensions = 0;
+};
+
+struct EvaluationResult {
+  // Final extensions of the intensional predicates (name -> relation).
+  std::map<std::string, GeneralizedRelation> idb;
+  // Rounds executed, including the final confirming round.
+  int iterations = 0;
+  // One entry per executed round.
+  std::vector<RoundStats> rounds;
+  // First round after which no new free extension ever appeared, i.e. the
+  // k of Theorem 4.2 observed on this run (0 if the program adds nothing).
+  int free_extension_safe_at = -1;
+  // True iff the least fixpoint was reached (closed form obtained). False
+  // means the engine gave up per max_iterations/fes_patience; the partial
+  // model computed so far is still sound (a subset of the least fixpoint).
+  bool reached_fixpoint = false;
+  // Human-readable reason when reached_fixpoint is false.
+  std::string gave_up_reason;
+  std::vector<TraceEntry> trace;
+
+  // Convenience lookup; CHECK-fails on unknown predicate.
+  const GeneralizedRelation& Relation(const std::string& name) const;
+};
+
+// Evaluates `program` bottom-up over the extensional database `db`.
+// Exceeding max_iterations/fes_patience is reported in-band
+// (reached_fixpoint == false); a Status error indicates an invalid program
+// or a blown normalization budget.
+StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
+                                    const EvaluationOptions& options =
+                                        EvaluationOptions());
+
+// Evaluates a single query atom against the computed model (IDB) plus the
+// extensional database: returns the relation of answer bindings, one
+// temporal column per distinct temporal variable of `query` (in order of
+// first occurrence) and one data column per distinct data variable. A fully
+// ground query yields a 0-ary relation that is non-empty iff the answer is
+// "yes".
+StatusOr<GeneralizedRelation> QueryAtom(const Program& program,
+                                        const Database& db,
+                                        const EvaluationResult& result,
+                                        const PredicateAtom& query,
+                                        const EvaluationOptions& options =
+                                            EvaluationOptions());
+
+}  // namespace lrpdb
+
+#endif  // LRPDB_CORE_EVALUATOR_H_

@@ -1,0 +1,279 @@
+#include "src/core/ground_evaluator.h"
+
+#include <optional>
+#include <vector>
+
+#include "src/core/normalizer.h"
+
+namespace lrpdb {
+namespace {
+
+// A ground assignment of the clause's dense variables.
+struct GroundBinding {
+  std::vector<std::optional<int64_t>> temporal;
+  std::vector<std::optional<DataValue>> data;
+};
+
+// Checks the clause's DBM against a (possibly partial) binding: only bounds
+// whose endpoints are both assigned participate.
+bool ConstraintsHold(const Dbm& dbm, const GroundBinding& binding) {
+  auto value_of = [&](int i) -> std::optional<int64_t> {
+    if (i == 0) return 0;
+    return binding.temporal[i - 1];
+  };
+  for (int i = 0; i <= dbm.num_vars(); ++i) {
+    for (int j = 0; j <= dbm.num_vars(); ++j) {
+      if (i == j) continue;
+      Bound b = dbm.bound(i, j);
+      if (b.is_infinite()) continue;
+      std::optional<int64_t> vi = value_of(i);
+      std::optional<int64_t> vj = value_of(j);
+      if (!vi.has_value() || !vj.has_value()) continue;
+      if (*vi - *vj > b.value()) return false;
+    }
+  }
+  return true;
+}
+
+bool UnifyGround(const NormalizedBodyAtom& atom, const GroundTuple& fact,
+                 GroundBinding* binding) {
+  for (size_t k = 0; k < atom.data_args.size(); ++k) {
+    const NormalizedDataArg& arg = atom.data_args[k];
+    if (arg.is_constant()) {
+      if (arg.constant != fact.data[k]) return false;
+    } else {
+      std::optional<DataValue>& slot = binding->data[arg.variable];
+      if (slot.has_value()) {
+        if (*slot != fact.data[k]) return false;
+      } else {
+        slot = fact.data[k];
+      }
+    }
+  }
+  for (size_t k = 0; k < atom.temporal_args.size(); ++k) {
+    auto [var, offset] = atom.temporal_args[k];
+    int64_t value = fact.times[k] - offset;
+    std::optional<int64_t>& slot = binding->temporal[var];
+    if (slot.has_value()) {
+      if (*slot != value) return false;
+    } else {
+      slot = value;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<GroundEvaluationResult> EvaluateGround(
+    const Program& program, const Database& db,
+    const GroundEvaluationOptions& options) {
+  LRPDB_ASSIGN_OR_RETURN(NormalizedProgram normalized, Normalize(program));
+  using StrataMap = std::map<SymbolId, int>;
+  LRPDB_ASSIGN_OR_RETURN(StrataMap strata, program.Stratify());
+  int max_stratum = 0;
+  for (const auto& [unused, s] : strata) max_stratum = std::max(max_stratum, s);
+  GroundEvaluationResult result;
+
+  // Materialize EDB ground facts inside the window.
+  std::map<std::string, std::set<GroundTuple>> edb;
+  for (const NormalizedClause& clause : normalized.clauses) {
+    for (const NormalizedBodyAtom& atom : clause.body) {
+      if (atom.is_intensional) continue;
+      const std::string& name = program.predicates().NameOf(atom.predicate);
+      if (edb.count(name) > 0) continue;
+      LRPDB_ASSIGN_OR_RETURN(const GeneralizedRelation* relation,
+                             db.Relation(name));
+      auto facts = relation->EnumerateGround(options.window_lo,
+                                             options.window_hi);
+      edb[name] = {facts.begin(), facts.end()};
+    }
+  }
+  for (SymbolId predicate : program.idb_predicates()) {
+    result.idb.emplace(program.predicates().NameOf(predicate),
+                       std::set<GroundTuple>());
+  }
+
+  auto facts_of = [&](const NormalizedBodyAtom& atom)
+      -> const std::set<GroundTuple>* {
+    const std::string& name = program.predicates().NameOf(atom.predicate);
+    return atom.is_intensional ? &result.idb.at(name) : &edb.at(name);
+  };
+
+  // Stratum by stratum (negated atoms read the finished lower strata);
+  // semi-naive ground evaluation within each stratum.
+  for (int stratum = 0; stratum <= max_stratum; ++stratum) {
+  std::map<std::string, std::set<GroundTuple>> delta;
+  for (int round = 1;; ++round) {
+    std::map<std::string, std::set<GroundTuple>> new_delta;
+    bool grew = false;
+    for (const NormalizedClause& clause : normalized.clauses) {
+      if (clause.always_false) continue;
+      if (strata.at(clause.head_predicate) != stratum) continue;
+      int intensional = 0;
+      for (const NormalizedBodyAtom& atom : clause.body) {
+        if (atom.is_intensional && !atom.negated &&
+            strata.at(atom.predicate) == stratum) {
+          ++intensional;
+        }
+      }
+      if (round > 1 && intensional == 0) continue;
+      const std::string& head_name =
+          program.predicates().NameOf(clause.head_predicate);
+      std::set<GroundTuple>& head_facts = result.idb.at(head_name);
+
+      int num_pivots = (round == 1 || intensional == 0)
+                           ? 1
+                           : static_cast<int>(clause.body.size());
+      for (int pivot = 0; pivot < num_pivots; ++pivot) {
+        if (round > 1 && (!clause.body[pivot].is_intensional ||
+                          clause.body[pivot].negated ||
+                          strata.at(clause.body[pivot].predicate) !=
+                              stratum)) {
+          continue;
+        }
+        const std::set<GroundTuple>* pivot_facts = nullptr;
+        if (round > 1) {
+          auto it = delta.find(
+              program.predicates().NameOf(clause.body[pivot].predicate));
+          if (it == delta.end() || it->second.empty()) continue;
+          pivot_facts = &it->second;
+        }
+        // Nested-loop join over the positive atoms, atom by atom.
+        std::vector<GroundBinding> frontier;
+        GroundBinding initial;
+        initial.temporal.resize(clause.num_temporal_vars);
+        initial.data.resize(clause.num_data_vars);
+        frontier.push_back(initial);
+        for (size_t a = 0; a < clause.body.size() && !frontier.empty(); ++a) {
+          if (clause.body[a].negated) continue;
+          const std::set<GroundTuple>* facts =
+              (round > 1 && static_cast<int>(a) == pivot) ? pivot_facts
+                                                          : facts_of(
+                                                                clause.body[a]);
+          std::vector<GroundBinding> next;
+          for (const GroundBinding& binding : frontier) {
+            for (const GroundTuple& fact : *facts) {
+              GroundBinding extended = binding;
+              if (UnifyGround(clause.body[a], fact, &extended) &&
+                  ConstraintsHold(clause.constraint, extended)) {
+                next.push_back(std::move(extended));
+              }
+            }
+          }
+          frontier = std::move(next);
+        }
+        // Negated atoms filter the surviving bindings; safety guarantees
+        // their variables are bound by the positive atoms.
+        for (const NormalizedBodyAtom& atom : clause.body) {
+          if (!atom.negated || frontier.empty()) continue;
+          std::vector<GroundBinding> kept;
+          const std::set<GroundTuple>* facts = facts_of(atom);
+          for (GroundBinding& binding : frontier) {
+            GroundTuple fact;
+            bool bound = true;
+            for (auto [var, offset] : atom.temporal_args) {
+              if (!binding.temporal[var].has_value()) {
+                bound = false;
+                break;
+              }
+              fact.times.push_back(*binding.temporal[var] + offset);
+            }
+            for (const NormalizedDataArg& arg : atom.data_args) {
+              if (arg.is_constant()) {
+                fact.data.push_back(arg.constant);
+              } else if (binding.data[arg.variable].has_value()) {
+                fact.data.push_back(*binding.data[arg.variable]);
+              } else {
+                bound = false;
+                break;
+              }
+            }
+            if (!bound) {
+              return InvalidArgumentError(
+                  "negated atom with variables unbound by positive atoms");
+            }
+            if (facts->count(fact) == 0) kept.push_back(std::move(binding));
+          }
+          frontier = std::move(kept);
+        }
+        // Heads. Head variables not bound by the body range over the whole
+        // window (they are only DBM-constrained); enumerate them.
+        for (GroundBinding& binding : frontier) {
+          std::vector<int> free_vars;
+          for (int v : clause.head_temporal_vars) {
+            // Head vars are always fresh; they are pinned by equalities in
+            // the clause DBM to body variables or constants. Solve them.
+            if (!binding.temporal[v].has_value()) free_vars.push_back(v);
+          }
+          // Derive pinned values via the DBM equalities (close once).
+          Dbm closed = clause.constraint;
+          closed.Close();
+          for (int v : free_vars) {
+            // v = w + c when both bounds are tight against some assigned w
+            // or the zero variable.
+            for (int w = 0; w <= closed.num_vars(); ++w) {
+              if (w == v + 1) continue;
+              Bound up = closed.bound(v + 1, w);
+              Bound down = closed.bound(w, v + 1);
+              if (up.is_infinite() || down.is_infinite() ||
+                  up.value() != -down.value()) {
+                continue;
+              }
+              std::optional<int64_t> base =
+                  w == 0 ? std::optional<int64_t>(0)
+                         : binding.temporal[w - 1];
+              if (base.has_value()) {
+                binding.temporal[v] = *base + up.value();
+                break;
+              }
+            }
+          }
+          bool all_bound = true;
+          for (int v : clause.head_temporal_vars) {
+            all_bound = all_bound && binding.temporal[v].has_value();
+          }
+          if (!all_bound) {
+            return UnimplementedError(
+                "ground baseline requires every head temporal variable to be "
+                "pinned to a body variable or constant");
+          }
+          if (!ConstraintsHold(clause.constraint, binding)) continue;
+          GroundTuple fact;
+          bool in_window = true;
+          for (int v : clause.head_temporal_vars) {
+            int64_t t = *binding.temporal[v];
+            in_window = in_window && t >= options.window_lo &&
+                        t < options.window_hi;
+            fact.times.push_back(t);
+          }
+          if (!in_window) continue;
+          for (const NormalizedDataArg& arg : clause.head_data) {
+            if (arg.is_constant()) {
+              fact.data.push_back(arg.constant);
+            } else {
+              LRPDB_CHECK(binding.data[arg.variable].has_value());
+              fact.data.push_back(*binding.data[arg.variable]);
+            }
+          }
+          if (head_facts.insert(fact).second) {
+            grew = true;
+            ++result.facts_derived;
+            if (result.facts_derived > options.max_facts) {
+              return ResourceExhaustedError(
+                  "ground evaluation exceeded max_facts");
+            }
+            new_delta[head_name].insert(std::move(fact));
+          }
+        }
+      }
+    }
+    result.iterations += 1;
+    if (!grew) break;  // Stratum fixpoint.
+    delta = std::move(new_delta);
+  }
+  }
+  return result;
+}
+
+}  // namespace lrpdb

@@ -1,0 +1,184 @@
+#include "src/core/normalizer.h"
+
+#include <map>
+
+namespace lrpdb {
+namespace {
+
+// Per-clause densifier for temporal and data variables.
+class ClauseContext {
+ public:
+  explicit ClauseContext(const Program& program) : program_(program) {}
+
+  int TemporalVar(SymbolId var) {
+    auto [it, inserted] = temporal_ids_.emplace(var, next_temporal_);
+    if (inserted) {
+      ++next_temporal_;
+      temporal_names_.push_back(program_.variables().NameOf(var));
+    }
+    return it->second;
+  }
+
+  // A fresh temporal variable not present in the source clause.
+  int FreshTemporalVar(const std::string& name) {
+    temporal_names_.push_back(name);
+    return next_temporal_++;
+  }
+
+  int DataVar(SymbolId var) {
+    auto [it, inserted] = data_ids_.emplace(var, next_data_);
+    if (inserted) {
+      ++next_data_;
+      data_names_.push_back(program_.variables().NameOf(var));
+    }
+    return it->second;
+  }
+
+  int num_temporal() const { return next_temporal_; }
+  int num_data() const { return next_data_; }
+  std::vector<std::string> temporal_names() const { return temporal_names_; }
+  std::vector<std::string> data_names() const { return data_names_; }
+
+ private:
+  const Program& program_;
+  std::map<SymbolId, int> temporal_ids_;
+  std::map<SymbolId, int> data_ids_;
+  std::vector<std::string> temporal_names_;
+  std::vector<std::string> data_names_;
+  int next_temporal_ = 0;
+  int next_data_ = 0;
+};
+
+// Pending absolute equality introduced by constant elimination.
+struct PendingEquality {
+  int variable;
+  int64_t value;
+};
+
+// Pending difference bound v_lhs - v_rhs <= c from a constraint atom.
+struct PendingBound {
+  int lhs;  // -1 for the zero variable.
+  int rhs;
+  int64_t c;
+};
+
+NormalizedDataArg NormalizeDataTerm(ClauseContext& ctx, const DataTerm& term) {
+  if (term.is_constant()) return {.variable = -1, .constant = term.constant};
+  return {.variable = ctx.DataVar(term.variable), .constant = -1};
+}
+
+}  // namespace
+
+StatusOr<NormalizedProgram> Normalize(const Program& program) {
+  LRPDB_RETURN_IF_ERROR(program.Validate());
+  NormalizedProgram result;
+  for (const Clause& clause : program.clauses()) {
+    ClauseContext ctx(program);
+    NormalizedClause out;
+    out.head_predicate = clause.head.predicate;
+    std::vector<PendingEquality> equalities;
+    std::vector<PendingBound> bounds;
+
+    // Body first, so source variable names keep their identity; head
+    // freshening below refers back to these ids.
+    for (const BodyAtom& atom : clause.body) {
+      if (const auto* pred = std::get_if<PredicateAtom>(&atom)) {
+        NormalizedBodyAtom body_atom;
+        body_atom.predicate = pred->predicate;
+        body_atom.is_intensional = program.IsIntensional(pred->predicate);
+        body_atom.negated = pred->negated;
+        for (const TemporalTerm& t : pred->temporal_args) {
+          if (t.is_constant()) {
+            // Constant elimination: fresh var pinned to the constant.
+            int v = ctx.FreshTemporalVar("$c" + std::to_string(t.offset));
+            equalities.push_back({v, t.offset});
+            body_atom.temporal_args.emplace_back(v, 0);
+          } else {
+            body_atom.temporal_args.emplace_back(ctx.TemporalVar(t.variable),
+                                                 t.offset);
+          }
+        }
+        for (const DataTerm& d : pred->data_args) {
+          body_atom.data_args.push_back(NormalizeDataTerm(ctx, d));
+        }
+        out.body.push_back(std::move(body_atom));
+      } else {
+        // Constraint atom: reduce to difference bounds over dense vars.
+        const auto& c = std::get<ConstraintAtom>(atom);
+        int lv = c.lhs.is_constant() ? -1 : ctx.TemporalVar(c.lhs.variable);
+        int rv = c.rhs.is_constant() ? -1 : ctx.TemporalVar(c.rhs.variable);
+        int64_t lo = c.lhs.offset;
+        int64_t ro = c.rhs.offset;
+        // lhs OP rhs where lhs = lv + lo (lv = 0 if constant), etc.
+        // lv - rv <= k  with k depending on OP. Constraints between two
+        // occurrences of the same term (or two constants) are decided
+        // immediately.
+        auto add_le = [&](int a, int b, int64_t k) {
+          if (a == b) {
+            if (k < 0) out.always_false = true;
+            return;
+          }
+          bounds.push_back({a, b, k});
+        };
+        switch (c.op) {
+          case ComparisonOp::kLess:
+            add_le(lv, rv, ro - lo - 1);
+            break;
+          case ComparisonOp::kLessEqual:
+            add_le(lv, rv, ro - lo);
+            break;
+          case ComparisonOp::kEqual:
+            add_le(lv, rv, ro - lo);
+            add_le(rv, lv, lo - ro);
+            break;
+          case ComparisonOp::kGreaterEqual:
+            add_le(rv, lv, lo - ro);
+            break;
+          case ComparisonOp::kGreater:
+            add_le(rv, lv, lo - ro - 1);
+            break;
+        }
+      }
+    }
+
+    // Head: one distinct fresh variable per temporal column, bound to the
+    // source term by an equality (paper: "the generalized clauses must be
+    // transformed in such a way that their heads are generalized atoms with
+    // all their temporal parameters being distinct temporal variables").
+    for (size_t col = 0; col < clause.head.temporal_args.size(); ++col) {
+      const TemporalTerm& t = clause.head.temporal_args[col];
+      int h = ctx.FreshTemporalVar("$h" + std::to_string(col + 1));
+      out.head_temporal_vars.push_back(h);
+      if (t.is_constant()) {
+        equalities.push_back({h, t.offset});
+      } else {
+        int v = ctx.TemporalVar(t.variable);
+        // h = v + offset  <=>  h - v <= offset and v - h <= -offset.
+        bounds.push_back({h, v, t.offset});
+        bounds.push_back({v, h, -t.offset});
+      }
+    }
+    for (const DataTerm& d : clause.head.data_args) {
+      out.head_data.push_back(NormalizeDataTerm(ctx, d));
+    }
+
+    out.num_temporal_vars = ctx.num_temporal();
+    out.num_data_vars = ctx.num_data();
+    out.temporal_var_names = ctx.temporal_names();
+    out.data_var_names = ctx.data_names();
+
+    out.constraint = Dbm(out.num_temporal_vars);
+    for (const PendingEquality& eq : equalities) {
+      out.constraint.AddEquality(eq.variable + 1, eq.value);
+    }
+    for (const PendingBound& b : bounds) {
+      out.constraint.AddDifferenceUpperBound(
+          b.lhs < 0 ? 0 : b.lhs + 1, b.rhs < 0 ? 0 : b.rhs + 1, b.c);
+    }
+    if (!out.constraint.IsSatisfiable()) out.always_false = true;
+    result.clauses.push_back(std::move(out));
+  }
+  return result;
+}
+
+}  // namespace lrpdb

@@ -1,0 +1,78 @@
+// The temporal language of Chomicki & Imielinski (paper, Section 2.2):
+// Datalog where every predicate carries exactly one temporal parameter over
+// the natural numbers, with temporal terms built from 0 and the successor
+// function.
+//
+// [CI88] proves the minimal model of such a program is *eventually periodic*
+// in time, with computable bounds on offset and period. This module computes
+// that explicit form -- the "explicit representation" the paper's Section 1
+// recommends computing "once and for all" -- by guess-and-certify:
+//
+//   1. evaluate the ground minimal model on a window [0, H);
+//   2. detect the least (offset, period) making the window model periodic
+//      on its suffix;
+//   3. certify the candidate interpretation I exactly:
+//        (a) I contains every fact clause,
+//        (b) I is closed under every rule -- a finite check, because
+//            membership in I is periodic beyond its offset, so rule
+//            satisfaction needs checking only up to offset + maxshift + 2p,
+//        (c) I agrees with the window model on [0, H);
+//      (a) + (b) make I a model, hence a superset of the minimal model; (c)
+//      pins it to the minimal model on the whole window;
+//   4. confirm stability at horizon 2H (the candidate reproduces the ground
+//      model there too), then accept. If any step fails, double H and retry.
+//
+// Eventual termination follows from [CI88]'s eventual periodicity of the
+// minimal model. Steps (a)-(c) make acceptance exact for every program whose
+// true offset+period fit in the confirmed horizon; the doubling confirmation
+// guards against premature-period coincidences.
+#ifndef LRPDB_DATALOG1S_DATALOG1S_H_
+#define LRPDB_DATALOG1S_DATALOG1S_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/ast/ast.h"
+#include "src/common/statusor.h"
+#include "src/gdb/database.h"
+#include "src/lrp/periodic_set.h"
+
+namespace lrpdb {
+
+struct Datalog1SOptions {
+  int64_t initial_horizon = 256;
+  int64_t max_horizon = int64_t{1} << 22;
+  int64_t max_facts = 50'000'000;
+};
+
+// The explicit form of the minimal model.
+struct Datalog1SResult {
+  // predicate name -> data constants -> set of time points.
+  std::map<std::string, std::map<std::vector<DataValue>,
+                                 EventuallyPeriodicSet>>
+      model;
+  int64_t horizon = 0;  // Window at which the candidate was certified.
+
+  // Membership lookup (false for unknown predicate/data).
+  bool Holds(const std::string& predicate, const std::vector<DataValue>& data,
+             int64_t time) const;
+};
+
+// Validates that `program` is a Datalog1S program: every predicate has
+// temporal arity exactly 1, every clause uses at most one temporal variable,
+// and there are no constraint atoms (the [CI88] language has none).
+Status ValidateDatalog1S(const Program& program);
+
+// Computes the explicit eventually-periodic form of the minimal model of
+// `program` over `db` (extensional single-temporal-parameter relations;
+// pass an empty database for pure clausal programs). The temporal domain is
+// the naturals: derivations below 0 are vacuous.
+StatusOr<Datalog1SResult> EvaluateDatalog1S(
+    const Program& program, const Database& db,
+    const Datalog1SOptions& options = Datalog1SOptions());
+
+}  // namespace lrpdb
+
+#endif  // LRPDB_DATALOG1S_DATALOG1S_H_

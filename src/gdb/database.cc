@@ -1,0 +1,67 @@
+#include "src/gdb/database.h"
+
+namespace lrpdb {
+
+Status Database::Declare(std::string_view name, RelationSchema schema) {
+  auto it = relations_.find(name);
+  if (it != relations_.end()) {
+    if (it->second.schema() == schema) return OkStatus();
+    return InvalidArgumentError("relation '" + std::string(name) +
+                                "' already declared with a different schema");
+  }
+  relations_.emplace(std::string(name), GeneralizedRelation(schema));
+  return OkStatus();
+}
+
+bool Database::IsDeclared(std::string_view name) const {
+  return relations_.find(name) != relations_.end();
+}
+
+Status Database::AddTuple(std::string_view name, GeneralizedTuple tuple) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return NotFoundError("relation '" + std::string(name) + "' not declared");
+  }
+  if (tuple.temporal_arity() != it->second.schema().temporal_arity ||
+      tuple.data_arity() != it->second.schema().data_arity) {
+    return InvalidArgumentError("tuple arity does not match schema of '" +
+                                std::string(name) + "'");
+  }
+  return it->second.InsertUnlessEmpty(std::move(tuple)).status();
+}
+
+StatusOr<const GeneralizedRelation*> Database::Relation(
+    std::string_view name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return NotFoundError("relation '" + std::string(name) + "' not declared");
+  }
+  return &it->second;
+}
+
+StatusOr<RelationSchema> Database::SchemaOf(std::string_view name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return NotFoundError("relation '" + std::string(name) + "' not declared");
+  }
+  return it->second.schema();
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, unused] : relations_) names.push_back(name);
+  return names;
+}
+
+std::string Database::ToString() const {
+  std::string s;
+  for (const auto& [name, relation] : relations_) {
+    s += name;
+    s += ":\n";
+    s += relation.ToString(&interner_);
+  }
+  return s;
+}
+
+}  // namespace lrpdb

@@ -1,0 +1,61 @@
+#include "src/gdb/generalized_tuple.h"
+
+namespace lrpdb {
+
+GeneralizedTuple::GeneralizedTuple(std::vector<Lrp> lrps,
+                                   std::vector<DataValue> data, Dbm constraint)
+    : lrps_(std::move(lrps)),
+      data_(std::move(data)),
+      constraint_(std::move(constraint)) {
+  LRPDB_CHECK_EQ(constraint_.num_vars(), static_cast<int>(lrps_.size()))
+      << "constraint DBM arity must match temporal arity";
+}
+
+GeneralizedTuple GeneralizedTuple::Unconstrained(std::vector<Lrp> lrps,
+                                                 std::vector<DataValue> data) {
+  Dbm free(static_cast<int>(lrps.size()));
+  return GeneralizedTuple(std::move(lrps), std::move(data), std::move(free));
+}
+
+bool GeneralizedTuple::ContainsGround(
+    const std::vector<int64_t>& times,
+    const std::vector<DataValue>& data) const {
+  if (times.size() != lrps_.size() || data != data_) return false;
+  for (size_t i = 0; i < lrps_.size(); ++i) {
+    if (!lrps_[i].Contains(times[i])) return false;
+  }
+  return constraint_.ContainsPoint(times);
+}
+
+GeneralizedTuple GeneralizedTuple::WithColumnShifted(int i, int64_t c) const {
+  LRPDB_CHECK(i >= 0 && i < temporal_arity());
+  GeneralizedTuple result = *this;
+  result.lrps_[i] = result.lrps_[i].Shifted(c);
+  result.constraint_.ShiftVariable(i + 1, c);  // Dbm vars are 1-based.
+  return result;
+}
+
+std::string GeneralizedTuple::ToString(const Interner* interner) const {
+  std::string s = "(";
+  for (size_t i = 0; i < lrps_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += lrps_[i].ToString();
+  }
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (!lrps_.empty() || i > 0) s += ", ";
+    if (interner != nullptr) {
+      s += interner->NameOf(data_[i]);
+    } else {
+      s += "#" + std::to_string(data_[i]);
+    }
+  }
+  s += ")";
+  std::string c = constraint_.ToString();
+  if (c != "true") {
+    s += " with ";
+    s += c;
+  }
+  return s;
+}
+
+}  // namespace lrpdb

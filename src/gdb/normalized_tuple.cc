@@ -1,0 +1,325 @@
+#include "src/gdb/normalized_tuple.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/math_util.h"
+
+namespace lrpdb {
+namespace {
+
+// Quotient DBM of `t_dbm` for period L and residues r (r[0] corresponds to
+// temporal column 0 == DBM variable 1). Exact: within the residue class,
+// ti - tj <= c holds iff ni - nj <= floor((c - ri + rj) / L).
+Dbm QuotientOf(const Dbm& t_dbm, int64_t period,
+               const std::vector<int64_t>& residues) {
+  int m = t_dbm.num_vars();
+  Dbm q(m);
+  auto residue_of = [&](int var) -> int64_t {
+    return var == 0 ? 0 : residues[var - 1];
+  };
+  for (int i = 0; i <= m; ++i) {
+    for (int j = 0; j <= m; ++j) {
+      if (i == j) continue;
+      Bound b = t_dbm.bound(i, j);
+      if (b.is_infinite()) continue;
+      q.AddDifferenceUpperBound(
+          i, j, FloorDiv(b.value() - residue_of(i) + residue_of(j), period));
+    }
+  }
+  return q;
+}
+
+// Tightest t-space DBM describing the quotient DBM within the residue class:
+// ni - nj <= b  iff  ti - tj <= L*b + ri - rj.
+Dbm TSpaceOf(const Dbm& quotient, int64_t period,
+             const std::vector<int64_t>& residues) {
+  int m = quotient.num_vars();
+  quotient.IsSatisfiable();  // Forces closure for tightest bounds.
+  Dbm t(m);
+  auto residue_of = [&](int var) -> int64_t {
+    return var == 0 ? 0 : residues[var - 1];
+  };
+  for (int i = 0; i <= m; ++i) {
+    for (int j = 0; j <= m; ++j) {
+      if (i == j) continue;
+      Bound b = quotient.bound(i, j);
+      if (b.is_infinite()) continue;
+      t.AddDifferenceUpperBound(
+          i, j, period * b.value() + residue_of(i) - residue_of(j));
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+NormalizedTuple::NormalizedTuple(int64_t common_period,
+                                 std::vector<int64_t> residues,
+                                 std::vector<DataValue> data, Dbm quotient)
+    : common_period_(common_period),
+      residues_(std::move(residues)),
+      data_(std::move(data)),
+      quotient_(std::move(quotient)) {
+  LRPDB_CHECK_GT(common_period_, 0);
+  LRPDB_CHECK_EQ(quotient_.num_vars(), static_cast<int>(residues_.size()));
+  for (int64_t r : residues_) LRPDB_CHECK(r >= 0 && r < common_period_);
+}
+
+StatusOr<std::vector<NormalizedTuple>> NormalizedTuple::Normalize(
+    const GeneralizedTuple& tuple, const NormalizeLimits& limits) {
+  int m = tuple.temporal_arity();
+  int64_t period = 1;
+  for (const Lrp& lrp : tuple.lrps()) {
+    int64_t next = Lcm(period, lrp.period());
+    if (next > limits.max_period) {
+      return ResourceExhaustedError("common period exceeds limit during "
+                                    "normalization");
+    }
+    period = next;
+  }
+  // Residue choices per column.
+  std::vector<std::vector<int64_t>> choices(m);
+  int64_t total_pieces = 1;
+  for (int i = 0; i < m; ++i) {
+    choices[i] = tuple.lrp(i).ResiduesModulo(period);
+    total_pieces *= static_cast<int64_t>(choices[i].size());
+    if (total_pieces > limits.max_pieces) {
+      return ResourceExhaustedError("residue combination count exceeds limit "
+                                    "during normalization");
+    }
+  }
+  std::vector<NormalizedTuple> pieces;
+  std::vector<int64_t> residues(m, 0);
+  std::vector<int> index(m, 0);
+  while (true) {
+    for (int i = 0; i < m; ++i) residues[i] = choices[i][index[i]];
+    Dbm quotient = QuotientOf(tuple.constraint(), period, residues);
+    if (quotient.IsSatisfiable()) {
+      pieces.emplace_back(period, residues, tuple.data(), quotient);
+    }
+    // Odometer increment.
+    int pos = m - 1;
+    while (pos >= 0) {
+      if (++index[pos] < static_cast<int>(choices[pos].size())) break;
+      index[pos] = 0;
+      --pos;
+    }
+    if (pos < 0 || m == 0) break;
+  }
+  return pieces;
+}
+
+StatusOr<std::vector<NormalizedTuple>> NormalizedTuple::AlignTo(
+    int64_t target, const NormalizeLimits& limits) const {
+  LRPDB_CHECK_GT(target, 0);
+  LRPDB_CHECK_EQ(target % common_period_, 0);
+  if (target == common_period_) {
+    return std::vector<NormalizedTuple>{*this};
+  }
+  // Re-express as a generalized tuple (exact) and renormalize at `target`
+  // by temporarily raising each column's lrp period.
+  Dbm t_dbm = TSpaceOf(quotient_, common_period_, residues_);
+  std::vector<Lrp> lrps;
+  lrps.reserve(residues_.size());
+  for (int64_t r : residues_) lrps.emplace_back(common_period_, r);
+  GeneralizedTuple as_tuple(std::move(lrps), data_, std::move(t_dbm));
+
+  int m = temporal_arity();
+  int64_t splits = target / common_period_;
+  int64_t total = 1;
+  for (int i = 0; i < m; ++i) {
+    total *= splits;
+    if (total > limits.max_pieces) {
+      return ResourceExhaustedError("alignment piece count exceeds limit");
+    }
+  }
+  std::vector<NormalizedTuple> pieces;
+  std::vector<int64_t> residues(m, 0);
+  std::vector<int64_t> k(m, 0);
+  while (true) {
+    for (int i = 0; i < m; ++i) {
+      residues[i] = residues_[i] + k[i] * common_period_;
+    }
+    Dbm quotient = QuotientOf(as_tuple.constraint(), target, residues);
+    if (quotient.IsSatisfiable()) {
+      pieces.emplace_back(target, residues, data_, quotient);
+    }
+    int pos = m - 1;
+    while (pos >= 0) {
+      if (++k[pos] < splits) break;
+      k[pos] = 0;
+      --pos;
+    }
+    if (pos < 0 || m == 0) break;
+  }
+  return pieces;
+}
+
+bool NormalizedTuple::ContainsGround(const std::vector<int64_t>& times,
+                                     const std::vector<DataValue>& data) const {
+  if (data != data_ ||
+      times.size() != residues_.size()) {
+    return false;
+  }
+  std::vector<int64_t> quotients(times.size());
+  for (size_t i = 0; i < times.size(); ++i) {
+    if (FloorMod(times[i], common_period_) != residues_[i]) return false;
+    quotients[i] = FloorDiv(times[i] - residues_[i], common_period_);
+  }
+  return quotient_.ContainsPoint(quotients);
+}
+
+bool NormalizedTuple::ContainedIn(const NormalizedTuple& other) const {
+  LRPDB_CHECK(SameClassAs(other));
+  return quotient_.Implies(other.quotient_);
+}
+
+GeneralizedTuple NormalizedTuple::ToGeneralizedTuple() const {
+  std::vector<Lrp> lrps;
+  lrps.reserve(residues_.size());
+  for (int64_t r : residues_) lrps.emplace_back(common_period_, r);
+  return GeneralizedTuple(std::move(lrps), data_,
+                          TSpaceOf(quotient_, common_period_, residues_));
+}
+
+NormalizedTuple NormalizedTuple::ProjectTemporal(
+    const std::vector<int>& keep) const {
+  std::vector<int64_t> residues;
+  std::vector<int> dbm_keep;
+  residues.reserve(keep.size());
+  dbm_keep.reserve(keep.size());
+  for (int col : keep) {
+    LRPDB_CHECK(col >= 0 && col < temporal_arity());
+    residues.push_back(residues_[col]);
+    dbm_keep.push_back(col + 1);
+  }
+  return NormalizedTuple(common_period_, std::move(residues), data_,
+                         quotient_.Project(dbm_keep));
+}
+
+std::string NormalizedTuple::ToString() const {
+  std::string s = "L=" + std::to_string(common_period_) + " r=(";
+  for (size_t i = 0; i < residues_.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(residues_[i]);
+  }
+  s += ") d=(";
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(data_[i]);
+  }
+  s += ") q: " + quotient_.ToString();
+  return s;
+}
+
+namespace {
+
+// Key grouping directly comparable pieces.
+struct ClassKey {
+  std::vector<int64_t> residues;
+  std::vector<DataValue> data;
+  friend bool operator<(const ClassKey& a, const ClassKey& b) {
+    if (a.residues != b.residues) return a.residues < b.residues;
+    return a.data < b.data;
+  }
+};
+
+// Aligns every piece of `pieces` to `target`, appending into `out`.
+Status AlignAll(const std::vector<NormalizedTuple>& pieces, int64_t target,
+                const NormalizeLimits& limits,
+                std::vector<NormalizedTuple>* out) {
+  for (const NormalizedTuple& p : pieces) {
+    LRPDB_ASSIGN_OR_RETURN(std::vector<NormalizedTuple> aligned,
+                           p.AlignTo(target, limits));
+    out->insert(out->end(), aligned.begin(), aligned.end());
+  }
+  return OkStatus();
+}
+
+StatusOr<int64_t> CommonPeriodOf(const std::vector<NormalizedTuple>& a,
+                                 const std::vector<NormalizedTuple>& b,
+                                 const NormalizeLimits& limits) {
+  int64_t period = 1;
+  for (const auto* v : {&a, &b}) {
+    for (const NormalizedTuple& p : *v) {
+      period = Lcm(period, p.common_period());
+      if (period > limits.max_period) {
+        return ResourceExhaustedError("common period exceeds limit");
+      }
+    }
+  }
+  return period;
+}
+
+}  // namespace
+
+StatusOr<std::vector<NormalizedTuple>> SubtractPieces(
+    const std::vector<NormalizedTuple>& a,
+    const std::vector<NormalizedTuple>& b, const NormalizeLimits& limits) {
+  if (a.empty()) return std::vector<NormalizedTuple>{};
+  LRPDB_ASSIGN_OR_RETURN(int64_t period, CommonPeriodOf(a, b, limits));
+  std::vector<NormalizedTuple> a_aligned;
+  std::vector<NormalizedTuple> b_aligned;
+  LRPDB_RETURN_IF_ERROR(AlignAll(a, period, limits, &a_aligned));
+  LRPDB_RETURN_IF_ERROR(AlignAll(b, period, limits, &b_aligned));
+
+  std::map<ClassKey, std::vector<const NormalizedTuple*>> b_by_class;
+  for (const NormalizedTuple& p : b_aligned) {
+    b_by_class[{p.residues(), p.data()}].push_back(&p);
+  }
+  std::vector<NormalizedTuple> result;
+  for (const NormalizedTuple& piece : a_aligned) {
+    auto it = b_by_class.find({piece.residues(), piece.data()});
+    if (it == b_by_class.end()) {
+      result.push_back(piece);
+      continue;
+    }
+    std::vector<Dbm> remainder{piece.quotient()};
+    for (const NormalizedTuple* bp : it->second) {
+      std::vector<Dbm> next;
+      for (const Dbm& r : remainder) {
+        std::vector<Dbm> sub = r.Subtract(bp->quotient());
+        next.insert(next.end(), sub.begin(), sub.end());
+      }
+      remainder = std::move(next);
+      if (remainder.empty()) break;
+    }
+    for (Dbm& r : remainder) {
+      result.emplace_back(period, piece.residues(), piece.data(),
+                          std::move(r));
+    }
+  }
+  return result;
+}
+
+StatusOr<bool> PiecesContainedIn(const std::vector<NormalizedTuple>& a,
+                                 const std::vector<NormalizedTuple>& b,
+                                 const NormalizeLimits& limits) {
+  LRPDB_ASSIGN_OR_RETURN(std::vector<NormalizedTuple> diff,
+                         SubtractPieces(a, b, limits));
+  return diff.empty();
+}
+
+StatusOr<bool> GroundSetEmpty(const GeneralizedTuple& tuple,
+                              const NormalizeLimits& limits) {
+  LRPDB_ASSIGN_OR_RETURN(std::vector<NormalizedTuple> pieces,
+                         NormalizedTuple::Normalize(tuple, limits));
+  return pieces.empty();
+}
+
+StatusOr<bool> GroundTupleContainedIn(const GeneralizedTuple& a,
+                                      const std::vector<GeneralizedTuple>& bs,
+                                      const NormalizeLimits& limits) {
+  LRPDB_ASSIGN_OR_RETURN(std::vector<NormalizedTuple> a_pieces,
+                         NormalizedTuple::Normalize(a, limits));
+  std::vector<NormalizedTuple> b_pieces;
+  for (const GeneralizedTuple& b : bs) {
+    LRPDB_ASSIGN_OR_RETURN(std::vector<NormalizedTuple> pieces,
+                           NormalizedTuple::Normalize(b, limits));
+    b_pieces.insert(b_pieces.end(), pieces.begin(), pieces.end());
+  }
+  return PiecesContainedIn(a_pieces, b_pieces, limits);
+}
+
+}  // namespace lrpdb

@@ -1,0 +1,44 @@
+// Predicate schemas and data values for generalized databases.
+//
+// A generalized database relation has a temporal arity m (columns holding
+// linear repeating points constrained by a DBM) and a data arity l (columns
+// holding uninterpreted constants), per Section 2.1 of the paper.
+#ifndef LRPDB_GDB_SCHEMA_H_
+#define LRPDB_GDB_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/interner.h"
+
+namespace lrpdb {
+
+// An uninterpreted data constant, interned through the owning Database's
+// Interner (or any Interner the caller threads through).
+using DataValue = SymbolId;
+
+// Shape of a relation: how many temporal and data columns it has.
+struct RelationSchema {
+  int temporal_arity = 0;
+  int data_arity = 0;
+
+  friend bool operator==(const RelationSchema& a, const RelationSchema& b) {
+    return a.temporal_arity == b.temporal_arity && a.data_arity == b.data_arity;
+  }
+};
+
+// Declaration of a named predicate.
+struct PredicateDecl {
+  std::string name;
+  RelationSchema schema;
+};
+
+// Hash combiner used throughout gdb/core for signature maps.
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace lrpdb
+
+#endif  // LRPDB_GDB_SCHEMA_H_

@@ -1,0 +1,187 @@
+#include "src/lrp/periodic_set.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/math_util.h"
+
+namespace lrpdb {
+namespace {
+
+// Smallest period of the cyclic boolean word `tail`: the least divisor d of
+// tail.size() such that tail is d-periodic.
+std::vector<bool> MinimizeTailPeriod(const std::vector<bool>& tail) {
+  int64_t n = static_cast<int64_t>(tail.size());
+  for (int64_t d = 1; d <= n; ++d) {
+    if (n % d != 0) continue;
+    bool periodic = true;
+    for (int64_t i = d; i < n && periodic; ++i) {
+      periodic = tail[i] == tail[i - d];
+    }
+    if (periodic) {
+      return std::vector<bool>(tail.begin(), tail.begin() + d);
+    }
+  }
+  return tail;  // Unreachable: d == n always succeeds.
+}
+
+}  // namespace
+
+EventuallyPeriodicSet::EventuallyPeriodicSet() : tail_{false} {}
+
+EventuallyPeriodicSet::EventuallyPeriodicSet(std::vector<bool> prefix,
+                                             std::vector<bool> tail)
+    : prefix_(std::move(prefix)), tail_(std::move(tail)) {
+  Canonicalize();
+}
+
+StatusOr<EventuallyPeriodicSet> EventuallyPeriodicSet::Create(
+    std::vector<bool> prefix, std::vector<bool> tail) {
+  if (tail.empty()) {
+    return InvalidArgumentError("periodic tail must be non-empty");
+  }
+  return EventuallyPeriodicSet(std::move(prefix), std::move(tail));
+}
+
+void EventuallyPeriodicSet::Canonicalize() {
+  tail_ = MinimizeTailPeriod(tail_);
+  // Shrink the prefix while its last position agrees with the periodic tail
+  // (rotating the tail accordingly keeps the denoted set unchanged).
+  while (!prefix_.empty()) {
+    bool last_tail = tail_.back();
+    if (prefix_.back() != last_tail) break;
+    // Rotate tail right by one: new tail predicts positions one step earlier.
+    std::rotate(tail_.rbegin(), tail_.rbegin() + 1, tail_.rend());
+    prefix_.pop_back();
+    // Rotation can expose a smaller period only if size changed; sizes are
+    // equal, but re-minimize in case rotation made it uniform.
+    tail_ = MinimizeTailPeriod(tail_);
+  }
+}
+
+EventuallyPeriodicSet EventuallyPeriodicSet::ArithmeticProgression(
+    int64_t first, int64_t period) {
+  LRPDB_CHECK_GE(first, 0);
+  LRPDB_CHECK_GE(period, 1);
+  std::vector<bool> prefix(first, false);
+  std::vector<bool> tail(period, false);
+  tail[0] = true;
+  return EventuallyPeriodicSet(std::move(prefix), std::move(tail));
+}
+
+EventuallyPeriodicSet EventuallyPeriodicSet::FiniteSet(
+    const std::vector<int64_t>& points) {
+  int64_t max = -1;
+  for (int64_t p : points) {
+    LRPDB_CHECK_GE(p, 0);
+    max = std::max(max, p);
+  }
+  std::vector<bool> prefix(max + 1, false);
+  for (int64_t p : points) prefix[p] = true;
+  return EventuallyPeriodicSet(std::move(prefix), {false});
+}
+
+bool EventuallyPeriodicSet::Contains(int64_t t) const {
+  if (t < 0) return false;
+  if (t < offset()) return prefix_[t];
+  return tail_[(t - offset()) % period()];
+}
+
+bool EventuallyPeriodicSet::IsEmpty() const {
+  for (bool b : prefix_) {
+    if (b) return false;
+  }
+  for (bool b : tail_) {
+    if (b) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Applies `op` pointwise to a and b: the result's prefix covers
+// max(offset) and its tail lcm(period) steps.
+EventuallyPeriodicSet Pointwise(const EventuallyPeriodicSet& a,
+                                const EventuallyPeriodicSet& b,
+                                bool (*op)(bool, bool)) {
+  int64_t off = std::max(a.offset(), b.offset());
+  int64_t per = Lcm(a.period(), b.period());
+  std::vector<bool> prefix(off);
+  for (int64_t t = 0; t < off; ++t) prefix[t] = op(a.Contains(t), b.Contains(t));
+  std::vector<bool> tail(per);
+  for (int64_t i = 0; i < per; ++i) {
+    tail[i] = op(a.Contains(off + i), b.Contains(off + i));
+  }
+  auto result = EventuallyPeriodicSet::Create(std::move(prefix), std::move(tail));
+  LRPDB_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+}  // namespace
+
+EventuallyPeriodicSet EventuallyPeriodicSet::Union(
+    const EventuallyPeriodicSet& a, const EventuallyPeriodicSet& b) {
+  return Pointwise(a, b, +[](bool x, bool y) { return x || y; });
+}
+
+EventuallyPeriodicSet EventuallyPeriodicSet::Intersect(
+    const EventuallyPeriodicSet& a, const EventuallyPeriodicSet& b) {
+  return Pointwise(a, b, +[](bool x, bool y) { return x && y; });
+}
+
+EventuallyPeriodicSet EventuallyPeriodicSet::Complement() const {
+  std::vector<bool> prefix(prefix_);
+  prefix.flip();
+  std::vector<bool> tail(tail_);
+  tail.flip();
+  return EventuallyPeriodicSet(std::move(prefix), std::move(tail));
+}
+
+EventuallyPeriodicSet EventuallyPeriodicSet::Shifted(int64_t c) const {
+  int64_t off = offset();
+  int64_t per = period();
+  // New set membership at t is Contains(t - c) for t >= 0. It is eventually
+  // periodic with the same period and offset max(0, off + c).
+  int64_t new_off = std::max<int64_t>(0, off + c);
+  std::vector<bool> prefix(new_off);
+  for (int64_t t = 0; t < new_off; ++t) prefix[t] = Contains(t - c);
+  std::vector<bool> tail(per);
+  for (int64_t i = 0; i < per; ++i) tail[i] = Contains(new_off + i - c);
+  return EventuallyPeriodicSet(std::move(prefix), std::move(tail));
+}
+
+std::vector<int64_t> EventuallyPeriodicSet::Enumerate(int64_t lo,
+                                                      int64_t hi) const {
+  std::vector<int64_t> out;
+  for (int64_t t = std::max<int64_t>(lo, 0); t < hi; ++t) {
+    if (Contains(t)) out.push_back(t);
+  }
+  return out;
+}
+
+std::string EventuallyPeriodicSet::ToString() const {
+  std::string s = "prefix[";
+  for (int64_t t = 0; t < offset(); ++t) {
+    if (prefix_[t]) {
+      if (s.back() != '[') s += ',';
+      s += std::to_string(t);
+    }
+  }
+  s += "] tail(period ";
+  s += std::to_string(period());
+  s += ", from ";
+  s += std::to_string(offset());
+  s += "): {";
+  bool first = true;
+  for (int64_t i = 0; i < period(); ++i) {
+    if (tail_[i]) {
+      if (!first) s += ',';
+      first = false;
+      s += std::to_string(offset() + i);
+    }
+  }
+  s += ",...}";
+  return s;
+}
+
+}  // namespace lrpdb

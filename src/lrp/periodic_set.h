@@ -1,0 +1,85 @@
+// Eventually periodic subsets of the natural numbers.
+//
+// The minimal model of a Datalog1S program (Chomicki & Imielinski, cited as
+// [CI88] in the paper) assigns each predicate/data combination an eventually
+// periodic set of time points: behaviour is arbitrary on a finite prefix
+// [0, offset) and repeats with some period p >= 1 from `offset` onwards.
+#ifndef LRPDB_LRP_PERIODIC_SET_H_
+#define LRPDB_LRP_PERIODIC_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/statusor.h"
+
+namespace lrpdb {
+
+// An eventually periodic set S of naturals, canonicalized on construction:
+// the period is reduced to the minimal one and the offset to the smallest
+// consistent value, so two EventuallyPeriodicSets denote the same set iff
+// they compare equal.
+class EventuallyPeriodicSet {
+ public:
+  // The empty set (offset 0, period 1, no residues).
+  EventuallyPeriodicSet();
+
+  // `prefix[t]` gives membership of t for t in [0, prefix.size());
+  // `tail[r]` gives membership of prefix.size() + k*tail.size() + r for all
+  // k >= 0, r in [0, tail.size()). `tail` must be non-empty.
+  static StatusOr<EventuallyPeriodicSet> Create(std::vector<bool> prefix,
+                                                std::vector<bool> tail);
+
+  // The set {first, first+period, first+2*period, ...}; period >= 1.
+  static EventuallyPeriodicSet ArithmeticProgression(int64_t first,
+                                                     int64_t period);
+
+  // A finite set of naturals.
+  static EventuallyPeriodicSet FiniteSet(const std::vector<int64_t>& points);
+
+  bool Contains(int64_t t) const;
+  bool IsEmpty() const;
+
+  // Start of the periodic tail.
+  int64_t offset() const { return static_cast<int64_t>(prefix_.size()); }
+  // Minimal period of the tail.
+  int64_t period() const { return static_cast<int64_t>(tail_.size()); }
+
+  // Set algebra; all results are again eventually periodic.
+  static EventuallyPeriodicSet Union(const EventuallyPeriodicSet& a,
+                                     const EventuallyPeriodicSet& b);
+  static EventuallyPeriodicSet Intersect(const EventuallyPeriodicSet& a,
+                                         const EventuallyPeriodicSet& b);
+  EventuallyPeriodicSet Complement() const;
+  // { t + c : t in S, t + c >= 0 } for any integer c (c < 0 shifts left,
+  // dropping members that would fall below zero).
+  EventuallyPeriodicSet Shifted(int64_t c) const;
+
+  // Members in [lo, hi), ascending.
+  std::vector<int64_t> Enumerate(int64_t lo, int64_t hi) const;
+
+  // e.g. "{1,3} u {5 + 7k : k>=0, k mod ...}" -- a readable description.
+  std::string ToString() const;
+
+  friend bool operator==(const EventuallyPeriodicSet& a,
+                         const EventuallyPeriodicSet& b) {
+    return a.prefix_ == b.prefix_ && a.tail_ == b.tail_;
+  }
+  friend bool operator!=(const EventuallyPeriodicSet& a,
+                         const EventuallyPeriodicSet& b) {
+    return !(a == b);
+  }
+
+ private:
+  EventuallyPeriodicSet(std::vector<bool> prefix, std::vector<bool> tail);
+  void Canonicalize();
+
+  // Membership of t in [0, prefix_.size()).
+  std::vector<bool> prefix_;
+  // Membership of prefix_.size() + i, repeating with period tail_.size().
+  std::vector<bool> tail_;
+};
+
+}  // namespace lrpdb
+
+#endif  // LRPDB_LRP_PERIODIC_SET_H_

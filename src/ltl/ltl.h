@@ -1,0 +1,87 @@
+// Propositional linear temporal logic over ultimately periodic omega-words.
+//
+// Section 3.2 of the paper pins the query expressiveness of the [KSW90]
+// first-order language (one temporal parameter, naturals) to the star-free
+// omega-regular languages, "the expressiveness of temporal logic with the
+// operators O (next), [] (always), <> (eventually) and U (until)" [GPSS80].
+// This module makes that reference executable: LTL formulas with exactly
+// those operators, model-checked exactly against ultimately periodic words
+// (u v^omega) -- the words that arise as characteristic words of eventually
+// periodic sets, i.e. of everything the data formalisms can store.
+//
+// Words range over bitmask alphabets: proposition i of a context reads bit
+// i of each symbol, so one word carries several propositions.
+#ifndef LRPDB_LTL_LTL_H_
+#define LRPDB_LTL_LTL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/automata/automata.h"
+#include "src/common/interner.h"
+#include "src/common/statusor.h"
+
+namespace lrpdb {
+
+struct LtlFormula;
+using LtlFormulaPtr = std::unique_ptr<LtlFormula>;
+
+struct LtlFormula {
+  enum class Kind {
+    kProposition,  // bit `proposition` of the current symbol.
+    kTrue,
+    kNot,
+    kAnd,
+    kOr,
+    kNext,        // O phi.
+    kEventually,  // <> phi  == true U phi.
+    kAlways,      // [] phi  == ~<>~phi.
+    kUntil,       // phi U psi.
+  };
+  Kind kind = Kind::kTrue;
+  int proposition = -1;
+  LtlFormulaPtr left;
+  LtlFormulaPtr right;
+};
+
+// Structural constructors.
+LtlFormulaPtr Prop(int bit);
+LtlFormulaPtr True();
+LtlFormulaPtr Not(LtlFormulaPtr f);
+LtlFormulaPtr And(LtlFormulaPtr a, LtlFormulaPtr b);
+LtlFormulaPtr Or(LtlFormulaPtr a, LtlFormulaPtr b);
+LtlFormulaPtr Next(LtlFormulaPtr f);
+LtlFormulaPtr Eventually(LtlFormulaPtr f);
+LtlFormulaPtr Always(LtlFormulaPtr f);
+LtlFormulaPtr Until(LtlFormulaPtr a, LtlFormulaPtr b);
+
+// A parsed formula plus the proposition names it uses (name -> bit index).
+struct LtlQuery {
+  LtlFormulaPtr formula;
+  Interner propositions;
+};
+
+// Parses the usual surface syntax:
+//   G (p -> F q) | (p U q) & X ~p
+// Operators (tightest first): ~ / X / F / G, then U (right associative),
+// then &, then |, then -> (right associative). `true` and `false` are
+// literals; other identifiers are propositions (bit indices in order of
+// first appearance).
+StatusOr<LtlQuery> ParseLtl(std::string_view source);
+
+// Exact satisfaction of `formula` by the word at position `position`
+// (default: the initial instant). Until is evaluated as a least fixpoint on
+// the word's lasso, so the result is exact for the full infinite word.
+bool EvaluateLtl(const LtlFormula& formula, const PeriodicWord& word,
+                 int64_t position = 0);
+
+// The set of naturals at which `formula` holds along `word` -- eventually
+// periodic by construction (star-free languages are omega-regular), so it
+// has an exact finite representation.
+EventuallyPeriodicSet SatisfactionSet(const LtlFormula& formula,
+                                      const PeriodicWord& word);
+
+}  // namespace lrpdb
+
+#endif  // LRPDB_LTL_LTL_H_

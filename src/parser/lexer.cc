@@ -1,0 +1,195 @@
+#include "src/parser/lexer.h"
+
+#include <cctype>
+
+namespace lrpdb {
+namespace {
+
+bool IsIdentifierStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentifierChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  int line = 1;
+  int column = 1;
+  bool previous_was_space = true;
+
+  auto error = [&](const std::string& message) {
+    return lrpdb::ParseError("line " + std::to_string(line) + ":" +
+                             std::to_string(column) + ": " + message);
+  };
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n; ++k) {
+      if (i < input.size() && input[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+  auto push = [&](TokenKind kind, std::string text, int64_t number = 0) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.number = number;
+    t.line = line;
+    t.column = column;
+    t.glued_to_previous = !previous_was_space && !tokens.empty();
+    tokens.push_back(std::move(t));
+    previous_was_space = false;
+  };
+
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      previous_was_space = true;
+      advance(1);
+      continue;
+    }
+    if (c == '%' || (c == '/' && i + 1 < input.size() && input[i + 1] == '/')) {
+      while (i < input.size() && input[i] != '\n') advance(1);
+      previous_was_space = true;
+      continue;
+    }
+    if (IsIdentifierStart(c)) {
+      size_t start = i;
+      while (i < input.size() && IsIdentifierChar(input[i])) advance(1);
+      push(TokenKind::kIdentifier, std::string(input.substr(start, i - start)));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < input.size() &&
+             std::isdigit(static_cast<unsigned char>(input[i]))) {
+        advance(1);
+      }
+      std::string text(input.substr(start, i - start));
+      push(TokenKind::kNumber, text, std::stoll(text));
+      continue;
+    }
+    switch (c) {
+      case '"': {
+        advance(1);
+        size_t start = i;
+        while (i < input.size() && input[i] != '"' && input[i] != '\n') {
+          advance(1);
+        }
+        if (i >= input.size() || input[i] != '"') {
+          return error("unterminated string literal");
+        }
+        std::string text(input.substr(start, i - start));
+        advance(1);
+        push(TokenKind::kString, std::move(text));
+        continue;
+      }
+      case '.': {
+        if (i + 1 < input.size() && IsIdentifierStart(input[i + 1])) {
+          advance(1);
+          size_t start = i;
+          while (i < input.size() && IsIdentifierChar(input[i])) advance(1);
+          push(TokenKind::kDirective,
+               std::string(input.substr(start, i - start)));
+        } else {
+          advance(1);
+          push(TokenKind::kPeriod, ".");
+        }
+        continue;
+      }
+      case ':':
+        if (i + 1 < input.size() && input[i + 1] == '-') {
+          advance(2);
+          push(TokenKind::kImplies, ":-");
+          continue;
+        }
+        return error("expected ':-'");
+      case '?':
+        if (i + 1 < input.size() && input[i + 1] == '-') {
+          advance(2);
+          push(TokenKind::kQuery, "?-");
+          continue;
+        }
+        return error("expected '?-'");
+      case '(':
+        advance(1);
+        push(TokenKind::kLeftParen, "(");
+        continue;
+      case ')':
+        advance(1);
+        push(TokenKind::kRightParen, ")");
+        continue;
+      case ',':
+        advance(1);
+        push(TokenKind::kComma, ",");
+        continue;
+      case '+':
+        advance(1);
+        push(TokenKind::kPlus, "+");
+        continue;
+      case '-':
+        advance(1);
+        push(TokenKind::kMinus, "-");
+        continue;
+      case '^':
+        advance(1);
+        push(TokenKind::kCaret, "^");
+        continue;
+      case '&':
+        advance(1);
+        push(TokenKind::kAmp, "&");
+        continue;
+      case '|':
+        advance(1);
+        push(TokenKind::kPipe, "|");
+        continue;
+      case '~':
+        advance(1);
+        push(TokenKind::kTilde, "~");
+        continue;
+      case '!':
+        advance(1);
+        push(TokenKind::kBang, "!");
+        continue;
+      case '<':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          advance(2);
+          push(TokenKind::kLessEqual, "<=");
+        } else {
+          advance(1);
+          push(TokenKind::kLess, "<");
+        }
+        continue;
+      case '>':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          advance(2);
+          push(TokenKind::kGreaterEqual, ">=");
+        } else {
+          advance(1);
+          push(TokenKind::kGreater, ">");
+        }
+        continue;
+      case '=':
+        advance(1);
+        push(TokenKind::kEqual, "=");
+        continue;
+      default:
+        return error(std::string("unexpected character '") + c + "'");
+    }
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line;
+  end.column = column;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace lrpdb

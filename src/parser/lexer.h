@@ -1,0 +1,56 @@
+// Lexer for the lrpdb surface syntax (see parser.h for the grammar).
+#ifndef LRPDB_PARSER_LEXER_H_
+#define LRPDB_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/statusor.h"
+
+namespace lrpdb {
+
+enum class TokenKind {
+  kIdentifier,   // course, t1, N, n
+  kNumber,       // 168
+  kString,       // "database"
+  kDirective,    // .decl or .fact (text carries the name without the dot)
+  kLeftParen,
+  kRightParen,
+  kComma,
+  kPeriod,       // end of statement
+  kImplies,      // :-
+  kQuery,        // ?-
+  kPlus,
+  kMinus,
+  kCaret,  // ^ (used by the Templog syntax: next^5)
+  kAmp,    // &  (FO conjunction)
+  kPipe,   // |  (FO disjunction)
+  kTilde,  // ~  (FO negation)
+  kBang,   // !  (negated body literal, stratified negation)
+  kLess,
+  kLessEqual,
+  kEqual,
+  kGreaterEqual,
+  kGreater,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int64_t number = 0;
+  int line = 0;
+  int column = 0;
+  // True when this token directly abuts the previous one (no whitespace in
+  // between); used to recognize "168n" as an lrp rather than two terms.
+  bool glued_to_previous = false;
+};
+
+// Tokenizes `input`. Comments run from "//" or "%" to end of line.
+StatusOr<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace lrpdb
+
+#endif  // LRPDB_PARSER_LEXER_H_

@@ -1,0 +1,461 @@
+#include "src/parser/parser.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+
+#include "src/parser/lexer.h"
+
+namespace lrpdb {
+namespace {
+
+// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Database* db, ParsedUnit* unit)
+      : tokens_(std::move(tokens)), db_(db), unit_(unit) {}
+
+  Status Run() {
+    while (!AtEnd()) {
+      LRPDB_RETURN_IF_ERROR(ParseStatement());
+    }
+    return OkStatus();
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+  bool Match(TokenKind kind) {
+    if (Peek().kind != kind) return false;
+    ++pos_;
+    return true;
+  }
+  Status Error(const std::string& message) const {
+    const Token& t = Peek();
+    return ParseError("line " + std::to_string(t.line) + ":" +
+                      std::to_string(t.column) + ": " + message +
+                      (t.text.empty() ? "" : " (at '" + t.text + "')"));
+  }
+  Status Expect(TokenKind kind, const std::string& what) {
+    if (Match(kind)) return OkStatus();
+    return Error("expected " + what);
+  }
+
+  Status ParseStatement() {
+    if (Peek().kind == TokenKind::kDirective) {
+      const Token& directive = Advance();
+      if (directive.text == "decl") return ParseDecl();
+      if (directive.text == "fact") return ParseFact();
+      return Error("unknown directive '." + directive.text + "'");
+    }
+    if (Match(TokenKind::kQuery)) {
+      PredicateAtom atom;
+      LRPDB_RETURN_IF_ERROR(ParsePredicateAtom(&atom, /*clause_vars=*/nullptr));
+      unit_->queries.push_back(std::move(atom));
+      return Expect(TokenKind::kPeriod, "'.' after query");
+    }
+    return ParseRule();
+  }
+
+  // .decl name(time, time, data)
+  Status ParseDecl() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected predicate name after .decl");
+    }
+    std::string name = Advance().text;
+    LRPDB_RETURN_IF_ERROR(Expect(TokenKind::kLeftParen, "'('"));
+    RelationSchema schema;
+    bool seen_data = false;
+    if (!Match(TokenKind::kRightParen)) {
+      while (true) {
+        if (Peek().kind != TokenKind::kIdentifier) {
+          return Error("expected 'time' or 'data'");
+        }
+        std::string kind = Advance().text;
+        if (kind == "time") {
+          if (seen_data) {
+            return Error("temporal columns must precede data columns");
+          }
+          ++schema.temporal_arity;
+        } else if (kind == "data") {
+          seen_data = true;
+          ++schema.data_arity;
+        } else {
+          return Error("expected 'time' or 'data', got '" + kind + "'");
+        }
+        if (Match(TokenKind::kRightParen)) break;
+        LRPDB_RETURN_IF_ERROR(Expect(TokenKind::kComma, "','"));
+      }
+    }
+    Match(TokenKind::kPeriod);  // Optional trailing '.'.
+    return unit_->program.Declare(name, schema);
+  }
+
+  StatusOr<RelationSchema> SchemaOf(const std::string& name) {
+    SymbolId id = unit_->program.predicates().Find(name);
+    std::optional<RelationSchema> schema;
+    if (id >= 0) schema = unit_->program.SchemaOf(id);
+    if (!schema.has_value()) {
+      return Status(StatusCode::kParseError,
+                    "predicate '" + name + "' used before .decl");
+    }
+    return *schema;
+  }
+
+  // A signed integer literal.
+  StatusOr<int64_t> ParseSignedNumber() {
+    bool negative = Match(TokenKind::kMinus);
+    if (Peek().kind != TokenKind::kNumber) {
+      return Status(StatusCode::kParseError, "expected integer");
+    }
+    int64_t v = Advance().number;
+    return negative ? -v : v;
+  }
+
+  // An lrp or integer constant in a fact argument. Returns (lrp, pinned):
+  // integers become the lrp n pinned by T = c.
+  struct FactTemporalArg {
+    Lrp lrp;
+    std::optional<int64_t> pinned;
+  };
+  StatusOr<FactTemporalArg> ParseFactTemporalArg() {
+    // Forms: [INT] n [± INT]  |  ±INT.
+    bool negative = false;
+    std::optional<int64_t> coefficient;
+    if (Peek().kind == TokenKind::kMinus) {
+      ++pos_;
+      negative = true;
+    }
+    if (Peek().kind == TokenKind::kNumber) {
+      coefficient = Advance().number;
+      if (negative) coefficient = -*coefficient;
+      // "168n": 'n' glued to the number.
+      if (!(Peek().kind == TokenKind::kIdentifier && Peek().text == "n" &&
+            Peek().glued_to_previous)) {
+        return FactTemporalArg{Lrp(1, 0), coefficient};
+      }
+    }
+    if (Peek().kind == TokenKind::kIdentifier && Peek().text == "n") {
+      ++pos_;
+      int64_t period = coefficient.value_or(1);
+      if (period == 0) {
+        return Status(StatusCode::kParseError,
+                      "lrp period must be non-zero; write the constant c "
+                      "directly instead of 0n+c");
+      }
+      int64_t offset = 0;
+      if (Peek().kind == TokenKind::kPlus) {
+        ++pos_;
+        LRPDB_ASSIGN_OR_RETURN(offset, ParseSignedNumber());
+      } else if (Peek().kind == TokenKind::kMinus) {
+        ++pos_;
+        LRPDB_ASSIGN_OR_RETURN(offset, ParseSignedNumber());
+        offset = -offset;
+      }
+      return FactTemporalArg{Lrp(period, offset), std::nullopt};
+    }
+    return Status(StatusCode::kParseError,
+                  "expected lrp (e.g. 168n+8) or integer");
+  }
+
+  // .fact name(args) [with constraints] .
+  Status ParseFact() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected predicate name after .fact");
+    }
+    std::string name = Advance().text;
+    LRPDB_ASSIGN_OR_RETURN(RelationSchema schema, SchemaOf(name));
+    LRPDB_RETURN_IF_ERROR(db_->Declare(name, schema));
+    LRPDB_RETURN_IF_ERROR(Expect(TokenKind::kLeftParen, "'('"));
+
+    std::vector<Lrp> lrps;
+    std::vector<std::optional<int64_t>> pinned;
+    std::vector<DataValue> data;
+    for (int col = 0; col < schema.temporal_arity; ++col) {
+      if (col > 0) LRPDB_RETURN_IF_ERROR(Expect(TokenKind::kComma, "','"));
+      auto arg = ParseFactTemporalArg();
+      if (!arg.ok()) return Error(arg.status().message());
+      lrps.push_back(arg->lrp);
+      pinned.push_back(arg->pinned);
+    }
+    for (int col = 0; col < schema.data_arity; ++col) {
+      if (col > 0 || schema.temporal_arity > 0) {
+        LRPDB_RETURN_IF_ERROR(Expect(TokenKind::kComma, "','"));
+      }
+      if (Peek().kind == TokenKind::kString ||
+          Peek().kind == TokenKind::kIdentifier) {
+        data.push_back(db_->Constant(Advance().text));
+      } else {
+        return Error("expected data constant");
+      }
+    }
+    LRPDB_RETURN_IF_ERROR(Expect(TokenKind::kRightParen, "')'"));
+
+    Dbm constraint(schema.temporal_arity);
+    for (int col = 0; col < schema.temporal_arity; ++col) {
+      if (pinned[col].has_value()) {
+        constraint.AddEquality(col + 1, *pinned[col]);
+      }
+    }
+    if (Peek().kind == TokenKind::kIdentifier && Peek().text == "with") {
+      ++pos_;
+      while (true) {
+        LRPDB_RETURN_IF_ERROR(
+            ParseColumnConstraint(schema.temporal_arity, &constraint));
+        if (!Match(TokenKind::kComma)) break;
+      }
+    }
+    LRPDB_RETURN_IF_ERROR(Expect(TokenKind::kPeriod, "'.' after fact"));
+    return db_->AddTuple(name,
+                         GeneralizedTuple(std::move(lrps), std::move(data),
+                                          std::move(constraint)));
+  }
+
+  // One side of a fact constraint: Tk [± INT] or a signed integer.
+  // Returns (column index or 0 for the zero variable, offset).
+  StatusOr<std::pair<int, int64_t>> ParseConstraintSide(int temporal_arity) {
+    if (Peek().kind == TokenKind::kIdentifier) {
+      const std::string& text = Peek().text;
+      if (text.size() >= 2 && text[0] == 'T') {
+        bool digits = true;
+        for (size_t k = 1; k < text.size(); ++k) {
+          digits = digits && std::isdigit(static_cast<unsigned char>(text[k]));
+        }
+        if (digits) {
+          int column = std::stoi(text.substr(1));
+          if (column < 1 || column > temporal_arity) {
+            return Status(StatusCode::kParseError,
+                          "constraint references column " + text +
+                              " outside the temporal arity");
+          }
+          ++pos_;
+          int64_t offset = 0;
+          if (Peek().kind == TokenKind::kPlus) {
+            ++pos_;
+            LRPDB_ASSIGN_OR_RETURN(offset, ParseSignedNumber());
+          } else if (Peek().kind == TokenKind::kMinus) {
+            ++pos_;
+            LRPDB_ASSIGN_OR_RETURN(offset, ParseSignedNumber());
+            offset = -offset;
+          }
+          return std::make_pair(column, offset);
+        }
+      }
+      return Status(StatusCode::kParseError,
+                    "expected T<k> or integer in fact constraint");
+    }
+    LRPDB_ASSIGN_OR_RETURN(int64_t value, ParseSignedNumber());
+    return std::make_pair(0, value);
+  }
+
+  Status ParseColumnConstraint(int temporal_arity, Dbm* constraint) {
+    auto lhs = ParseConstraintSide(temporal_arity);
+    if (!lhs.ok()) return Error(lhs.status().message());
+    TokenKind op = Peek().kind;
+    if (op != TokenKind::kLess && op != TokenKind::kLessEqual &&
+        op != TokenKind::kEqual && op != TokenKind::kGreaterEqual &&
+        op != TokenKind::kGreater) {
+      return Error("expected comparison operator");
+    }
+    ++pos_;
+    auto rhs = ParseConstraintSide(temporal_arity);
+    if (!rhs.ok()) return Error(rhs.status().message());
+    auto [li, lo] = *lhs;
+    auto [ri, ro] = *rhs;
+    if (li == ri) return Error("constraint relates a column to itself");
+    // (x_li + lo) OP (x_ri + ro).
+    switch (op) {
+      case TokenKind::kLess:
+        constraint->AddDifferenceUpperBound(li, ri, ro - lo - 1);
+        break;
+      case TokenKind::kLessEqual:
+        constraint->AddDifferenceUpperBound(li, ri, ro - lo);
+        break;
+      case TokenKind::kEqual:
+        constraint->AddDifferenceEquality(li, ri, ro - lo);
+        break;
+      case TokenKind::kGreaterEqual:
+        constraint->AddDifferenceUpperBound(ri, li, lo - ro);
+        break;
+      case TokenKind::kGreater:
+        constraint->AddDifferenceUpperBound(ri, li, lo - ro - 1);
+        break;
+      default:
+        break;
+    }
+    return OkStatus();
+  }
+
+  // Tracks how each rule variable is used, to reject mixed usage.
+  enum class VarKind { kTemporal, kData };
+  using ClauseVars = std::map<std::string, VarKind>;
+
+  Status NoteVar(ClauseVars* vars, const std::string& name, VarKind kind) {
+    if (vars == nullptr) return OkStatus();
+    auto [it, inserted] = vars->emplace(name, kind);
+    if (!inserted && it->second != kind) {
+      return Error("variable '" + name +
+                   "' used in both temporal and data positions");
+    }
+    return OkStatus();
+  }
+
+  // Temporal term in a rule: IDENT [± INT] or signed INT.
+  StatusOr<TemporalTerm> ParseTemporalTerm(ClauseVars* vars) {
+    if (Peek().kind == TokenKind::kIdentifier) {
+      std::string name = Advance().text;
+      LRPDB_RETURN_IF_ERROR(NoteVar(vars, name, VarKind::kTemporal));
+      int64_t offset = 0;
+      if (Peek().kind == TokenKind::kPlus) {
+        ++pos_;
+        LRPDB_ASSIGN_OR_RETURN(offset, ParseSignedNumber());
+      } else if (Peek().kind == TokenKind::kMinus) {
+        ++pos_;
+        LRPDB_ASSIGN_OR_RETURN(offset, ParseSignedNumber());
+        offset = -offset;
+      }
+      return TemporalTerm::Variable(unit_->program.variables().Intern(name),
+                                    offset);
+    }
+    auto value = ParseSignedNumber();
+    if (!value.ok()) return Error("expected temporal term");
+    return TemporalTerm::Constant(*value);
+  }
+
+  StatusOr<DataTerm> ParseDataTerm(ClauseVars* vars) {
+    if (Peek().kind == TokenKind::kString) {
+      return DataTerm::Constant(db_->Constant(Advance().text));
+    }
+    if (Peek().kind == TokenKind::kIdentifier) {
+      std::string name = Advance().text;
+      bool is_variable = std::isupper(static_cast<unsigned char>(name[0])) ||
+                         name[0] == '_';
+      if (is_variable) {
+        LRPDB_RETURN_IF_ERROR(NoteVar(vars, name, VarKind::kData));
+        return DataTerm::Variable(unit_->program.variables().Intern(name));
+      }
+      return DataTerm::Constant(db_->Constant(name));
+    }
+    return Error("expected data term");
+  }
+
+  Status ParsePredicateAtom(PredicateAtom* atom, ClauseVars* vars) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected predicate name");
+    }
+    std::string name = Advance().text;
+    LRPDB_ASSIGN_OR_RETURN(RelationSchema schema, SchemaOf(name));
+    atom->predicate = unit_->program.predicates().Intern(name);
+    if (schema.temporal_arity + schema.data_arity == 0) {
+      if (Match(TokenKind::kLeftParen)) {
+        LRPDB_RETURN_IF_ERROR(Expect(TokenKind::kRightParen, "')'"));
+      }
+      return OkStatus();
+    }
+    LRPDB_RETURN_IF_ERROR(Expect(TokenKind::kLeftParen, "'('"));
+    for (int col = 0; col < schema.temporal_arity; ++col) {
+      if (col > 0) LRPDB_RETURN_IF_ERROR(Expect(TokenKind::kComma, "','"));
+      LRPDB_ASSIGN_OR_RETURN(TemporalTerm term, ParseTemporalTerm(vars));
+      atom->temporal_args.push_back(term);
+    }
+    for (int col = 0; col < schema.data_arity; ++col) {
+      if (col > 0 || schema.temporal_arity > 0) {
+        LRPDB_RETURN_IF_ERROR(Expect(TokenKind::kComma, "','"));
+      }
+      LRPDB_ASSIGN_OR_RETURN(DataTerm term, ParseDataTerm(vars));
+      atom->data_args.push_back(term);
+    }
+    return Expect(TokenKind::kRightParen, "')'");
+  }
+
+  StatusOr<ConstraintAtom> ParseConstraintAtom(ClauseVars* vars) {
+    ConstraintAtom atom;
+    LRPDB_ASSIGN_OR_RETURN(atom.lhs, ParseTemporalTerm(vars));
+    switch (Peek().kind) {
+      case TokenKind::kLess:
+        atom.op = ComparisonOp::kLess;
+        break;
+      case TokenKind::kLessEqual:
+        atom.op = ComparisonOp::kLessEqual;
+        break;
+      case TokenKind::kEqual:
+        atom.op = ComparisonOp::kEqual;
+        break;
+      case TokenKind::kGreaterEqual:
+        atom.op = ComparisonOp::kGreaterEqual;
+        break;
+      case TokenKind::kGreater:
+        atom.op = ComparisonOp::kGreater;
+        break;
+      default:
+        return Error("expected comparison operator");
+    }
+    ++pos_;
+    LRPDB_ASSIGN_OR_RETURN(atom.rhs, ParseTemporalTerm(vars));
+    return atom;
+  }
+
+  Status ParseRule() {
+    Clause clause;
+    ClauseVars vars;
+    LRPDB_RETURN_IF_ERROR(ParsePredicateAtom(&clause.head, &vars));
+    if (Match(TokenKind::kImplies)) {
+      while (true) {
+        // Optional '!' marks a negated body literal (stratified negation).
+        bool negated = Match(TokenKind::kBang);
+        // Lookahead: predicate atom iff IDENT followed by '(' (or a declared
+        // 0-ary predicate name).
+        bool is_predicate = negated;
+        if (!is_predicate && Peek().kind == TokenKind::kIdentifier) {
+          if (Peek(1).kind == TokenKind::kLeftParen) {
+            is_predicate = true;
+          } else {
+            is_predicate =
+                unit_->program.predicates().Find(Peek().text) >= 0 &&
+                Peek(1).kind != TokenKind::kPlus &&
+                Peek(1).kind != TokenKind::kMinus &&
+                Peek(1).kind != TokenKind::kLess &&
+                Peek(1).kind != TokenKind::kLessEqual &&
+                Peek(1).kind != TokenKind::kEqual &&
+                Peek(1).kind != TokenKind::kGreaterEqual &&
+                Peek(1).kind != TokenKind::kGreater;
+          }
+        }
+        if (is_predicate) {
+          PredicateAtom atom;
+          LRPDB_RETURN_IF_ERROR(ParsePredicateAtom(&atom, &vars));
+          atom.negated = negated;
+          clause.body.emplace_back(std::move(atom));
+        } else {
+          LRPDB_ASSIGN_OR_RETURN(ConstraintAtom atom,
+                                 ParseConstraintAtom(&vars));
+          clause.body.emplace_back(atom);
+        }
+        if (!Match(TokenKind::kComma)) break;
+      }
+    }
+    LRPDB_RETURN_IF_ERROR(Expect(TokenKind::kPeriod, "'.' after rule"));
+    return unit_->program.AddClause(std::move(clause));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  Database* db_;
+  ParsedUnit* unit_;
+};
+
+}  // namespace
+
+StatusOr<ParsedUnit> Parse(std::string_view source, Database* db) {
+  LRPDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  ParsedUnit unit(&db->interner());
+  Parser parser(std::move(tokens), db, &unit);
+  LRPDB_RETURN_IF_ERROR(parser.Run());
+  return unit;
+}
+
+}  // namespace lrpdb

@@ -1,0 +1,193 @@
+#include "src/automata/automata.h"
+
+#include <gtest/gtest.h>
+
+namespace lrpdb {
+namespace {
+
+// Word helpers over the alphabet {0, 1}.
+PeriodicWord W(std::vector<int> prefix, std::vector<int> loop) {
+  return PeriodicWord(std::move(prefix), std::move(loop));
+}
+
+TEST(PeriodicWordTest, CanonicalizationAndAt) {
+  // 0 (1 0 1 0)^w == 0 1 (0 1)^w == (0 1)^w.
+  EXPECT_EQ(W({0}, {1, 0, 1, 0}), W({}, {0, 1}));
+  PeriodicWord w = W({1, 1}, {0});
+  EXPECT_EQ(w.At(0), 1);
+  EXPECT_EQ(w.At(1), 1);
+  EXPECT_EQ(w.At(2), 0);
+  EXPECT_EQ(w.At(1000000), 0);
+}
+
+TEST(PeriodicWordTest, CharacteristicRoundTrip) {
+  EventuallyPeriodicSet set = EventuallyPeriodicSet::ArithmeticProgression(5, 40);
+  PeriodicWord word = PeriodicWord::Characteristic(set);
+  EXPECT_EQ(word.ToSet(), set);
+  for (int64_t t = 0; t < 200; ++t) {
+    EXPECT_EQ(word.At(t) == 1, set.Contains(t)) << t;
+  }
+}
+
+// "Eventually 1": the canonical finitely regular language -- the NFA
+// accepts any finite prefix containing a 1.
+FiniteAcceptanceAutomaton EventuallyOne() {
+  Nfa nfa = Nfa::Empty(2);
+  int start = nfa.AddState(false);
+  int seen = nfa.AddState(true);
+  nfa.AddTransition(start, 0, start);
+  nfa.AddTransition(start, 1, seen);
+  nfa.initial.push_back(start);
+  return FiniteAcceptanceAutomaton(std::move(nfa));
+}
+
+// "First symbol is 1".
+FiniteAcceptanceAutomaton StartsWithOne() {
+  Nfa nfa = Nfa::Empty(2);
+  int start = nfa.AddState(false);
+  int ok = nfa.AddState(true);
+  nfa.AddTransition(start, 1, ok);
+  nfa.initial.push_back(start);
+  return FiniteAcceptanceAutomaton(std::move(nfa));
+}
+
+TEST(FiniteAcceptanceTest, EventuallyOne) {
+  FiniteAcceptanceAutomaton fa = EventuallyOne();
+  EXPECT_TRUE(fa.Accepts(W({0, 0, 1}, {0})));
+  EXPECT_TRUE(fa.Accepts(W({}, {1})));
+  EXPECT_TRUE(fa.Accepts(W({}, {0, 0, 0, 1})));  // 1 recurs in the loop.
+  EXPECT_FALSE(fa.Accepts(W({}, {0})));
+  EXPECT_FALSE(fa.IsEmpty());
+}
+
+TEST(FiniteAcceptanceTest, UnionAndIntersection) {
+  FiniteAcceptanceAutomaton ev1 = EventuallyOne();
+  FiniteAcceptanceAutomaton s1 = StartsWithOne();
+  FiniteAcceptanceAutomaton u = FiniteAcceptanceAutomaton::Union(ev1, s1);
+  FiniteAcceptanceAutomaton i = FiniteAcceptanceAutomaton::Intersect(ev1, s1);
+
+  PeriodicWord starts_and_eventually = W({1}, {0});
+  PeriodicWord eventually_only = W({0, 1}, {0});
+  PeriodicWord never = W({}, {0});
+  EXPECT_TRUE(u.Accepts(starts_and_eventually));
+  EXPECT_TRUE(u.Accepts(eventually_only));
+  EXPECT_FALSE(u.Accepts(never));
+  EXPECT_TRUE(i.Accepts(starts_and_eventually));
+  // starts-with-1 implies eventually-1 here, but check a word in the
+  // difference direction: eventually-but-not-start.
+  EXPECT_FALSE(i.Accepts(eventually_only));
+  EXPECT_FALSE(i.Accepts(never));
+}
+
+TEST(FiniteAcceptanceTest, EmptyAutomaton) {
+  Nfa nfa = Nfa::Empty(2);
+  int start = nfa.AddState(false);
+  nfa.AddTransition(start, 0, start);
+  nfa.AddTransition(start, 1, start);
+  nfa.initial.push_back(start);
+  FiniteAcceptanceAutomaton fa(std::move(nfa));
+  EXPECT_TRUE(fa.IsEmpty());
+  EXPECT_FALSE(fa.Accepts(W({}, {1})));
+}
+
+// Buchi automaton for "infinitely many 1s" -- omega-regular but NOT
+// finitely regular (no finite prefix certifies it): the separating example
+// behind Section 3's hierarchy.
+BuchiAutomaton InfinitelyManyOnes() {
+  Nfa nfa = Nfa::Empty(2);
+  int zero = nfa.AddState(false);
+  int one = nfa.AddState(true);
+  nfa.AddTransition(zero, 0, zero);
+  nfa.AddTransition(zero, 1, one);
+  nfa.AddTransition(one, 0, zero);
+  nfa.AddTransition(one, 1, one);
+  nfa.initial.push_back(zero);
+  return BuchiAutomaton(std::move(nfa));
+}
+
+TEST(BuchiTest, InfinitelyManyOnes) {
+  BuchiAutomaton buchi = InfinitelyManyOnes();
+  EXPECT_TRUE(buchi.Accepts(W({}, {1})));
+  EXPECT_TRUE(buchi.Accepts(W({0, 0, 0}, {0, 1})));
+  EXPECT_FALSE(buchi.Accepts(W({1, 1, 1}, {0})));  // Only finitely many.
+  EXPECT_FALSE(buchi.IsEmpty());
+}
+
+TEST(BuchiTest, EmptinessDetectsNoAcceptingCycle) {
+  Nfa nfa = Nfa::Empty(1);
+  int a = nfa.AddState(false);
+  int b = nfa.AddState(true);
+  nfa.AddTransition(a, 0, a);
+  nfa.AddTransition(a, 0, b);  // b is accepting but has no outgoing cycle.
+  nfa.initial.push_back(a);
+  BuchiAutomaton buchi(std::move(nfa));
+  EXPECT_TRUE(buchi.IsEmpty());
+}
+
+TEST(BuchiTest, UnionAndIntersection) {
+  BuchiAutomaton inf1 = InfinitelyManyOnes();
+  // "Infinitely many 0s".
+  Nfa nfa = Nfa::Empty(2);
+  int one = nfa.AddState(false);
+  int zero = nfa.AddState(true);
+  nfa.AddTransition(one, 1, one);
+  nfa.AddTransition(one, 0, zero);
+  nfa.AddTransition(zero, 1, one);
+  nfa.AddTransition(zero, 0, zero);
+  nfa.initial.push_back(one);
+  BuchiAutomaton inf0(std::move(nfa));
+
+  BuchiAutomaton both = BuchiAutomaton::Intersect(inf1, inf0);
+  EXPECT_TRUE(both.Accepts(W({}, {0, 1})));
+  EXPECT_FALSE(both.Accepts(W({}, {1})));
+  EXPECT_FALSE(both.Accepts(W({}, {0})));
+  EXPECT_FALSE(both.IsEmpty());
+
+  BuchiAutomaton either = BuchiAutomaton::Union(inf1, inf0);
+  EXPECT_TRUE(either.Accepts(W({}, {1})));
+  EXPECT_TRUE(either.Accepts(W({}, {0})));
+}
+
+TEST(BuchiTest, FromFiniteAcceptanceAgreesOnSamples) {
+  FiniteAcceptanceAutomaton fa = EventuallyOne();
+  BuchiAutomaton buchi = BuchiAutomaton::FromFiniteAcceptance(fa);
+  std::vector<PeriodicWord> samples = {
+      W({}, {0}),          W({}, {1}),       W({0, 0, 1}, {0}),
+      W({1}, {0}),         W({}, {0, 1}),    W({0}, {0, 0, 1}),
+      W({1, 0, 0}, {0, 0}),
+  };
+  for (const PeriodicWord& w : samples) {
+    EXPECT_EQ(buchi.Accepts(w), fa.Accepts(w));
+  }
+}
+
+TEST(BuchiTest, SingletonWordAcceptsExactlyThatWord) {
+  PeriodicWord word = W({1, 0}, {0, 1, 1});
+  BuchiAutomaton singleton = BuchiAutomaton::SingletonWord(word, 2);
+  EXPECT_TRUE(singleton.Accepts(word));
+  EXPECT_FALSE(singleton.Accepts(W({1, 0}, {0, 1, 0})));
+  EXPECT_FALSE(singleton.Accepts(W({0, 0}, {0, 1, 1})));
+  EXPECT_FALSE(singleton.Accepts(W({}, {1})));
+  // Same word written differently (canonicalization handles it).
+  EXPECT_TRUE(singleton.Accepts(W({1, 0, 0}, {1, 1, 0})));
+}
+
+// Data-expressiveness bridge: two eventually periodic sets are equal iff
+// each characteristic word is accepted by the other's singleton automaton.
+TEST(BridgeTest, SetEqualityViaAutomata) {
+  EventuallyPeriodicSet a = EventuallyPeriodicSet::ArithmeticProgression(2, 6);
+  auto b_made = EventuallyPeriodicSet::Create(
+      {false, false}, {true, false, false, false, false, false});
+  ASSERT_TRUE(b_made.ok());
+  EventuallyPeriodicSet b = std::move(*b_made);
+  EXPECT_EQ(a, b);
+  BuchiAutomaton auto_a =
+      BuchiAutomaton::SingletonWord(PeriodicWord::Characteristic(a), 2);
+  EXPECT_TRUE(auto_a.Accepts(PeriodicWord::Characteristic(b)));
+
+  EventuallyPeriodicSet c = EventuallyPeriodicSet::ArithmeticProgression(3, 6);
+  EXPECT_FALSE(auto_a.Accepts(PeriodicWord::Characteristic(c)));
+}
+
+}  // namespace
+}  // namespace lrpdb

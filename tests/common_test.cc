@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "src/common/interner.h"
+#include "src/common/math_util.h"
+#include "src/common/status.h"
+#include "src/common/statusor.h"
+
+namespace lrpdb {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(OkStatus().ok());
+  EXPECT_EQ(OkStatus().ToString(), "OK");
+  Status err = InvalidArgumentError("bad period");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.ToString(), "INVALID_ARGUMENT: bad period");
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(err, InvalidArgumentError("bad period"));
+  EXPECT_FALSE(err == InvalidArgumentError("other"));
+}
+
+Status FailsWhenNegative(int x) {
+  if (x < 0) return InvalidArgumentError("negative");
+  return OkStatus();
+}
+
+Status UsesReturnIfError(int x) {
+  LRPDB_RETURN_IF_ERROR(FailsWhenNegative(x));
+  return OkStatus();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_EQ(UsesReturnIfError(-1).code(), StatusCode::kInvalidArgument);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return InvalidArgumentError("not positive");
+  return x;
+}
+
+StatusOr<int> Doubled(int x) {
+  LRPDB_ASSIGN_OR_RETURN(int value, ParsePositive(x));
+  return value * 2;
+}
+
+TEST(StatusOrTest, ValueAndError) {
+  StatusOr<int> ok = ParsePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 21);
+  StatusOr<int> err = ParsePositive(-3);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+
+  auto doubled = Doubled(21);
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(*doubled, 42);
+  EXPECT_FALSE(Doubled(0).ok());
+}
+
+TEST(StatusOrTest, MoveOnlyValues) {
+  StatusOr<std::unique_ptr<int>> holder(std::make_unique<int>(7));
+  ASSERT_TRUE(holder.ok());
+  std::unique_ptr<int> out = std::move(holder).value();
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(InternerTest, RoundTripAndFind) {
+  Interner interner;
+  SymbolId a = interner.Intern("alpha");
+  SymbolId b = interner.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.Intern("alpha"), a);
+  EXPECT_EQ(interner.NameOf(a), "alpha");
+  EXPECT_EQ(interner.NameOf(b), "beta");
+  EXPECT_EQ(interner.Find("alpha"), a);
+  EXPECT_EQ(interner.Find("gamma"), -1);
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(InternerTest, SurvivesCopyAndManyInserts) {
+  Interner interner;
+  std::vector<SymbolId> ids;
+  for (int i = 0; i < 500; ++i) {
+    ids.push_back(interner.Intern("sym" + std::to_string(i)));
+  }
+  Interner copy = interner;
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(copy.NameOf(ids[i]), "sym" + std::to_string(i));
+    EXPECT_EQ(copy.Find("sym" + std::to_string(i)), ids[i]);
+  }
+}
+
+TEST(MathTest, FloorDivMod) {
+  EXPECT_EQ(FloorDiv(7, 2), 3);
+  EXPECT_EQ(FloorDiv(-7, 2), -4);
+  EXPECT_EQ(FloorDiv(-8, 2), -4);
+  EXPECT_EQ(FloorMod(7, 5), 2);
+  EXPECT_EQ(FloorMod(-7, 5), 3);
+  EXPECT_EQ(FloorMod(-10, 5), 0);
+  EXPECT_EQ(CeilDiv(7, 2), 4);
+  EXPECT_EQ(CeilDiv(-7, 2), -3);
+  EXPECT_EQ(CeilDiv(8, 2), 4);
+  // Identity: a == FloorDiv(a, b) * b + FloorMod(a, b).
+  for (int64_t a = -25; a <= 25; ++a) {
+    for (int64_t b = 1; b <= 7; ++b) {
+      EXPECT_EQ(a, FloorDiv(a, b) * b + FloorMod(a, b)) << a << "," << b;
+    }
+  }
+}
+
+TEST(MathTest, GcdLcm) {
+  EXPECT_EQ(Gcd(12, 18), 6);
+  EXPECT_EQ(Gcd(-12, 18), 6);
+  EXPECT_EQ(Gcd(0, 5), 5);
+  EXPECT_EQ(Gcd(0, 0), 0);
+  EXPECT_EQ(Lcm(4, 6), 12);
+  EXPECT_EQ(Lcm(-4, 6), 12);
+  EXPECT_EQ(Lcm(7, 13), 91);
+}
+
+TEST(MathTest, ExtendedGcdBezout) {
+  for (int64_t a = -12; a <= 12; ++a) {
+    for (int64_t b = -12; b <= 12; ++b) {
+      int64_t x = 0;
+      int64_t y = 0;
+      int64_t g = ExtendedGcd(a, b, &x, &y);
+      EXPECT_EQ(g, Gcd(a, b)) << a << "," << b;
+      EXPECT_EQ(a * x + b * y, g) << a << "," << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lrpdb

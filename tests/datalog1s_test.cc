@@ -1,0 +1,239 @@
+#include "src/datalog1s/datalog1s.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/ground_evaluator.h"
+#include "src/parser/parser.h"
+
+namespace lrpdb {
+namespace {
+
+// Example 2.2: train-leaves(5) as a fact, then every 40 minutes; arrivals 60
+// minutes after departures. Facts are bodyless clauses.
+constexpr char kExample22Bodyless[] = R"(
+  .decl train_leaves(time, data, data)
+  .decl train_arrives(time, data, data)
+  train_leaves(5, "liege", "brussels").
+  train_leaves(t + 40, "liege", "brussels") :- train_leaves(t, "liege", "brussels").
+  train_arrives(t + 60, F, T) :- train_leaves(t, F, T).
+)";
+
+TEST(Datalog1STest, Example22TrainSchedule) {
+  Database db;
+  auto parsed = Parse(kExample22Bodyless, &db);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto result = EvaluateDatalog1S(parsed->program, db);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  DataValue liege = db.interner().Find("liege");
+  DataValue brussels = db.interner().Find("brussels");
+  // Departures: 5, 45, 85, ...; arrivals: 65, 105, ...
+  for (int64_t t = 0; t < 2000; ++t) {
+    EXPECT_EQ(result->Holds("train_leaves", {liege, brussels}, t),
+              t >= 5 && (t - 5) % 40 == 0)
+        << t;
+    EXPECT_EQ(result->Holds("train_arrives", {liege, brussels}, t),
+              t >= 65 && (t - 65) % 40 == 0)
+        << t;
+  }
+  // Far beyond the certification horizon, periodicity extrapolates.
+  EXPECT_TRUE(
+      result->Holds("train_leaves", {liege, brussels}, 5 + 40 * 1000000));
+  const EventuallyPeriodicSet& leaves =
+      result->model.at("train_leaves").at({liege, brussels});
+  EXPECT_EQ(leaves.period(), 40);
+}
+
+TEST(Datalog1STest, ValidationRejectsNonDatalog1S) {
+  Database db;
+  // Two temporal parameters.
+  auto two_params = Parse(R"(
+    .decl p(time, time)
+    .decl q(time, time)
+    q(t, t) :- p(t, t).
+  )",
+                          &db);
+  ASSERT_TRUE(two_params.ok());
+  EXPECT_FALSE(ValidateDatalog1S(two_params->program).ok());
+
+  // Negative offsets (predecessor) are not in the [CI88] language.
+  Database db2;
+  auto negative = Parse(R"(
+    .decl p(time)
+    .decl q(time)
+    .fact p(5n).
+    q(t - 1) :- p(t).
+  )",
+                        &db2);
+  ASSERT_TRUE(negative.ok());
+  EXPECT_FALSE(ValidateDatalog1S(negative->program).ok());
+
+  // Constraint atoms are not in the [CI88] language.
+  Database db3;
+  auto constraint = Parse(R"(
+    .decl p(time)
+    .decl q(time)
+    .fact p(5n).
+    q(t) :- p(t), t > 3.
+  )",
+                          &db3);
+  ASSERT_TRUE(constraint.ok());
+  EXPECT_FALSE(ValidateDatalog1S(constraint->program).ok());
+
+  // Two distinct temporal variables in one clause.
+  Database db4;
+  auto two_vars = Parse(R"(
+    .decl p(time)
+    .decl q(time)
+    .decl r(time)
+    .fact p(5n).
+    .fact q(3n).
+    r(t) :- p(t), q(s).
+  )",
+                        &db4);
+  ASSERT_TRUE(two_vars.ok());
+  EXPECT_FALSE(ValidateDatalog1S(two_vars->program).ok());
+}
+
+TEST(Datalog1STest, BackwardPropagationTerminates) {
+  // ev(t) <- ev(t+1) style rules (from the Templog <> translation) force
+  // downward closure: ev holds everywhere below a seed.
+  Database db;
+  auto parsed = Parse(R"(
+    .decl seed(time)
+    .decl ev(time)
+    seed(100).
+    ev(t) :- seed(t).
+    ev(t) :- ev(t + 1).
+  )",
+                      &db);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto result = EvaluateDatalog1S(parsed->program, db);
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (int64_t t = 0; t < 300; ++t) {
+    EXPECT_EQ(result->Holds("ev", {}, t), t <= 100) << t;
+  }
+}
+
+TEST(Datalog1STest, ExtensionalPeriodicInput) {
+  // EDB relation with an infinite periodic extension feeds the rules.
+  Database db;
+  auto parsed = Parse(R"(
+    .decl pulse(time)
+    .decl echo(time)
+    .fact pulse(30n+7) with T1 >= 0.
+    echo(t + 3) :- pulse(t).
+    echo(t + 15) :- echo(t).
+  )",
+                      &db);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto result = EvaluateDatalog1S(parsed->program, db);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // echo base: 10 + 30k, then +15 closure: 10 + 15j for j >= 0 (since
+  // 30k + 15m covers all multiples of 15 >= 0).
+  for (int64_t t = 0; t < 500; ++t) {
+    EXPECT_EQ(result->Holds("echo", {}, t), t >= 10 && (t - 10) % 15 == 0)
+        << t;
+  }
+}
+
+TEST(Datalog1STest, InterleavedPeriodsAndOffsets) {
+  Database db;
+  auto parsed = Parse(R"(
+    .decl a(time)
+    .decl b(time)
+    a(0).
+    a(t + 6) :- a(t).
+    b(t + 4) :- a(t).
+    b(t + 9) :- b(t), a(t + 3).
+  )",
+                      &db);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto result = EvaluateDatalog1S(parsed->program, db);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Differential check against a plain window evaluation at 4x horizon.
+  GroundEvaluationOptions gopt;
+  gopt.window_lo = 0;
+  gopt.window_hi = 4096;
+  auto ground = EvaluateGround(parsed->program, db, gopt);
+  ASSERT_TRUE(ground.ok());
+  for (int64_t t = 0; t < 2048; ++t) {
+    EXPECT_EQ(result->Holds("a", {}, t),
+              ground->idb.at("a").count({{t}, {}}) > 0)
+        << t;
+    EXPECT_EQ(result->Holds("b", {}, t),
+              ground->idb.at("b").count({{t}, {}}) > 0)
+        << t;
+  }
+}
+
+TEST(Datalog1STest, DataArgumentsSeparateTimelines) {
+  Database db;
+  auto parsed = Parse(R"(
+    .decl blink(time, data)
+    blink(0, "red").
+    blink(3, "green").
+    blink(t + 2, C) :- blink(t, C).
+  )",
+                      &db);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto result = EvaluateDatalog1S(parsed->program, db);
+  ASSERT_TRUE(result.ok()) << result.status();
+  DataValue red = db.interner().Find("red");
+  DataValue green = db.interner().Find("green");
+  for (int64_t t = 0; t < 100; ++t) {
+    EXPECT_EQ(result->Holds("blink", {red}, t), t % 2 == 0) << t;
+    EXPECT_EQ(result->Holds("blink", {green}, t), t >= 3 && t % 2 == 1) << t;
+  }
+}
+
+TEST(Datalog1STest, EmptyModelCertifiesQuickly) {
+  Database db;
+  auto parsed = Parse(R"(
+    .decl never(time)
+    .decl derived(time)
+    .fact never(5n) with T1 < 0.
+    derived(t + 1) :- never(t).
+  )",
+                      &db);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto result = EvaluateDatalog1S(parsed->program, db);
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (int64_t t = 0; t < 100; ++t) {
+    EXPECT_FALSE(result->Holds("derived", {}, t));
+  }
+}
+
+// Property sweep: random chain programs a(0); a(t+k) <- a(t); b(t+j) <- a(t)
+// must yield arithmetic progressions.
+class Datalog1SChainTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Datalog1SChainTest, ChainsAreArithmeticProgressions) {
+  auto [k, j] = GetParam();
+  Database db;
+  std::string source = R"(
+    .decl a(time)
+    .decl b(time)
+    a(0).
+    a(t + )" + std::to_string(k) +
+                       R"() :- a(t).
+    b(t + )" + std::to_string(j) +
+                       R"() :- a(t).
+  )";
+  auto parsed = Parse(source, &db);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto result = EvaluateDatalog1S(parsed->program, db);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const EventuallyPeriodicSet& a = result->model.at("a").at({});
+  const EventuallyPeriodicSet& b = result->model.at("b").at({});
+  EXPECT_EQ(a, EventuallyPeriodicSet::ArithmeticProgression(0, k));
+  EXPECT_EQ(b, EventuallyPeriodicSet::ArithmeticProgression(j, k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, Datalog1SChainTest,
+                         ::testing::Combine(::testing::Values(1, 2, 5, 7, 40),
+                                            ::testing::Values(1, 3, 60)));
+
+}  // namespace
+}  // namespace lrpdb

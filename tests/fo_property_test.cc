@@ -1,0 +1,228 @@
+// Differential property tests for the FO evaluator: random formulas over
+// random periodic databases, checked against a brute-force oracle that
+// interprets the formula over a wide ground window.
+//
+// Soundness of the oracle: all EDB periods are <= 6 (so every subformula's
+// truth value is periodic with period lcm <= 60 beyond the constraint
+// offsets), quantifier nesting is <= 2, and all offsets are <= 5; hence the
+// truth of the formula at free values in [-20, 20] only depends on facts
+// and witnesses within [-150, 150], which the oracle covers.
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/fo/fo.h"
+#include "src/parser/parser.h"
+
+namespace lrpdb {
+namespace {
+
+constexpr int64_t kOracleLo = -150;
+constexpr int64_t kOracleHi = 150;
+
+// Brute-force interpretation of an FoFormula under a (temporal, data)
+// variable assignment.
+class Oracle {
+ public:
+  Oracle(const Database& db, std::vector<DataValue> domain)
+      : db_(db), domain_(std::move(domain)) {}
+
+  bool Holds(const FoFormula& formula,
+             std::map<SymbolId, int64_t>& temporal,
+             std::map<SymbolId, DataValue>& data,
+             const FoQuery& query) const {
+    switch (formula.kind) {
+      case FoFormula::Kind::kAtom: {
+        auto relation = db_.Relation(formula.atom.predicate);
+        LRPDB_CHECK(relation.ok());
+        std::vector<int64_t> times;
+        for (const TemporalTerm& term : formula.atom.temporal_args) {
+          times.push_back(term.is_constant()
+                              ? term.offset
+                              : temporal.at(term.variable) + term.offset);
+        }
+        std::vector<DataValue> values;
+        for (const DataTerm& term : formula.atom.data_args) {
+          values.push_back(term.is_constant() ? term.constant
+                                              : data.at(term.variable));
+        }
+        return (*relation)->ContainsGround(times, values);
+      }
+      case FoFormula::Kind::kComparison: {
+        auto value = [&](const TemporalTerm& term) {
+          return term.is_constant() ? term.offset
+                                    : temporal.at(term.variable) +
+                                          term.offset;
+        };
+        int64_t l = value(formula.comparison.lhs);
+        int64_t r = value(formula.comparison.rhs);
+        switch (formula.comparison.op) {
+          case ComparisonOp::kLess:
+            return l < r;
+          case ComparisonOp::kLessEqual:
+            return l <= r;
+          case ComparisonOp::kEqual:
+            return l == r;
+          case ComparisonOp::kGreaterEqual:
+            return l >= r;
+          case ComparisonOp::kGreater:
+            return l > r;
+        }
+        return false;
+      }
+      case FoFormula::Kind::kAnd:
+        return Holds(*formula.left, temporal, data, query) &&
+               Holds(*formula.right, temporal, data, query);
+      case FoFormula::Kind::kOr:
+        return Holds(*formula.left, temporal, data, query) ||
+               Holds(*formula.right, temporal, data, query);
+      case FoFormula::Kind::kNot:
+        return !Holds(*formula.left, temporal, data, query);
+      case FoFormula::Kind::kExists: {
+        return ExistsHolds(formula, 0, temporal, data, query);
+      }
+    }
+    return false;
+  }
+
+ private:
+  bool ExistsHolds(const FoFormula& formula, size_t index,
+                   std::map<SymbolId, int64_t>& temporal,
+                   std::map<SymbolId, DataValue>& data,
+                   const FoQuery& query) const {
+    if (index == formula.bound.size()) {
+      return Holds(*formula.left, temporal, data, query);
+    }
+    SymbolId var = formula.bound[index];
+    auto kind = query.is_temporal.find(var);
+    if (kind == query.is_temporal.end()) {
+      // Vacuous quantifier.
+      return ExistsHolds(formula, index + 1, temporal, data, query);
+    }
+    if (kind->second) {
+      for (int64_t value = kOracleLo; value < kOracleHi; ++value) {
+        temporal[var] = value;
+        if (ExistsHolds(formula, index + 1, temporal, data, query)) {
+          temporal.erase(var);
+          return true;
+        }
+      }
+      temporal.erase(var);
+      return false;
+    }
+    for (DataValue value : domain_) {
+      data[var] = value;
+      if (ExistsHolds(formula, index + 1, temporal, data, query)) {
+        data.erase(var);
+        return true;
+      }
+    }
+    data.erase(var);
+    return false;
+  }
+
+  const Database& db_;
+  std::vector<DataValue> domain_;
+};
+
+// Random formula sources over the fixed schema
+//   a(time), b(time), c(time, data).
+std::string RandomFormula(std::mt19937& rng, int depth,
+                          const std::vector<std::string>& free_vars) {
+  auto var = [&]() { return free_vars[rng() % free_vars.size()]; };
+  auto offset = [&]() {
+    int64_t k = static_cast<int64_t>(rng() % 11) - 5;
+    if (k == 0) return std::string();
+    return (k > 0 ? " + " : " - ") + std::to_string(k > 0 ? k : -k);
+  };
+  int choice = static_cast<int>(rng() % (depth > 0 ? 7 : 3));
+  switch (choice) {
+    case 0:
+      return "a(" + var() + offset() + ")";
+    case 1:
+      return "b(" + var() + offset() + ")";
+    case 2: {
+      static const char* kOps[] = {"<", "<=", "=", ">=", ">"};
+      return var() + offset() + " " + kOps[rng() % 5] + " " + var() +
+             offset();
+    }
+    case 3:
+      return "(" + RandomFormula(rng, depth - 1, free_vars) + " & " +
+             RandomFormula(rng, depth - 1, free_vars) + ")";
+    case 4:
+      return "(" + RandomFormula(rng, depth - 1, free_vars) + " | " +
+             RandomFormula(rng, depth - 1, free_vars) + ")";
+    case 5:
+      return "~(" + RandomFormula(rng, depth - 1, free_vars) + ")";
+    default: {
+      // exists over a fresh variable, usable inside the child.
+      std::string fresh = "q" + std::to_string(rng() % 2 + 1);
+      std::vector<std::string> extended = free_vars;
+      extended.push_back(fresh);
+      return "exists " + fresh + " (" +
+             RandomFormula(rng, depth - 1, extended) + ")";
+    }
+  }
+}
+
+class FoDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FoDifferentialTest, MatchesBruteForceOracle) {
+  std::mt19937 rng(GetParam() * 31 + 7);
+  for (int iter = 0; iter < 5; ++iter) {
+    // Random database with small periods.
+    Database db;
+    std::string schema = R"(
+      .decl a(time)
+      .decl b(time)
+    )";
+    auto facts = [&rng](const std::string& name) {
+      std::string s;
+      int n = 1 + static_cast<int>(rng() % 2);
+      for (int i = 0; i < n; ++i) {
+        int64_t period = 2 + rng() % 5;  // 2..6
+        int64_t offset = rng() % period;
+        s += ".fact " + name + "(" + std::to_string(period) + "n+" +
+             std::to_string(offset) + ").\n";
+      }
+      return s;
+    };
+    std::string source = schema + facts("a") + facts("b");
+    auto unit = Parse(source, &db);
+    ASSERT_TRUE(unit.ok()) << unit.status() << "\n" << source;
+
+    std::string formula_source = RandomFormula(rng, 2, {"x"});
+    SCOPED_TRACE(source + "\nformula: " + formula_source);
+    auto query = ParseFoQuery(formula_source, &db);
+    ASSERT_TRUE(query.ok()) << query.status();
+    auto result = EvaluateFoQuery(*query, db);
+    ASSERT_TRUE(result.ok()) << result.status();
+
+    Oracle oracle(db, {});
+    // The free variable may not occur (constant formulas); handle both.
+    if (result->temporal_vars.empty()) {
+      std::map<SymbolId, int64_t> temporal;
+      std::map<SymbolId, DataValue> data;
+      bool expected = oracle.Holds(*query->formula, temporal, data, *query);
+      EXPECT_EQ(!result->relation.empty(), expected);
+      continue;
+    }
+    ASSERT_EQ(result->temporal_vars, (std::vector<std::string>{"x"}));
+    SymbolId x = query->variables.Find("x");
+    for (int64_t t = -20; t <= 20; ++t) {
+      std::map<SymbolId, int64_t> temporal{{x, t}};
+      std::map<SymbolId, DataValue> data;
+      bool expected = oracle.Holds(*query->formula, temporal, data, *query);
+      ASSERT_EQ(result->relation.ContainsGround({t}, {}), expected)
+          << "t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FoDifferentialTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace lrpdb

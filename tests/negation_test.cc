@@ -1,0 +1,223 @@
+// Stratified negation in the deductive language (the extension the paper's
+// Section 3 links to omega-regular query expressiveness).
+#include <gtest/gtest.h>
+
+#include "src/core/evaluator.h"
+#include "src/core/ground_evaluator.h"
+#include "src/parser/parser.h"
+
+namespace lrpdb {
+namespace {
+
+TEST(StratifyTest, AssignsStrata) {
+  Database db;
+  auto unit = Parse(R"(
+    .decl e(time)
+    .decl p(time)
+    .decl q(time)
+    .decl r(time)
+    .fact e(2n).
+    p(t) :- e(t).
+    q(t) :- e(t), !p(t + 1).
+    r(t) :- q(t), !q(t + 2).
+  )",
+                    &db);
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto strata = unit->program.Stratify();
+  ASSERT_TRUE(strata.ok()) << strata.status();
+  SymbolId p = unit->program.predicates().Find("p");
+  SymbolId q = unit->program.predicates().Find("q");
+  SymbolId r = unit->program.predicates().Find("r");
+  EXPECT_EQ(strata->at(p), 0);
+  EXPECT_EQ(strata->at(q), 1);
+  EXPECT_EQ(strata->at(r), 2);
+}
+
+TEST(StratifyTest, RejectsRecursionThroughNegation) {
+  Database db;
+  auto unit = Parse(R"(
+    .decl e(time)
+    .decl p(time)
+    .decl q(time)
+    .fact e(2n).
+    p(t) :- e(t), !q(t).
+    q(t) :- e(t), !p(t).
+  )",
+                    &db);
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto strata = unit->program.Stratify();
+  ASSERT_FALSE(strata.ok());
+  auto result = Evaluate(unit->program, db);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ValidateTest, NegationSafety) {
+  Database db;
+  // Variable of a negated atom not bound positively.
+  auto unit = Parse(R"(
+    .decl e(time)
+    .decl q(time)
+    .decl p(time)
+    .fact e(2n).
+    q(t) :- e(t).
+    p(t) :- e(t), !q(s).
+  )",
+                    &db);
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  EXPECT_FALSE(unit->program.Validate().ok());
+}
+
+TEST(NegationTest, ComplementOfPeriodicEdb) {
+  // gap(t): departure times with no departure 40 later... here simply the
+  // complement pattern: tick holds at 3n; quiet at tick times whose
+  // successor is NOT a tick time.
+  Database db;
+  auto unit = Parse(R"(
+    .decl tick(time)
+    .decl quiet(time)
+    .fact tick(3n).
+    quiet(t) :- tick(t), !tick(t + 1).
+  )",
+                    &db);
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto result = Evaluate(unit->program, db);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->reached_fixpoint);
+  const GeneralizedRelation& quiet = result->Relation("quiet");
+  for (int64_t t = -30; t <= 30; ++t) {
+    // Every multiple of 3 qualifies (t+1 = 3k+1 is never a tick).
+    EXPECT_EQ(quiet.ContainsGround({t}, {}), FloorMod(t, 3) == 0) << t;
+  }
+}
+
+TEST(NegationTest, NegatedIntensionalLowerStratum) {
+  // served: stops covered by a line; unserved tick hours.
+  Database db;
+  auto unit = Parse(R"(
+    .decl hour(time)
+    .decl lineA(time)
+    .decl served(time)
+    .decl unserved(time)
+    .fact hour(n).
+    .fact lineA(4n+1).
+    served(t) :- lineA(t).
+    served(t + 2) :- lineA(t).
+    unserved(t) :- hour(t), !served(t).
+  )",
+                    &db);
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto result = Evaluate(unit->program, db);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const GeneralizedRelation& unserved = result->Relation("unserved");
+  for (int64_t t = -20; t <= 20; ++t) {
+    bool is_served = FloorMod(t, 4) == 1 || FloorMod(t, 4) == 3;
+    EXPECT_EQ(unserved.ContainsGround({t}, {}), !is_served) << t;
+  }
+}
+
+TEST(NegationTest, DataArgumentsComplementOverActiveDomain) {
+  Database db;
+  auto unit = Parse(R"(
+    .decl runs(time, data)
+    .decl missing(time, data)
+    .fact runs(2n, "tram").
+    .fact runs(3n, "bus").
+    missing(t, X) :- runs(t, X), !runs(t + 1, X).
+  )",
+                    &db);
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto result = Evaluate(unit->program, db);
+  ASSERT_TRUE(result.ok()) << result.status();
+  DataValue tram = db.interner().Find("tram");
+  DataValue bus = db.interner().Find("bus");
+  const GeneralizedRelation& missing = result->Relation("missing");
+  for (int64_t t = -12; t <= 12; ++t) {
+    // tram runs at evens: t even -> t+1 odd -> not a tram time: always
+    // missing at tram times.
+    EXPECT_EQ(missing.ContainsGround({t}, {tram}), FloorMod(t, 2) == 0) << t;
+    // bus runs at multiples of 3; 3k+1 is never a bus time.
+    EXPECT_EQ(missing.ContainsGround({t}, {bus}), FloorMod(t, 3) == 0) << t;
+  }
+}
+
+TEST(NegationTest, AgreesWithGroundBaseline) {
+  constexpr char kProgram[] = R"(
+    .decl base(time)
+    .decl derived(time)
+    .decl odd_gap(time)
+    .fact base(5n+2) with T1 >= 0.
+    derived(t + 3) :- base(t).
+    derived(t + 10) :- derived(t).
+    odd_gap(t) :- derived(t), !base(t), !derived(t + 5).
+  )";
+  Database db;
+  auto unit = Parse(kProgram, &db);
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto generalized = Evaluate(unit->program, db);
+  ASSERT_TRUE(generalized.ok()) << generalized.status();
+  ASSERT_TRUE(generalized->reached_fixpoint);
+
+  GroundEvaluationOptions gopt;
+  gopt.window_lo = -200;
+  gopt.window_hi = 600;
+  auto ground = EvaluateGround(unit->program, db, gopt);
+  ASSERT_TRUE(ground.ok()) << ground.status();
+  // Compare well inside the window (negation near the upper boundary
+  // differs: the window model lacks facts above window_hi).
+  for (int64_t t = 0; t < 400; ++t) {
+    EXPECT_EQ(generalized->Relation("derived").ContainsGround({t}, {}),
+              ground->idb.at("derived").count({{t}, {}}) > 0)
+        << "derived at " << t;
+    EXPECT_EQ(generalized->Relation("odd_gap").ContainsGround({t}, {}),
+              ground->idb.at("odd_gap").count({{t}, {}}) > 0)
+        << "odd_gap at " << t;
+  }
+}
+
+TEST(NegationTest, NegationOnlyProgramsStillFixpoint) {
+  // A stratified program whose top stratum derives nothing.
+  Database db;
+  auto unit = Parse(R"(
+    .decl all(time)
+    .decl none(time)
+    .fact all(n).
+    none(t) :- all(t), !all(t).
+  )",
+                    &db);
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto result = Evaluate(unit->program, db);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->reached_fixpoint);
+  EXPECT_TRUE(result->Relation("none").empty());
+}
+
+// Parity complement: the omega-regular-flavoured example -- "odd" defined
+// as the negation of recursively defined "even" over a base timeline.
+TEST(NegationTest, ParityComplement) {
+  Database db;
+  auto unit = Parse(R"(
+    .decl timeline(time)
+    .decl even(time)
+    .decl odd(time)
+    .fact timeline(n) with T1 >= 0.
+    even(0) :- timeline(0).
+    even(t + 2) :- even(t), timeline(t + 2).
+    odd(t) :- timeline(t), !even(t).
+  )",
+                    &db);
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  EvaluationOptions options;
+  options.fes_patience = 8;
+  auto result = Evaluate(unit->program, db, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Note: even(0), even(t+2) over the point-based timeline does not reach a
+  // periodic closed form (each step pins a new constant) -- the engine gives
+  // up on stratum 0 per Section 4.3. This is exactly the situation the
+  // paper describes for point-seeded recursion; the Datalog1S engine is the
+  // right tool there. Verify the give-up is graceful.
+  EXPECT_FALSE(result->reached_fixpoint);
+  EXPECT_NE(result->gave_up_reason, "");
+}
+
+}  // namespace
+}  // namespace lrpdb

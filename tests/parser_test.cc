@@ -1,0 +1,196 @@
+#include "src/parser/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/parser/lexer.h"
+
+namespace lrpdb {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize(".decl p(time) ?- p(5n+3). % comment\n// c2");
+  ASSERT_TRUE(tokens.ok()) << tokens.status();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kDirective, TokenKind::kIdentifier,
+                TokenKind::kLeftParen, TokenKind::kIdentifier,
+                TokenKind::kRightParen, TokenKind::kQuery,
+                TokenKind::kIdentifier, TokenKind::kLeftParen,
+                TokenKind::kNumber, TokenKind::kIdentifier, TokenKind::kPlus,
+                TokenKind::kNumber, TokenKind::kRightParen,
+                TokenKind::kPeriod, TokenKind::kEnd}));
+  EXPECT_TRUE((*tokens)[9].glued_to_previous);  // 'n' glued to '5'.
+}
+
+TEST(LexerTest, GluedTracking) {
+  auto tokens = Tokenize("5 n 5n");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_FALSE((*tokens)[1].glued_to_previous);
+  EXPECT_TRUE((*tokens)[3].glued_to_previous);
+}
+
+TEST(LexerTest, Strings) {
+  auto tokens = Tokenize("\"database course\"");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[0].text, "database course");
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto tokens = Tokenize("< <= = >= > :- ?-");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kLess);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kLessEqual);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kEqual);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kGreaterEqual);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kGreater);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kImplies);
+  EXPECT_EQ((*tokens)[6].kind, TokenKind::kQuery);
+}
+
+TEST(ParserTest, TrainScheduleExample21) {
+  Database db;
+  auto unit = Parse(R"(
+    .decl train(time, time, data, data)
+    .fact train(40n+5, 40n+65, "liege", "brussels")
+        with T1 >= 0, T2 = T1 + 60.
+  )",
+                    &db);
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto relation = db.Relation("train");
+  ASSERT_TRUE(relation.ok());
+  DataValue liege = db.interner().Find("liege");
+  DataValue brussels = db.interner().Find("brussels");
+  EXPECT_TRUE((*relation)->ContainsGround({5, 65}, {liege, brussels}));
+  EXPECT_TRUE((*relation)->ContainsGround({45, 105}, {liege, brussels}));
+  EXPECT_FALSE((*relation)->ContainsGround({-35, 25}, {liege, brussels}));
+  EXPECT_FALSE((*relation)->ContainsGround({5, 66}, {liege, brussels}));
+}
+
+TEST(ParserTest, IntegerFactArgumentsBecomePinnedLrps) {
+  Database db;
+  auto unit = Parse(R"(
+    .decl event(time)
+    .fact event(42).
+    .fact event(-7).
+  )",
+                    &db);
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto relation = db.Relation("event");
+  ASSERT_TRUE(relation.ok());
+  EXPECT_TRUE((*relation)->ContainsGround({42}, {}));
+  EXPECT_TRUE((*relation)->ContainsGround({-7}, {}));
+  EXPECT_FALSE((*relation)->ContainsGround({41}, {}));
+}
+
+TEST(ParserTest, LrpVariants) {
+  Database db;
+  auto unit = Parse(R"(
+    .decl p(time, time, time)
+    .fact p(n, 7n, 5n-2).
+  )",
+                    &db);
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto relation = db.Relation("p");
+  ASSERT_TRUE(relation.ok());
+  const GeneralizedTuple& t = (*relation)->tuple(0);
+  EXPECT_EQ(t.lrp(0), Lrp(1, 0));
+  EXPECT_EQ(t.lrp(1), Lrp(7, 0));
+  EXPECT_EQ(t.lrp(2), Lrp(5, -2));
+}
+
+TEST(ParserTest, RulesAndQueries) {
+  Database db;
+  auto unit = Parse(R"(
+    .decl a(time, data)
+    .decl b(time, data)
+    .fact a(3n, "x").
+    b(t + 1, D) :- a(t, D), t >= 0.
+    ?- b(t, "x").
+  )",
+                    &db);
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  ASSERT_EQ(unit->program.clauses().size(), 1u);
+  const Clause& clause = unit->program.clauses()[0];
+  EXPECT_EQ(clause.body.size(), 2u);
+  EXPECT_TRUE(std::holds_alternative<PredicateAtom>(clause.body[0]));
+  EXPECT_TRUE(std::holds_alternative<ConstraintAtom>(clause.body[1]));
+  ASSERT_EQ(unit->queries.size(), 1u);
+  EXPECT_EQ(unit->queries[0].data_args.size(), 1u);
+  EXPECT_TRUE(unit->queries[0].data_args[0].is_constant());
+}
+
+TEST(ParserTest, DataVariableCapitalizationConvention) {
+  Database db;
+  auto unit = Parse(R"(
+    .decl a(time, data)
+    .decl b(time, data)
+    .fact a(3n, liege).
+    b(t, Where) :- a(t, Where).
+  )",
+                    &db);
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  const Clause& clause = unit->program.clauses()[0];
+  EXPECT_FALSE(clause.head.data_args[0].is_constant());
+  // And lowercase identifiers are constants.
+  EXPECT_GE(db.interner().Find("liege"), 0);
+}
+
+TEST(ParserTest, Errors) {
+  Database db;
+  // Use before declaration.
+  EXPECT_FALSE(Parse(".fact p(3n).", &db).ok());
+  // Arity mismatch.
+  EXPECT_FALSE(Parse(".decl p(time)\n.fact p(3n, 4n).", &db).ok());
+  // Data before time in declaration.
+  EXPECT_FALSE(Parse(".decl p(data, time)", &db).ok());
+  // Zero-period lrp.
+  EXPECT_FALSE(Parse(".decl p(time)\n.fact p(0n+3).", &db).ok());
+  // Mixed temporal/data use of one variable.
+  EXPECT_FALSE(Parse(R"(
+    .decl a(time, data)
+    .decl b(time, data)
+    b(T, T) :- a(T, T).
+  )",
+                     &db)
+                   .ok());
+  // Constraint referencing a column out of range.
+  EXPECT_FALSE(Parse(".decl p(time)\n.fact p(3n) with T2 = 0.", &db).ok());
+  // Missing final period.
+  EXPECT_FALSE(Parse(".decl p(time)\n.fact p(3n)", &db).ok());
+}
+
+TEST(ParserTest, ZeroAryPredicates) {
+  Database db;
+  auto unit = Parse(R"(
+    .decl tick(time)
+    .decl alarm()
+    .fact tick(7n).
+    alarm :- tick(t), t > 100.
+  )",
+                    &db);
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  EXPECT_EQ(unit->program.clauses()[0].head.temporal_args.size(), 0u);
+}
+
+TEST(ParserTest, ProgramToStringRoundTripsStructure) {
+  Database db;
+  auto unit = Parse(R"(
+    .decl course(time, time, data)
+    .decl problems(time, time, data)
+    .fact course(168n+8, 168n+10, "database") with T2 = T1 + 2.
+    problems(t1 + 2, t2 + 2, N) :- course(t1, t2, N).
+  )",
+                    &db);
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  std::string text = unit->program.ToString();
+  EXPECT_NE(text.find("problems(t1+2, t2+2, N) :- course(t1, t2, N)."),
+            std::string::npos)
+      << text;
+}
+
+}  // namespace
+}  // namespace lrpdb

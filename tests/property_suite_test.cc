@@ -1,0 +1,206 @@
+// Cross-module property tests that did not fit the per-module suites:
+// DBM projection against brute force, automaton products against sampled
+// words, and Datalog1S programs with data arguments against the ground
+// window oracle.
+#include <random>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/automata/automata.h"
+#include "src/constraints/dbm.h"
+#include "src/core/ground_evaluator.h"
+#include "src/datalog1s/datalog1s.h"
+#include "src/parser/parser.h"
+
+namespace lrpdb {
+namespace {
+
+// --- DBM projection ---
+
+class DbmProjectionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DbmProjectionTest, ProjectionMatchesBruteForce) {
+  std::mt19937 rng(GetParam() * 101);
+  std::uniform_int_distribution<int> bound_dist(-5, 5);
+  std::uniform_int_distribution<int> var_dist(0, 3);
+  for (int iter = 0; iter < 25; ++iter) {
+    Dbm dbm(3);
+    for (int v = 1; v <= 3; ++v) {
+      dbm.AddLowerBound(v, -6);
+      dbm.AddUpperBound(v, 6);
+    }
+    int constraints = 2 + static_cast<int>(rng() % 4);
+    for (int k = 0; k < constraints; ++k) {
+      int i = var_dist(rng);
+      int j = var_dist(rng);
+      if (i == j) continue;
+      dbm.AddDifferenceUpperBound(i, j, bound_dist(rng));
+    }
+    // Project out x2 (keep x1, x3).
+    Dbm projected = dbm.Project({1, 3});
+    for (int64_t a = -7; a <= 7; ++a) {
+      for (int64_t c = -7; c <= 7; ++c) {
+        bool expected = false;
+        for (int64_t b = -7; b <= 7 && !expected; ++b) {
+          expected = dbm.ContainsPoint({a, b, c});
+        }
+        ASSERT_EQ(projected.ContainsPoint({a, c}), expected)
+            << "iter " << iter << " (" << a << "," << c << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbmProjectionTest, ::testing::Range(1, 7));
+
+TEST(DbmShiftTest, ShiftMatchesSubstitutionBruteForce) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> bound_dist(-5, 5);
+  for (int iter = 0; iter < 25; ++iter) {
+    Dbm dbm(2);
+    dbm.AddLowerBound(1, -6);
+    dbm.AddUpperBound(1, 6);
+    dbm.AddLowerBound(2, -6);
+    dbm.AddUpperBound(2, 6);
+    dbm.AddDifferenceUpperBound(1, 2, bound_dist(rng));
+    int64_t shift = bound_dist(rng);
+    Dbm shifted = dbm;
+    shifted.ShiftVariable(1, shift);
+    for (int64_t a = -14; a <= 14; ++a) {
+      for (int64_t b = -14; b <= 14; ++b) {
+        ASSERT_EQ(shifted.ContainsPoint({a, b}),
+                  dbm.ContainsPoint({a - shift, b}))
+            << iter << ": " << a << "," << b << " shift " << shift;
+      }
+    }
+  }
+}
+
+// --- Automata products against sampled words ---
+
+Nfa RandomNfa(std::mt19937& rng, int states, int alphabet) {
+  Nfa nfa = Nfa::Empty(alphabet);
+  for (int q = 0; q < states; ++q) nfa.AddState(rng() % 3 == 0);
+  for (int q = 0; q < states; ++q) {
+    for (int s = 0; s < alphabet; ++s) {
+      int out_degree = static_cast<int>(rng() % 3);
+      for (int k = 0; k < out_degree; ++k) {
+        nfa.AddTransition(q, s, static_cast<int>(rng() % states));
+      }
+    }
+  }
+  nfa.initial.push_back(0);
+  return nfa;
+}
+
+std::vector<PeriodicWord> SampleWords(std::mt19937& rng, int alphabet,
+                                      int count) {
+  std::vector<PeriodicWord> words;
+  for (int i = 0; i < count; ++i) {
+    std::vector<int> prefix(rng() % 4);
+    std::vector<int> loop(1 + rng() % 4);
+    for (int& s : prefix) s = static_cast<int>(rng() % alphabet);
+    for (int& s : loop) s = static_cast<int>(rng() % alphabet);
+    words.emplace_back(prefix, loop);
+  }
+  return words;
+}
+
+class AutomataProductTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AutomataProductTest, BooleanOperationsAgreeOnSamples) {
+  std::mt19937 rng(GetParam() * 29);
+  for (int iter = 0; iter < 10; ++iter) {
+    FiniteAcceptanceAutomaton fa(RandomNfa(rng, 4, 2));
+    FiniteAcceptanceAutomaton fb(RandomNfa(rng, 4, 2));
+    FiniteAcceptanceAutomaton funion = FiniteAcceptanceAutomaton::Union(fa, fb);
+    FiniteAcceptanceAutomaton finter =
+        FiniteAcceptanceAutomaton::Intersect(fa, fb);
+    BuchiAutomaton ba(RandomNfa(rng, 4, 2));
+    BuchiAutomaton bb(RandomNfa(rng, 4, 2));
+    BuchiAutomaton bunion = BuchiAutomaton::Union(ba, bb);
+    BuchiAutomaton binter = BuchiAutomaton::Intersect(ba, bb);
+    BuchiAutomaton fa_as_buchi = BuchiAutomaton::FromFiniteAcceptance(fa);
+    for (const PeriodicWord& w : SampleWords(rng, 2, 12)) {
+      bool in_a = fa.Accepts(w);
+      bool in_b = fb.Accepts(w);
+      ASSERT_EQ(funion.Accepts(w), in_a || in_b) << "fa union, iter " << iter;
+      ASSERT_EQ(finter.Accepts(w), in_a && in_b)
+          << "fa intersect, iter " << iter;
+      ASSERT_EQ(fa_as_buchi.Accepts(w), in_a) << "fa->buchi, iter " << iter;
+      bool in_ba = ba.Accepts(w);
+      bool in_bb = bb.Accepts(w);
+      ASSERT_EQ(bunion.Accepts(w), in_ba || in_bb)
+          << "buchi union, iter " << iter;
+      ASSERT_EQ(binter.Accepts(w), in_ba && in_bb)
+          << "buchi intersect, iter " << iter;
+    }
+    // Emptiness is consistent with sampling: if a sample is accepted the
+    // automaton is non-empty.
+    for (const PeriodicWord& w : SampleWords(rng, 2, 4)) {
+      if (ba.Accepts(w)) {
+        ASSERT_FALSE(ba.IsEmpty());
+      }
+      if (fa.Accepts(w)) {
+        ASSERT_FALSE(fa.IsEmpty());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutomataProductTest, ::testing::Range(1, 7));
+
+// --- Datalog1S with data arguments, against the window oracle ---
+
+class Datalog1SDataTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Datalog1SDataTest, RandomDataProgramsMatchWindowOracle) {
+  std::mt19937 rng(GetParam() * 997);
+  const char* kColors[] = {"red", "green", "blue"};
+  for (int iter = 0; iter < 4; ++iter) {
+    std::string source = R"(
+      .decl emit(time, data)
+      .decl seen(time, data)
+      .decl pair(time, data)
+    )";
+    int facts = 1 + static_cast<int>(rng() % 3);
+    for (int i = 0; i < facts; ++i) {
+      source += "emit(" + std::to_string(rng() % 6) + ", \"" +
+                kColors[rng() % 3] + "\").\n";
+    }
+    int64_t step = 2 + rng() % 5;
+    source += "emit(t + " + std::to_string(step) + ", C) :- emit(t, C).\n";
+    source += "seen(t + " + std::to_string(rng() % 4) + ", C) :- emit(t, C).\n";
+    source += "pair(t, C) :- seen(t, C), emit(t, C).\n";
+    SCOPED_TRACE(source);
+    Database db;
+    auto unit = Parse(source, &db);
+    ASSERT_TRUE(unit.ok()) << unit.status();
+    auto explicit_form = EvaluateDatalog1S(unit->program, db);
+    ASSERT_TRUE(explicit_form.ok()) << explicit_form.status();
+
+    GroundEvaluationOptions gopt;
+    gopt.window_lo = 0;
+    gopt.window_hi = 512;
+    auto ground = EvaluateGround(unit->program, db, gopt);
+    ASSERT_TRUE(ground.ok()) << ground.status();
+    for (const char* color : kColors) {
+      DataValue value = db.interner().Find(color);
+      if (value < 0) continue;
+      for (int64_t t = 0; t < 256; ++t) {
+        for (const char* predicate : {"emit", "seen", "pair"}) {
+          ASSERT_EQ(
+              explicit_form->Holds(predicate, {value}, t),
+              ground->idb.at(predicate).count({{t}, {value}}) > 0)
+              << predicate << "(" << t << ", " << color << ")";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Datalog1SDataTest, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace lrpdb

@@ -1,0 +1,137 @@
+#include "src/gdb/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/evaluator.h"
+#include "src/gdb/algebra.h"
+#include "src/parser/parser.h"
+
+namespace lrpdb {
+namespace {
+
+// Parses, serializes, reparses, and checks ground-set equality of every
+// relation on a window.
+void ExpectRoundTrip(const std::string& source, int64_t lo, int64_t hi) {
+  Database db;
+  auto unit = Parse(source, &db);
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  std::string text = SerializeDatabase(db);
+  SCOPED_TRACE(text);
+  Database reloaded;
+  auto reparsed = Parse(text, &reloaded);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  for (const std::string& name : db.RelationNames()) {
+    auto original = db.Relation(name);
+    auto copy = reloaded.Relation(name);
+    ASSERT_TRUE(copy.ok()) << "missing relation " << name;
+    auto original_ground = (*original)->EnumerateGround(lo, hi);
+    for (const GroundTuple& t : original_ground) {
+      // Remap data ids through names (interners differ).
+      std::vector<DataValue> data;
+      for (DataValue d : t.data) {
+        data.push_back(reloaded.interner().Find(db.interner().NameOf(d)));
+      }
+      EXPECT_TRUE((*copy)->ContainsGround(t.times, data))
+          << name << " lost a tuple";
+    }
+    auto copy_ground = (*copy)->EnumerateGround(lo, hi);
+    EXPECT_EQ(original_ground.size(), copy_ground.size())
+        << name << " gained tuples";
+  }
+}
+
+TEST(SerializeTest, TrainScheduleRoundTrip) {
+  ExpectRoundTrip(R"(
+    .decl train(time, time, data, data)
+    .fact train(40n+5, 40n+65, "liege", "brussels")
+        with T1 >= 0, T2 = T1 + 60.
+  )",
+                  -100, 400);
+}
+
+TEST(SerializeTest, PinnedPointsAndMixedPeriods) {
+  ExpectRoundTrip(R"(
+    .decl event(time)
+    .fact event(42).
+    .fact event(-7).
+    .fact event(6n+1) with T1 >= 0, T1 <= 30.
+    .decl pair(time, time)
+    .fact pair(4n+1, 6n+5) with T1 < T2, T2 <= T1 + 9.
+  )",
+                  -50, 120);
+}
+
+TEST(SerializeTest, DeclarationText) {
+  EXPECT_EQ(SerializeDeclaration("train", {2, 2}),
+            ".decl train(time, time, data, data)\n");
+  EXPECT_EQ(SerializeDeclaration("flag", {0, 0}), ".decl flag()\n");
+}
+
+TEST(SerializeTest, TransitiveReductionKeepsOutputSmall) {
+  // A chain T2 = T1 + 1, T3 = T2 + 1 closes to also relate T3 and T1; the
+  // serialized form should not list the derived T3 = T1 + 2.
+  Database db;
+  auto unit = Parse(R"(
+    .decl chain(time, time, time)
+    .fact chain(2n, 2n+1, 2n) with T2 = T1 + 1, T3 = T2 + 1.
+  )",
+                    &db);
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto relation = db.Relation("chain");
+  std::string text =
+      SerializeRelationAsFacts("chain", **relation, db.interner());
+  // Two equalities suffice.
+  size_t count = 0;
+  for (size_t pos = 0; (pos = text.find('=', pos)) != std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u) << text;
+}
+
+TEST(SerializeTest, ExportedClosedFormReloadsAsExtensionalDb) {
+  // The Section 1 workflow: evaluate the recursive definition once, export
+  // the closed form, reload it as a plain database.
+  Database db;
+  auto unit = Parse(R"(
+    .decl course(time, time, data)
+    .decl problems(time, time, data)
+    .fact course(168n+8, 168n+10, "database") with T2 = T1 + 2.
+    problems(t1 + 2, t2 + 2, N) :- course(t1, t2, N).
+    problems(t1 + 48, t2 + 48, N) :- problems(t1, t2, N).
+  )",
+                    &db);
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto result = Evaluate(unit->program, db);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const GeneralizedRelation& problems = result->Relation("problems");
+
+  std::string text =
+      SerializeDeclaration("problems", problems.schema()) +
+      SerializeRelationAsFacts("problems", problems, db.interner());
+  Database reloaded;
+  auto reparsed = Parse(text, &reloaded);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << text;
+  auto relation = reloaded.Relation("problems");
+  ASSERT_TRUE(relation.ok());
+  DataValue database = reloaded.interner().Find("database");
+  for (int64_t t = 0; t < 400; ++t) {
+    EXPECT_EQ((*relation)->ContainsGround({t, t + 2}, {database}),
+              FloorMod(t, 24) == 10)
+        << t;
+  }
+}
+
+TEST(SerializeTest, UnsatisfiableTupleStaysEmpty) {
+  GeneralizedRelation r({1, 0});
+  Dbm impossible(1);
+  impossible.AddLowerBound(1, 5);
+  impossible.AddUpperBound(1, 3);
+  // InsertUnlessEmpty would drop it; build the relation text directly.
+  Interner interner;
+  std::string text = SerializeRelationAsFacts("never", r, interner);
+  EXPECT_EQ(text, "");  // Nothing stored, nothing emitted.
+}
+
+}  // namespace
+}  // namespace lrpdb
