@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_negation.dir/bench_e10_negation.cc.o"
+  "CMakeFiles/bench_e10_negation.dir/bench_e10_negation.cc.o.d"
+  "bench_e10_negation"
+  "bench_e10_negation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_negation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_example41_trace.dir/bench_e1_example41_trace.cc.o"
+  "CMakeFiles/bench_e1_example41_trace.dir/bench_e1_example41_trace.cc.o.d"
+  "bench_e1_example41_trace"
+  "bench_e1_example41_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_example41_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_algebra_ptime.dir/bench_e3_algebra_ptime.cc.o"
+  "CMakeFiles/bench_e3_algebra_ptime.dir/bench_e3_algebra_ptime.cc.o.d"
+  "bench_e3_algebra_ptime"
+  "bench_e3_algebra_ptime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_algebra_ptime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

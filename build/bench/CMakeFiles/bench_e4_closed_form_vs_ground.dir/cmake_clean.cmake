@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_closed_form_vs_ground.dir/bench_e4_closed_form_vs_ground.cc.o"
+  "CMakeFiles/bench_e4_closed_form_vs_ground.dir/bench_e4_closed_form_vs_ground.cc.o.d"
+  "bench_e4_closed_form_vs_ground"
+  "bench_e4_closed_form_vs_ground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_closed_form_vs_ground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

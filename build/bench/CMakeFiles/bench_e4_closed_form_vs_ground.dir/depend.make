@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e4_closed_form_vs_ground.
+# This may be replaced when dependencies are built.

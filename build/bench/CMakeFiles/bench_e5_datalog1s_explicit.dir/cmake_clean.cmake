@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_datalog1s_explicit.dir/bench_e5_datalog1s_explicit.cc.o"
+  "CMakeFiles/bench_e5_datalog1s_explicit.dir/bench_e5_datalog1s_explicit.cc.o.d"
+  "bench_e5_datalog1s_explicit"
+  "bench_e5_datalog1s_explicit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_datalog1s_explicit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e5_datalog1s_explicit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_templog_equivalence.dir/bench_e6_templog_equivalence.cc.o"
+  "CMakeFiles/bench_e6_templog_equivalence.dir/bench_e6_templog_equivalence.cc.o.d"
+  "bench_e6_templog_equivalence"
+  "bench_e6_templog_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_templog_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

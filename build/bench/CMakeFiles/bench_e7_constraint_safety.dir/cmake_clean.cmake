@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_constraint_safety.dir/bench_e7_constraint_safety.cc.o"
+  "CMakeFiles/bench_e7_constraint_safety.dir/bench_e7_constraint_safety.cc.o.d"
+  "bench_e7_constraint_safety"
+  "bench_e7_constraint_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_constraint_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

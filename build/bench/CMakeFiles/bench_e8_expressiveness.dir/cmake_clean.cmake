@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_expressiveness.dir/bench_e8_expressiveness.cc.o"
+  "CMakeFiles/bench_e8_expressiveness.dir/bench_e8_expressiveness.cc.o.d"
+  "bench_e8_expressiveness"
+  "bench_e8_expressiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_expressiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

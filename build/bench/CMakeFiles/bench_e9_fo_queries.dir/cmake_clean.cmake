@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_fo_queries.dir/bench_e9_fo_queries.cc.o"
+  "CMakeFiles/bench_e9_fo_queries.dir/bench_e9_fo_queries.cc.o.d"
+  "bench_e9_fo_queries"
+  "bench_e9_fo_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_fo_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expressiveness_tour.dir/expressiveness_tour.cpp.o"
+  "CMakeFiles/expressiveness_tour.dir/expressiveness_tour.cpp.o.d"
+  "expressiveness_tour"
+  "expressiveness_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expressiveness_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

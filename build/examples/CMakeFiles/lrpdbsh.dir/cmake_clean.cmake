@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrpdbsh.dir/lrpdbsh.cpp.o"
+  "CMakeFiles/lrpdbsh.dir/lrpdbsh.cpp.o.d"
+  "lrpdbsh"
+  "lrpdbsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrpdbsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/maintenance_windows.cpp" "examples/CMakeFiles/maintenance_windows.dir/maintenance_windows.cpp.o" "gcc" "examples/CMakeFiles/maintenance_windows.dir/maintenance_windows.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lrpdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/lrpdb_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog1s/CMakeFiles/lrpdb_datalog1s.dir/DependInfo.cmake"
+  "/root/repo/build/src/ltl/CMakeFiles/lrpdb_ltl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/lrpdb_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/gdb/CMakeFiles/lrpdb_gdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/lrpdb_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/lrpdb_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/lrp/CMakeFiles/lrpdb_lrp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lrpdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

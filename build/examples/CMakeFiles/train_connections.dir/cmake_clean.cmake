@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_connections.dir/train_connections.cpp.o"
+  "CMakeFiles/train_connections.dir/train_connections.cpp.o.d"
+  "train_connections"
+  "train_connections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_connections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/university_scheduler.dir/university_scheduler.cpp.o"
+  "CMakeFiles/university_scheduler.dir/university_scheduler.cpp.o.d"
+  "university_scheduler"
+  "university_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/university_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

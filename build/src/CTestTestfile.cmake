@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("lrp")
+subdirs("constraints")
+subdirs("gdb")
+subdirs("ast")
+subdirs("parser")
+subdirs("core")
+subdirs("datalog1s")
+subdirs("templog")
+subdirs("automata")
+subdirs("fo")
+subdirs("ltl")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/ast.cc" "src/ast/CMakeFiles/lrpdb_ast.dir/ast.cc.o" "gcc" "src/ast/CMakeFiles/lrpdb_ast.dir/ast.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lrpdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gdb/CMakeFiles/lrpdb_gdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/lrp/CMakeFiles/lrpdb_lrp.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/lrpdb_constraints.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

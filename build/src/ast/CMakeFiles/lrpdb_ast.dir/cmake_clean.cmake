@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrpdb_ast.dir/ast.cc.o"
+  "CMakeFiles/lrpdb_ast.dir/ast.cc.o.d"
+  "liblrpdb_ast.a"
+  "liblrpdb_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrpdb_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

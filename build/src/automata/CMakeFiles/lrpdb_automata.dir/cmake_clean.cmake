@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrpdb_automata.dir/automata.cc.o"
+  "CMakeFiles/lrpdb_automata.dir/automata.cc.o.d"
+  "liblrpdb_automata.a"
+  "liblrpdb_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrpdb_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrpdb_common.dir/math_util.cc.o"
+  "CMakeFiles/lrpdb_common.dir/math_util.cc.o.d"
+  "CMakeFiles/lrpdb_common.dir/status.cc.o"
+  "CMakeFiles/lrpdb_common.dir/status.cc.o.d"
+  "liblrpdb_common.a"
+  "liblrpdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrpdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

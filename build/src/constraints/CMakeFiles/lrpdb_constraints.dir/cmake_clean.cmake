@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrpdb_constraints.dir/dbm.cc.o"
+  "CMakeFiles/lrpdb_constraints.dir/dbm.cc.o.d"
+  "liblrpdb_constraints.a"
+  "liblrpdb_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrpdb_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

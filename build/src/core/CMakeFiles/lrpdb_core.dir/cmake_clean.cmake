@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrpdb_core.dir/evaluator.cc.o"
+  "CMakeFiles/lrpdb_core.dir/evaluator.cc.o.d"
+  "CMakeFiles/lrpdb_core.dir/ground_evaluator.cc.o"
+  "CMakeFiles/lrpdb_core.dir/ground_evaluator.cc.o.d"
+  "CMakeFiles/lrpdb_core.dir/normalizer.cc.o"
+  "CMakeFiles/lrpdb_core.dir/normalizer.cc.o.d"
+  "liblrpdb_core.a"
+  "liblrpdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrpdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

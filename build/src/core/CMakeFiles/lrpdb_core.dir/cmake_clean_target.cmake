@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblrpdb_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrpdb_datalog1s.dir/datalog1s.cc.o"
+  "CMakeFiles/lrpdb_datalog1s.dir/datalog1s.cc.o.d"
+  "liblrpdb_datalog1s.a"
+  "liblrpdb_datalog1s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrpdb_datalog1s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lrpdb_datalog1s.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrpdb_fo.dir/fo.cc.o"
+  "CMakeFiles/lrpdb_fo.dir/fo.cc.o.d"
+  "liblrpdb_fo.a"
+  "liblrpdb_fo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrpdb_fo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gdb/algebra.cc" "src/gdb/CMakeFiles/lrpdb_gdb.dir/algebra.cc.o" "gcc" "src/gdb/CMakeFiles/lrpdb_gdb.dir/algebra.cc.o.d"
+  "/root/repo/src/gdb/database.cc" "src/gdb/CMakeFiles/lrpdb_gdb.dir/database.cc.o" "gcc" "src/gdb/CMakeFiles/lrpdb_gdb.dir/database.cc.o.d"
+  "/root/repo/src/gdb/generalized_relation.cc" "src/gdb/CMakeFiles/lrpdb_gdb.dir/generalized_relation.cc.o" "gcc" "src/gdb/CMakeFiles/lrpdb_gdb.dir/generalized_relation.cc.o.d"
+  "/root/repo/src/gdb/generalized_tuple.cc" "src/gdb/CMakeFiles/lrpdb_gdb.dir/generalized_tuple.cc.o" "gcc" "src/gdb/CMakeFiles/lrpdb_gdb.dir/generalized_tuple.cc.o.d"
+  "/root/repo/src/gdb/normalized_tuple.cc" "src/gdb/CMakeFiles/lrpdb_gdb.dir/normalized_tuple.cc.o" "gcc" "src/gdb/CMakeFiles/lrpdb_gdb.dir/normalized_tuple.cc.o.d"
+  "/root/repo/src/gdb/periodic_bridge.cc" "src/gdb/CMakeFiles/lrpdb_gdb.dir/periodic_bridge.cc.o" "gcc" "src/gdb/CMakeFiles/lrpdb_gdb.dir/periodic_bridge.cc.o.d"
+  "/root/repo/src/gdb/serialize.cc" "src/gdb/CMakeFiles/lrpdb_gdb.dir/serialize.cc.o" "gcc" "src/gdb/CMakeFiles/lrpdb_gdb.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lrpdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lrp/CMakeFiles/lrpdb_lrp.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/lrpdb_constraints.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrpdb_gdb.dir/algebra.cc.o"
+  "CMakeFiles/lrpdb_gdb.dir/algebra.cc.o.d"
+  "CMakeFiles/lrpdb_gdb.dir/database.cc.o"
+  "CMakeFiles/lrpdb_gdb.dir/database.cc.o.d"
+  "CMakeFiles/lrpdb_gdb.dir/generalized_relation.cc.o"
+  "CMakeFiles/lrpdb_gdb.dir/generalized_relation.cc.o.d"
+  "CMakeFiles/lrpdb_gdb.dir/generalized_tuple.cc.o"
+  "CMakeFiles/lrpdb_gdb.dir/generalized_tuple.cc.o.d"
+  "CMakeFiles/lrpdb_gdb.dir/normalized_tuple.cc.o"
+  "CMakeFiles/lrpdb_gdb.dir/normalized_tuple.cc.o.d"
+  "CMakeFiles/lrpdb_gdb.dir/periodic_bridge.cc.o"
+  "CMakeFiles/lrpdb_gdb.dir/periodic_bridge.cc.o.d"
+  "CMakeFiles/lrpdb_gdb.dir/serialize.cc.o"
+  "CMakeFiles/lrpdb_gdb.dir/serialize.cc.o.d"
+  "liblrpdb_gdb.a"
+  "liblrpdb_gdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrpdb_gdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

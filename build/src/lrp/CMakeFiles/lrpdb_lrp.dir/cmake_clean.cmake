@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrpdb_lrp.dir/lrp.cc.o"
+  "CMakeFiles/lrpdb_lrp.dir/lrp.cc.o.d"
+  "CMakeFiles/lrpdb_lrp.dir/periodic_set.cc.o"
+  "CMakeFiles/lrpdb_lrp.dir/periodic_set.cc.o.d"
+  "liblrpdb_lrp.a"
+  "liblrpdb_lrp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrpdb_lrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

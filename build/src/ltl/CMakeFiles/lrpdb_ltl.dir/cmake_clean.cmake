@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrpdb_ltl.dir/ltl.cc.o"
+  "CMakeFiles/lrpdb_ltl.dir/ltl.cc.o.d"
+  "liblrpdb_ltl.a"
+  "liblrpdb_ltl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrpdb_ltl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

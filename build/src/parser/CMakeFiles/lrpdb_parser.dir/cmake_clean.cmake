@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrpdb_parser.dir/lexer.cc.o"
+  "CMakeFiles/lrpdb_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/lrpdb_parser.dir/parser.cc.o"
+  "CMakeFiles/lrpdb_parser.dir/parser.cc.o.d"
+  "liblrpdb_parser.a"
+  "liblrpdb_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrpdb_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrpdb_templog.dir/templog.cc.o"
+  "CMakeFiles/lrpdb_templog.dir/templog.cc.o.d"
+  "liblrpdb_templog.a"
+  "liblrpdb_templog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrpdb_templog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

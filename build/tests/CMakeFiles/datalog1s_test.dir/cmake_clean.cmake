@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog1s_test.dir/datalog1s_test.cc.o"
+  "CMakeFiles/datalog1s_test.dir/datalog1s_test.cc.o.d"
+  "datalog1s_test"
+  "datalog1s_test.pdb"
+  "datalog1s_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog1s_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fo_property_test.dir/fo_property_test.cc.o"
+  "CMakeFiles/fo_property_test.dir/fo_property_test.cc.o.d"
+  "fo_property_test"
+  "fo_property_test.pdb"
+  "fo_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fo_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/templog_test.dir/templog_test.cc.o"
+  "CMakeFiles/templog_test.dir/templog_test.cc.o.d"
+  "templog_test"
+  "templog_test.pdb"
+  "templog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/templog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/lrp_test[1]_include.cmake")
+include("/root/repo/build/tests/dbm_test[1]_include.cmake")
+include("/root/repo/build/tests/gdb_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/datalog1s_test[1]_include.cmake")
+include("/root/repo/build/tests/templog_test[1]_include.cmake")
+include("/root/repo/build/tests/automata_test[1]_include.cmake")
+include("/root/repo/build/tests/fo_test[1]_include.cmake")
+include("/root/repo/build/tests/negation_test[1]_include.cmake")
+include("/root/repo/build/tests/algebra_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/evaluator_property_test[1]_include.cmake")
+include("/root/repo/build/tests/fo_property_test[1]_include.cmake")
+include("/root/repo/build/tests/bridge_test[1]_include.cmake")
+include("/root/repo/build/tests/ltl_test[1]_include.cmake")
+include("/root/repo/build/tests/property_suite_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_extra_test[1]_include.cmake")
