@@ -9,8 +9,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <optional>
 #include <string>
+#include <utility>
 
+#include "bench/bench_json.h"
 #include "src/core/evaluator.h"
 #include "src/fo/fo.h"
 #include "src/gdb/algebra.h"
@@ -128,6 +131,27 @@ void BM_ProjectDropPeriodicColumn(benchmark::State& state) {
 }
 BENCHMARK(BM_ProjectDropPeriodicColumn);
 
+void WriteReport() {
+  constexpr int64_t kPeriod = 96;
+  lrpdb::Database db;
+  auto unit = lrpdb::Parse(EnginesProgram(kPeriod), &db);
+  LRPDB_CHECK(unit.ok()) << unit.status();
+  lrpdb_bench::BenchReport report("a1");
+  report.Set("period", kPeriod);
+  std::optional<lrpdb::EvaluationResult> result;
+  for (bool semi_naive : {true, false}) {
+    lrpdb::EvaluationOptions options;
+    options.semi_naive = semi_naive;
+    report.Time(semi_naive ? "wall_ms_semi_naive" : "wall_ms_naive", [&] {
+      auto r = lrpdb::Evaluate(unit->program, db, options);
+      LRPDB_CHECK(r.ok()) << r.status();
+      if (semi_naive) result = std::move(*r);
+    });
+  }
+  report.SetEvaluation(*result);
+  report.Write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -135,5 +159,6 @@ int main(int argc, char** argv) {
               "projection fast path vs residue path.\n\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  WriteReport();
   return 0;
 }

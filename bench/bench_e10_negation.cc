@@ -8,8 +8,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <optional>
 #include <string>
+#include <utility>
 
+#include "bench/bench_json.h"
 #include "src/core/evaluator.h"
 #include "src/parser/parser.h"
 
@@ -79,11 +82,30 @@ void PrintSemantics() {
               result->Relation("quiet").ToString(&db.interner()).c_str());
 }
 
+void WriteReport() {
+  constexpr int64_t kPeriod = 168;
+  lrpdb::Database db;
+  auto unit = lrpdb::Parse(NegationProgram(kPeriod, 2), &db);
+  LRPDB_CHECK(unit.ok()) << unit.status();
+  lrpdb_bench::BenchReport report("e10");
+  report.Set("period", kPeriod);
+  report.Set("strata", static_cast<int64_t>(2));
+  std::optional<lrpdb::EvaluationResult> result;
+  report.Time("wall_ms", [&] {
+    auto r = lrpdb::Evaluate(unit->program, db);
+    LRPDB_CHECK(r.ok()) << r.status();
+    result = std::move(*r);
+  });
+  report.SetEvaluation(*result);
+  report.Write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintSemantics();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  WriteReport();
   return 0;
 }

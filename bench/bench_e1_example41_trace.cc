@@ -12,7 +12,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <optional>
+#include <utility>
 
+#include "bench/bench_json.h"
 #include "src/core/evaluator.h"
 #include "src/parser/parser.h"
 
@@ -82,11 +85,28 @@ void BM_Example41NaiveEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_Example41NaiveEvaluation);
 
+void WriteReport() {
+  lrpdb::Database db;
+  auto unit = lrpdb::Parse(kExample41, &db);
+  LRPDB_CHECK(unit.ok()) << unit.status();
+  lrpdb_bench::BenchReport report("e1");
+  std::optional<lrpdb::EvaluationResult> result;
+  report.Time("wall_ms", [&] {
+    auto r = lrpdb::Evaluate(unit->program, db);
+    LRPDB_CHECK(r.ok()) << r.status();
+    result = std::move(*r);
+  });
+  report.SetEvaluation(*result);
+  report.Set("free_extension_safe_at", result->free_extension_safe_at);
+  report.Write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintTrace();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  WriteReport();
   return 0;
 }

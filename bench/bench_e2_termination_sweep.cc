@@ -12,8 +12,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <optional>
 #include <string>
+#include <utility>
 
+#include "bench/bench_json.h"
 #include "src/common/math_util.h"
 #include "src/core/evaluator.h"
 #include "src/parser/parser.h"
@@ -72,11 +75,32 @@ void BM_TerminationSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_TerminationSweep)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
 
+// One timed evaluation at the largest sweep point (P=128, s=1), with the
+// storage-engine counters, to BENCH_e2.json.
+void WriteReport() {
+  constexpr int64_t kPeriod = 128;
+  lrpdb::Database db;
+  auto unit = lrpdb::Parse(ProgramFor(kPeriod, 1), &db);
+  LRPDB_CHECK(unit.ok()) << unit.status();
+  lrpdb_bench::BenchReport report("e2");
+  report.Set("largest_sweep_period", kPeriod);
+  std::optional<lrpdb::EvaluationResult> result;
+  double ms = report.Time("wall_ms", [&] {
+    auto r = lrpdb::Evaluate(unit->program, db);
+    LRPDB_CHECK(r.ok()) << r.status();
+    result = std::move(*r);
+  });
+  report.SetEvaluation(*result);
+  report.Set("per_round_us", ms * 1000.0 / result->iterations);
+  report.Write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintSweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  WriteReport();
   return 0;
 }

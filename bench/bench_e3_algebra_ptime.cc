@@ -9,6 +9,7 @@
 
 #include <random>
 
+#include "bench/bench_json.h"
 #include "src/gdb/algebra.h"
 
 namespace {
@@ -94,6 +95,42 @@ void BM_ArityScaling(benchmark::State& state) {
 }
 BENCHMARK(BM_ArityScaling)->DenseRange(1, 5);
 
+// One timed pass of each operation at the largest benchmarked size.
+void WriteReport() {
+  constexpr int kTuples = 64;
+  lrpdb_bench::BenchReport report("e3");
+  report.Set("tuples_per_side", static_cast<int64_t>(kTuples));
+  GeneralizedRelation a = RandomRelation(kTuples, 2, 1);
+  GeneralizedRelation b = RandomRelation(kTuples, 2, 2);
+  size_t out = 0;
+  report.Time("wall_ms_intersect", [&] {
+    auto result = lrpdb::Intersect(a, b);
+    LRPDB_CHECK(result.ok());
+    out = result->size();
+  });
+  report.Set("intersect_tuples", out);
+  report.Time("wall_ms_join", [&] {
+    auto result = lrpdb::JoinOnEqualities(
+        a, b, {{.left_column = 1, .right_column = 0, .offset = 0}}, {});
+    LRPDB_CHECK(result.ok());
+    out = result->size();
+  });
+  report.Set("join_tuples", out);
+  GeneralizedRelation r = RandomRelation(kTuples, 3, 5);
+  report.Time("wall_ms_project", [&] {
+    auto result = lrpdb::Project(r, {0, 2}, {});
+    LRPDB_CHECK(result.ok());
+    out = result->size();
+  });
+  report.Set("project_tuples", out);
+  report.Write();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  WriteReport();
+  return 0;
+}

@@ -10,7 +10,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <optional>
+#include <utility>
 
+#include "bench/bench_json.h"
 #include "src/core/evaluator.h"
 #include "src/core/ground_evaluator.h"
 #include "src/parser/parser.h"
@@ -85,6 +88,32 @@ void BM_ClosedFormProbe(benchmark::State& state) {
 }
 BENCHMARK(BM_ClosedFormProbe);
 
+void WriteReport() {
+  lrpdb::Database db;
+  auto unit = lrpdb::Parse(kProgram, &db);
+  LRPDB_CHECK(unit.ok()) << unit.status();
+  lrpdb_bench::BenchReport report("e4");
+  std::optional<lrpdb::EvaluationResult> generalized;
+  report.Time("wall_ms_generalized", [&] {
+    auto r = lrpdb::Evaluate(unit->program, db);
+    LRPDB_CHECK(r.ok()) << r.status();
+    generalized = std::move(*r);
+  });
+  report.SetEvaluation(*generalized);
+  lrpdb::GroundEvaluationOptions options;
+  options.window_lo = 0;
+  options.window_hi = 1 << 14;
+  report.Set("ground_window", options.window_hi);
+  int64_t facts = 0;
+  report.Time("wall_ms_ground_window", [&] {
+    auto ground = lrpdb::EvaluateGround(unit->program, db, options);
+    LRPDB_CHECK(ground.ok()) << ground.status();
+    facts = ground->facts_derived;
+  });
+  report.Set("ground_facts", facts);
+  report.Write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -94,5 +123,6 @@ int main(int argc, char** argv) {
               "horizon.\n\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  WriteReport();
   return 0;
 }

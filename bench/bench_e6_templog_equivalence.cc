@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "src/datalog1s/datalog1s.h"
 #include "src/parser/parser.h"
 #include "src/templog/templog.h"
@@ -109,11 +110,36 @@ void BM_Datalog1SDirect(benchmark::State& state) {
 }
 BENCHMARK(BM_Datalog1SDirect);
 
+void WriteReport() {
+  lrpdb_bench::BenchReport report("e6");
+  int64_t horizon = 0;
+  report.Time("wall_ms_templog_end_to_end", [&] {
+    auto templog = lrpdb::ParseTemplog(kTemplog);
+    LRPDB_CHECK(templog.ok()) << templog.status();
+    lrpdb::Database db;
+    auto translated = lrpdb::TranslateToDatalog1S(*templog, &db);
+    LRPDB_CHECK(translated.ok()) << translated.status();
+    auto model = lrpdb::EvaluateDatalog1S(*translated, db);
+    LRPDB_CHECK(model.ok()) << model.status();
+    horizon = model->horizon;
+  });
+  report.Set("certified_horizon", horizon);
+  report.Time("wall_ms_datalog1s_direct", [&] {
+    lrpdb::Database db;
+    auto unit = lrpdb::Parse(kDatalog1S, &db);
+    LRPDB_CHECK(unit.ok()) << unit.status();
+    auto model = lrpdb::EvaluateDatalog1S(unit->program, db);
+    LRPDB_CHECK(model.ok()) << model.status();
+  });
+  report.Write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintEquivalenceTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  WriteReport();
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <random>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "src/constraints/dbm.h"
 
 namespace {
@@ -112,6 +113,32 @@ void BM_Subtract(benchmark::State& state) {
 }
 BENCHMARK(BM_Subtract)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
+// One timed decision at the largest benchmarked disjunct count.
+void WriteReport() {
+  constexpr int kDisjuncts = 32;
+  constexpr int kVars = 2;
+  lrpdb_bench::BenchReport report("e7");
+  report.Set("disjuncts", static_cast<int64_t>(kDisjuncts));
+  report.Set("vars", static_cast<int64_t>(kVars));
+  std::vector<Dbm> disjuncts = BandDisjuncts(kDisjuncts, kVars);
+  Dbm query(kVars);
+  query.AddLowerBound(1, 0);
+  query.AddUpperBound(1, 10 * kDisjuncts - 1);
+  for (int v = 2; v <= kVars; ++v) query.AddDifferenceEquality(v, v - 1, 1);
+  bool implied = false;
+  report.Time("wall_ms_implied_by_union", [&] {
+    implied = query.ImpliedByUnion(disjuncts);
+  });
+  LRPDB_CHECK(implied);
+  report.Set("implied", implied);
+  report.Write();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  WriteReport();
+  return 0;
+}

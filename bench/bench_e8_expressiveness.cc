@@ -13,6 +13,7 @@
 #include <random>
 #include <string>
 
+#include "bench/bench_json.h"
 #include "src/automata/automata.h"
 #include "src/datalog1s/datalog1s.h"
 #include "src/parser/parser.h"
@@ -147,11 +148,29 @@ void BM_RoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_RoundTrip)->Arg(5)->Arg(20)->Arg(40)->Arg(80);
 
+void WriteReport() {
+  lrpdb_bench::BenchReport report("e8");
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<int64_t> first_dist(0, 30);
+  std::uniform_int_distribution<int64_t> period_dist(1, 48);
+  int passed = 0;
+  constexpr int kTotal = 12;
+  report.Time("wall_ms_round_trips", [&] {
+    for (int i = 0; i < kTotal; ++i) {
+      passed += RoundTrip(first_dist(rng), period_dist(rng));
+    }
+  });
+  report.Set("round_trips_passed", static_cast<int64_t>(passed));
+  report.Set("round_trips_total", static_cast<int64_t>(kTotal));
+  report.Write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintRoundTripTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  WriteReport();
   return 0;
 }

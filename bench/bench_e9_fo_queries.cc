@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/bench_json.h"
 #include "src/fo/fo.h"
 #include "src/parser/parser.h"
 
@@ -116,11 +117,44 @@ void BM_FoNegation(benchmark::State& state) {
 }
 BENCHMARK(BM_FoNegation)->Arg(0)->Arg(4);
 
+void WriteReport() {
+  lrpdb_bench::BenchReport report("e9");
+  constexpr int kExtraLines = 16;
+  report.Set("extra_train_lines", static_cast<int64_t>(kExtraLines));
+  lrpdb::Database db = BuildDb(kExtraLines);
+  struct Entry {
+    const char* key;
+    const char* size_key;
+    const char* query;
+  };
+  const Entry entries[] = {
+      {"wall_ms_selection", "selection_tuples",
+       R"(train(t1, t2, "liege", "brussels"))"},
+      {"wall_ms_join", "join_tuples",
+       R"(exists t1 D (train(t1, t2, D, "brussels")) & meeting(t3, "brussels") & t2 <= t3)"},
+      {"wall_ms_negation", "negation_tuples",
+       R"(train(t1, t2, "liege", "brussels") & ~(exists t3 (meeting(t3, "brussels") & t2 <= t3)))"},
+  };
+  for (const Entry& entry : entries) {
+    auto query = lrpdb::ParseFoQuery(entry.query, &db);
+    LRPDB_CHECK(query.ok()) << query.status();
+    size_t tuples = 0;
+    report.Time(entry.key, [&] {
+      auto result = lrpdb::EvaluateFoQuery(*query, db);
+      LRPDB_CHECK(result.ok()) << result.status();
+      tuples = result->relation.size();
+    });
+    report.Set(entry.size_key, tuples);
+  }
+  report.Write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintQueryTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  WriteReport();
   return 0;
 }

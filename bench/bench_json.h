@@ -1,0 +1,128 @@
+// Machine-readable benchmark reports.
+//
+// Every bench_* binary writes a flat BENCH_<id>.json into the working
+// directory so harnesses can diff runs without scraping stdout. The report
+// is a single JSON object of scalar fields; insertion order is preserved.
+// Header-only and std-only so benches outside the core engine (algebra,
+// constraints, automata) can use it without extra link dependencies.
+#ifndef LRPDB_BENCH_BENCH_JSON_H_
+#define LRPDB_BENCH_BENCH_JSON_H_
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lrpdb_bench {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string id) : id_(std::move(id)) {}
+
+  void Set(const std::string& key, int64_t value) {
+    Add(key, std::to_string(value));
+  }
+  void Set(const std::string& key, int value) {
+    Set(key, static_cast<int64_t>(value));
+  }
+  void Set(const std::string& key, size_t value) {
+    Set(key, static_cast<int64_t>(value));
+  }
+  void Set(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    Add(key, buf);
+  }
+  void Set(const std::string& key, bool value) {
+    Add(key, value ? "true" : "false");
+  }
+  void Set(const std::string& key, const std::string& value) {
+    Add(key, "\"" + Escaped(value) + "\"");
+  }
+  void Set(const std::string& key, const char* value) {
+    Set(key, std::string(value));
+  }
+
+  // Evaluation-engine summary: rounds, stored tuples, and the storage
+  // counters (works for any type shaped like lrpdb::EvaluationResult).
+  template <typename EvaluationResult>
+  void SetEvaluation(const EvaluationResult& result) {
+    Set("rounds", static_cast<int64_t>(result.iterations));
+    Set("tuples_stored", result.TuplesStored());
+    const auto totals = result.StoreTotals();
+    Set("signature_probes", totals.signature_probes);
+    Set("subsumption_checks", totals.subsumption_checks);
+    Set("subsumption_candidates", totals.subsumption_candidates);
+    Set("inserts", totals.inserts);
+    Set("subsumed", totals.subsumed);
+    Set("index_probes", totals.index_probes);
+    Set("tuples_scanned", totals.tuples_scanned);
+    Set("tuples_pruned", totals.tuples_pruned);
+  }
+
+  // Times `fn` (a void() callable) and records the wall time under `key`
+  // in milliseconds. Returns the measured milliseconds.
+  template <typename Fn>
+  double Time(const std::string& key, Fn&& fn) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto stop = std::chrono::steady_clock::now();
+    double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    Set(key, ms);
+    return ms;
+  }
+
+  // Writes BENCH_<id>.json. Returns false (after printing to stderr) when
+  // the file cannot be written; benches treat that as non-fatal.
+  bool Write() const {
+    std::string path = "BENCH_" + id_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\"", Escaped(id_).c_str());
+    for (const auto& [key, json] : fields_) {
+      std::fprintf(f, ",\n  \"%s\": %s", Escaped(key).c_str(), json.c_str());
+    }
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  void Add(const std::string& key, std::string json_value) {
+    for (auto& [existing, value] : fields_) {
+      if (existing == key) {
+        value = std::move(json_value);
+        return;
+      }
+    }
+    fields_.emplace_back(key, std::move(json_value));
+  }
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  std::string id_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace lrpdb_bench
+
+#endif  // LRPDB_BENCH_BENCH_JSON_H_

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite.
+#
+#   ci/check.sh              plain RelWithDebInfo build + ctest
+#   ci/check.sh --sanitize   ASan/UBSan build + ctest (slower; separate tree)
+#   ci/check.sh --bench      additionally run every bench binary once and
+#                            check the BENCH_<id>.json reports parse
+#
+# Flags compose; exit status is nonzero on any failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+sanitize=0
+bench=0
+for arg in "$@"; do
+  case "$arg" in
+    --sanitize) sanitize=1 ;;
+    --bench) bench=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+build_dir=build
+cmake_args=()
+if [[ "$sanitize" == 1 ]]; then
+  build_dir=build-asan
+  cmake_args+=(-DLRPDB_SANITIZE=ON)
+  # Abort on the first UBSan report instead of printing and continuing.
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
+fi
+
+cmake -B "$build_dir" -S . "${cmake_args[@]}"
+cmake --build "$build_dir" -j"$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure
+
+if [[ "$bench" == 1 ]]; then
+  report_dir=$(mktemp -d)
+  for bin in "$build_dir"/bench/bench_*; do
+    [[ -x "$bin" && ! -d "$bin" ]] || continue
+    name=$(basename "$bin")
+    echo "== $name"
+    # Benchmarks emit BENCH_<id>.json into the cwd; collect them per run.
+    (cd "$report_dir" && "$OLDPWD/$bin" --benchmark_min_time=0.01s > /dev/null)
+  done
+  for report in "$report_dir"/BENCH_*.json; do
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$report"
+    echo "ok: $(basename "$report")"
+  done
+  rm -rf "$report_dir"
+fi
+
+echo "ci/check.sh: all checks passed"

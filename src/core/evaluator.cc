@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <optional>
 #include <set>
-#include <unordered_set>
 #include <utility>
 
 #include "src/gdb/algebra.h"
@@ -87,16 +86,22 @@ bool UnifyTuple(const NormalizedBodyAtom& atom, const GeneralizedTuple& tuple,
   return binding->constraint.IsSatisfiable();
 }
 
-// Relation sources for one body atom during a round.
+// Relation sources for one body atom during a round: the relation plus the
+// store generation the join reads (kDelta for the semi-naive pivot).
 struct AtomSource {
   const GeneralizedRelation* relation = nullptr;
+  TupleStore::Generation generation = TupleStore::Generation::kAll;
 };
 
 // Applies `clause` over the given per-atom relations, collecting candidate
 // head tuples. The state is read-only; insertion happens at end of round.
+// Join matching binds against store index probes: per body atom, the data
+// columns already determined by the atom's constants or the running binding
+// select a posting list, and only that bucket is scanned (`stats`, when
+// non-null, receives the probe counters).
 Status ApplyClause(const NormalizedClause& clause,
                    const std::vector<AtomSource>& sources,
-                   const NormalizeLimits& limits,
+                   const NormalizeLimits& limits, StoreStats* stats,
                    std::vector<GeneralizedTuple>* candidates) {
   if (clause.always_false) return OkStatus();
   std::vector<Binding> frontier;
@@ -104,15 +109,34 @@ Status ApplyClause(const NormalizedClause& clause,
                         clause.constraint);
   if (!frontier.back().constraint.IsSatisfiable()) return OkStatus();
   for (size_t a = 0; a < clause.body.size(); ++a) {
-    const GeneralizedRelation& relation = *sources[a].relation;
+    const NormalizedBodyAtom& atom = clause.body[a];
+    const TupleStore& store = sources[a].relation->store();
+    // Data columns fixed by the atom itself, independent of the binding.
+    std::vector<TupleStore::DataRequirement> base_requirements;
+    for (size_t k = 0; k < atom.data_args.size(); ++k) {
+      if (atom.data_args[k].is_constant()) {
+        base_requirements.push_back(
+            {static_cast<int>(k), atom.data_args[k].constant});
+      }
+    }
     std::vector<Binding> next;
+    std::vector<TupleStore::DataRequirement> requirements;
     for (const Binding& binding : frontier) {
-      for (size_t t = 0; t < relation.size(); ++t) {
-        Binding extended = binding;
-        if (UnifyTuple(clause.body[a], relation.tuple(t), &extended)) {
-          next.push_back(std::move(extended));
+      requirements = base_requirements;
+      for (size_t k = 0; k < atom.data_args.size(); ++k) {
+        const NormalizedDataArg& arg = atom.data_args[k];
+        if (!arg.is_constant() && binding.data[arg.variable].has_value()) {
+          requirements.push_back(
+              {static_cast<int>(k), *binding.data[arg.variable]});
         }
       }
+      store.ForEachCandidate(
+          requirements, sources[a].generation, stats, [&](EntryId id) {
+            Binding extended = binding;
+            if (UnifyTuple(atom, store.tuple(id), &extended)) {
+              next.push_back(std::move(extended));
+            }
+          });
     }
     frontier = std::move(next);
     if (frontier.empty()) return OkStatus();
@@ -271,6 +295,20 @@ const GeneralizedRelation& EvaluationResult::Relation(
   return it->second;
 }
 
+StoreStats EvaluationResult::StoreTotals() const {
+  StoreStats totals;
+  for (const RoundStats& round : rounds) totals.Accumulate(round.store);
+  return totals;
+}
+
+int64_t EvaluationResult::TuplesStored() const {
+  int64_t total = 0;
+  for (const auto& [unused, relation] : idb) {
+    total += static_cast<int64_t>(relation.size());
+  }
+  return total;
+}
+
 StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
                                     const EvaluationOptions& options) {
   LRPDB_ASSIGN_OR_RETURN(NormalizedProgram normalized, Normalize(program));
@@ -311,16 +349,13 @@ StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
 
   RelationResolver resolver(program, db, &result.idb);
   resolver.SetActiveDomain(CollectActiveDomain(program, db));
-  // Free-extension signatures seen so far, per predicate name.
-  std::map<std::string,
-           std::unordered_set<FreeExtension, FreeExtensionHash>>
-      signatures;
+  for (auto& [unused, relation] : result.idb) {
+    relation.mutable_store().set_index_enabled(options.indexed_storage);
+  }
 
   int last_new_fe_round = 0;
   int total_rounds = 0;
   for (int stratum = 0; stratum <= max_stratum; ++stratum) {
-    // Delta relations from the previous round (semi-naive), per stratum.
-    std::map<std::string, GeneralizedRelation> previous_delta;
     const int stratum_start = total_rounds;
     for (int round = 1;; ++round) {
       if (total_rounds + 1 > options.max_iterations) {
@@ -330,7 +365,16 @@ StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
         return result;
       }
       ++total_rounds;
-      // Collect candidates against the state at round start.
+      // Collect candidates against the state at round start. The stores'
+      // delta generations hold exactly the tuples inserted last round, so
+      // semi-naive pivots read an index range instead of a copied relation.
+      RoundStats stats;
+      stats.round = total_rounds;
+      stats.stratum = stratum;
+      for (const auto& [unused, relation] : result.idb) {
+        stats.delta_tuples +=
+            static_cast<int64_t>(relation.store().delta_size());
+      }
       std::vector<std::pair<int, GeneralizedTuple>> candidates;
       for (size_t ci = 0; ci < normalized.clauses.size(); ++ci) {
         const NormalizedClause& clause = normalized.clauses[ci];
@@ -363,6 +407,7 @@ StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
         std::vector<GeneralizedTuple> clause_candidates;
         if (!options.semi_naive || round == 1 || recursive == 0) {
           LRPDB_RETURN_IF_ERROR(ApplyClause(clause, sources, options.limits,
+                                            &stats.store,
                                             &clause_candidates));
         } else {
           for (size_t pivot = 0; pivot < clause.body.size(); ++pivot) {
@@ -371,14 +416,11 @@ StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
                 strata.at(atom.predicate) != stratum) {
               continue;
             }
-            const std::string& name =
-                program.predicates().NameOf(atom.predicate);
-            auto it = previous_delta.find(name);
-            if (it == previous_delta.end() || it->second.empty()) continue;
+            if (sources[pivot].relation->store().delta_size() == 0) continue;
             std::vector<AtomSource> pivot_sources = sources;
-            pivot_sources[pivot].relation = &it->second;
+            pivot_sources[pivot].generation = TupleStore::Generation::kDelta;
             LRPDB_RETURN_IF_ERROR(ApplyClause(clause, pivot_sources,
-                                              options.limits,
+                                              options.limits, &stats.store,
                                               &clause_candidates));
           }
         }
@@ -387,37 +429,41 @@ StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
         }
       }
 
-      // Insert candidates; track deltas, free extensions and growth.
-      RoundStats stats;
-      stats.round = total_rounds;
-      stats.stratum = stratum;
+      // Insert candidates; the store reports growth and new signatures
+      // (free extensions) directly from its interning probe.
       stats.candidates = static_cast<int>(candidates.size());
-      std::map<std::string, GeneralizedRelation> delta;
       bool grew = false;
       for (auto& [clause_index, tuple] : candidates) {
         const std::string& name = program.predicates().NameOf(
             normalized.clauses[clause_index].head_predicate);
         GeneralizedRelation& relation = result.idb.at(name);
-        FreeExtension fe = tuple.free_extension();
-        LRPDB_ASSIGN_OR_RETURN(bool inserted,
-                               relation.InsertIfNew(tuple, options.limits));
+        InsertOutcome outcome;
         if (options.record_trace) {
+          LRPDB_ASSIGN_OR_RETURN(
+              outcome, relation.mutable_store().Insert(tuple, options.limits,
+                                                       &stats.store));
           result.trace.push_back(TraceEntry{total_rounds, clause_index, name,
-                                            tuple, inserted});
+                                            std::move(tuple),
+                                            outcome.inserted});
+        } else {
+          LRPDB_ASSIGN_OR_RETURN(
+              outcome, relation.mutable_store().Insert(std::move(tuple),
+                                                       options.limits,
+                                                       &stats.store));
         }
-        if (inserted) {
+        if (outcome.inserted) {
           grew = true;
           ++stats.inserted;
-          if (signatures[name].insert(std::move(fe)).second) {
+          if (outcome.new_signature) {
             last_new_fe_round = total_rounds;
             ++stats.new_free_extensions;
           }
-          auto [it, unused] =
-              delta.emplace(name, GeneralizedRelation(relation.schema()));
-          LRPDB_RETURN_IF_ERROR(
-              it->second.InsertUnlessEmpty(std::move(tuple), options.limits)
-                  .status());
         }
+      }
+      // Promote generations: this round's inserts become the next round's
+      // delta; the previous delta joins "current".
+      for (auto& [unused, relation] : result.idb) {
+        relation.mutable_store().AdvanceGeneration();
       }
 
       result.iterations = total_rounds;
@@ -432,7 +478,6 @@ StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
         result.free_extension_safe_at = last_new_fe_round;
         return result;
       }
-      previous_delta = std::move(delta);
     }
   }
   result.reached_fixpoint = true;
@@ -521,7 +566,7 @@ StatusOr<GeneralizedRelation> QueryAtom(const Program& program,
 
   std::vector<GeneralizedTuple> candidates;
   LRPDB_RETURN_IF_ERROR(
-      ApplyClause(clause, sources, options.limits, &candidates));
+      ApplyClause(clause, sources, options.limits, nullptr, &candidates));
   GeneralizedRelation answers(
       {static_cast<int>(clause.head_temporal_vars.size()),
        static_cast<int>(clause.head_data.size())});

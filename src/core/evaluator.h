@@ -56,6 +56,11 @@ struct EvaluationOptions {
   // residue classes with identical constraints and drop subsumed tuples)
   // so the reported closed form is near-minimal. Ground sets are unchanged.
   bool compact_results = true;
+  // Use the signature/data indexes of the tuple store for InsertIfNew
+  // subsumption probes and join-side candidate pruning. Disabling falls
+  // back to the brute-force linear-scan reference path (identical results;
+  // exists for differential testing and ablation).
+  bool indexed_storage = true;
 };
 
 // One candidate head tuple derivation.
@@ -75,6 +80,14 @@ struct RoundStats {
   int candidates = 0;
   int inserted = 0;
   int new_free_extensions = 0;
+  // Tuples in the delta generations feeding this round's semi-naive joins.
+  int64_t delta_tuples = 0;
+  // Storage-engine counters for the round (see StoreStats in
+  // src/gdb/tuple_store.h): insert-side signature probes and bucket-bounded
+  // subsumption work, and join-side index probes with scanned/pruned tuple
+  // counts. scanned + pruned always equals the tuples a full scan would
+  // have visited, so pruned > 0 certifies the index did real work.
+  StoreStats store;
 };
 
 struct EvaluationResult {
@@ -97,6 +110,11 @@ struct EvaluationResult {
 
   // Convenience lookup; CHECK-fails on unknown predicate.
   const GeneralizedRelation& Relation(const std::string& name) const;
+
+  // Sum of the per-round storage counters.
+  StoreStats StoreTotals() const;
+  // Total generalized tuples stored across the IDB relations.
+  int64_t TuplesStored() const;
 };
 
 // Evaluates `program` bottom-up over the extensional database `db`.

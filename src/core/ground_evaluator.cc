@@ -75,37 +75,39 @@ StatusOr<GroundEvaluationResult> EvaluateGround(
   for (const auto& [unused, s] : strata) max_stratum = std::max(max_stratum, s);
   GroundEvaluationResult result;
 
-  // Materialize EDB ground facts inside the window.
-  std::map<std::string, std::set<GroundTuple>> edb;
+  // Materialize EDB ground facts inside the window. EDB and IDB share the
+  // GroundFactStore container so joins iterate both uniformly.
+  std::map<std::string, GroundFactStore> edb;
   for (const NormalizedClause& clause : normalized.clauses) {
     for (const NormalizedBodyAtom& atom : clause.body) {
       if (atom.is_intensional) continue;
       const std::string& name = program.predicates().NameOf(atom.predicate);
       if (edb.count(name) > 0) continue;
+      GroundFactStore& store = edb[name];
       LRPDB_ASSIGN_OR_RETURN(const GeneralizedRelation* relation,
                              db.Relation(name));
-      auto facts = relation->EnumerateGround(options.window_lo,
-                                             options.window_hi);
-      edb[name] = {facts.begin(), facts.end()};
+      for (GroundTuple& fact :
+           relation->EnumerateGround(options.window_lo, options.window_hi)) {
+        store.Insert(std::move(fact));
+      }
     }
   }
   for (SymbolId predicate : program.idb_predicates()) {
     result.idb.emplace(program.predicates().NameOf(predicate),
-                       std::set<GroundTuple>());
+                       GroundFactStore());
   }
 
   auto facts_of = [&](const NormalizedBodyAtom& atom)
-      -> const std::set<GroundTuple>* {
+      -> const GroundFactStore* {
     const std::string& name = program.predicates().NameOf(atom.predicate);
     return atom.is_intensional ? &result.idb.at(name) : &edb.at(name);
   };
 
   // Stratum by stratum (negated atoms read the finished lower strata);
-  // semi-naive ground evaluation within each stratum.
+  // semi-naive ground evaluation within each stratum, driven by the
+  // stores' delta generations (facts inserted in the previous round).
   for (int stratum = 0; stratum <= max_stratum; ++stratum) {
-  std::map<std::string, std::set<GroundTuple>> delta;
   for (int round = 1;; ++round) {
-    std::map<std::string, std::set<GroundTuple>> new_delta;
     bool grew = false;
     for (const NormalizedClause& clause : normalized.clauses) {
       if (clause.always_false) continue;
@@ -120,7 +122,7 @@ StatusOr<GroundEvaluationResult> EvaluateGround(
       if (round > 1 && intensional == 0) continue;
       const std::string& head_name =
           program.predicates().NameOf(clause.head_predicate);
-      std::set<GroundTuple>& head_facts = result.idb.at(head_name);
+      GroundFactStore& head_facts = result.idb.at(head_name);
 
       int num_pivots = (round == 1 || intensional == 0)
                            ? 1
@@ -132,14 +134,11 @@ StatusOr<GroundEvaluationResult> EvaluateGround(
                               stratum)) {
           continue;
         }
-        const std::set<GroundTuple>* pivot_facts = nullptr;
-        if (round > 1) {
-          auto it = delta.find(
-              program.predicates().NameOf(clause.body[pivot].predicate));
-          if (it == delta.end() || it->second.empty()) continue;
-          pivot_facts = &it->second;
+        if (round > 1 && facts_of(clause.body[pivot])->delta_size() == 0) {
+          continue;
         }
-        // Nested-loop join over the positive atoms, atom by atom.
+        // Nested-loop join over the positive atoms, atom by atom. The
+        // pivot atom scans only its store's delta generation.
         std::vector<GroundBinding> frontier;
         GroundBinding initial;
         initial.temporal.resize(clause.num_temporal_vars);
@@ -147,13 +146,14 @@ StatusOr<GroundEvaluationResult> EvaluateGround(
         frontier.push_back(initial);
         for (size_t a = 0; a < clause.body.size() && !frontier.empty(); ++a) {
           if (clause.body[a].negated) continue;
-          const std::set<GroundTuple>* facts =
-              (round > 1 && static_cast<int>(a) == pivot) ? pivot_facts
-                                                          : facts_of(
-                                                                clause.body[a]);
+          const GroundFactStore* facts = facts_of(clause.body[a]);
+          bool delta_only = round > 1 && static_cast<int>(a) == pivot;
+          size_t lo = delta_only ? facts->delta_lo() : 0;
+          size_t hi = delta_only ? facts->delta_hi() : facts->size();
           std::vector<GroundBinding> next;
           for (const GroundBinding& binding : frontier) {
-            for (const GroundTuple& fact : *facts) {
+            for (size_t fi = lo; fi < hi; ++fi) {
+              const GroundTuple& fact = facts->fact(fi);
               GroundBinding extended = binding;
               if (UnifyGround(clause.body[a], fact, &extended) &&
                   ConstraintsHold(clause.constraint, extended)) {
@@ -168,7 +168,7 @@ StatusOr<GroundEvaluationResult> EvaluateGround(
         for (const NormalizedBodyAtom& atom : clause.body) {
           if (!atom.negated || frontier.empty()) continue;
           std::vector<GroundBinding> kept;
-          const std::set<GroundTuple>* facts = facts_of(atom);
+          const GroundFactStore* facts = facts_of(atom);
           for (GroundBinding& binding : frontier) {
             GroundTuple fact;
             bool bound = true;
@@ -256,21 +256,21 @@ StatusOr<GroundEvaluationResult> EvaluateGround(
               fact.data.push_back(*binding.data[arg.variable]);
             }
           }
-          if (head_facts.insert(fact).second) {
+          if (head_facts.Insert(std::move(fact))) {
             grew = true;
             ++result.facts_derived;
             if (result.facts_derived > options.max_facts) {
               return ResourceExhaustedError(
                   "ground evaluation exceeded max_facts");
             }
-            new_delta[head_name].insert(std::move(fact));
           }
         }
       }
     }
     result.iterations += 1;
+    // This round's inserts become the next round's delta generations.
+    for (auto& [unused, store] : result.idb) store.AdvanceGeneration();
     if (!grew) break;  // Stratum fixpoint.
-    delta = std::move(new_delta);
   }
   }
   return result;

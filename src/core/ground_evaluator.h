@@ -15,7 +15,6 @@
 
 #include <cstdint>
 #include <map>
-#include <set>
 #include <string>
 
 #include "src/ast/ast.h"
@@ -33,7 +32,11 @@ struct GroundEvaluationOptions {
 
 struct GroundEvaluationResult {
   // Ground extensions of the intensional predicates inside the window.
-  std::map<std::string, std::set<GroundTuple>> idb;
+  // GroundFactStore (src/gdb/tuple_store.h) is the same append-only
+  // delta-generation container the semi-naive loop runs on; it offers
+  // set-style count()/begin()/end(), so readers treat it like a fact set.
+  // Move-only, because the store is.
+  std::map<std::string, GroundFactStore> idb;
   int iterations = 0;
   int64_t facts_derived = 0;
 };

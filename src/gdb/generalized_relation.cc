@@ -5,58 +5,13 @@
 
 namespace lrpdb {
 
-StatusOr<const std::vector<NormalizedTuple>*> GeneralizedRelation::pieces(
-    size_t i, const NormalizeLimits& limits) const {
-  const Entry& entry = entries_[i];
-  if (!entry.normalized) {
-    LRPDB_ASSIGN_OR_RETURN(entry.pieces,
-                           NormalizedTuple::Normalize(entry.tuple, limits));
-    entry.normalized = true;
-  }
-  return &entry.pieces;
-}
-
-StatusOr<bool> GeneralizedRelation::InsertIfNew(GeneralizedTuple tuple,
-                                                const NormalizeLimits& limits) {
-  LRPDB_CHECK_EQ(tuple.temporal_arity(), schema_.temporal_arity);
-  LRPDB_CHECK_EQ(tuple.data_arity(), schema_.data_arity);
-  LRPDB_ASSIGN_OR_RETURN(std::vector<NormalizedTuple> candidate,
-                         NormalizedTuple::Normalize(tuple, limits));
-  if (candidate.empty()) return false;  // Empty ground set.
-  std::vector<NormalizedTuple> existing;
-  for (size_t i = 0; i < entries_.size(); ++i) {
-    if (entries_[i].tuple.data() != tuple.data() ||
-        entries_[i].tuple.lrps() != tuple.lrps()) {
-      continue;
-    }
-    LRPDB_ASSIGN_OR_RETURN(const std::vector<NormalizedTuple>* cached,
-                           pieces(i, limits));
-    existing.insert(existing.end(), cached->begin(), cached->end());
-  }
-  if (!existing.empty()) {
-    LRPDB_ASSIGN_OR_RETURN(bool contained,
-                           PiecesContainedIn(candidate, existing, limits));
-    if (contained) return false;
-  }
-  entries_.push_back(Entry{std::move(tuple), std::move(candidate), true});
-  return true;
-}
-
-StatusOr<bool> GeneralizedRelation::InsertUnlessEmpty(
-    GeneralizedTuple tuple, const NormalizeLimits& limits) {
-  (void)limits;
-  LRPDB_CHECK_EQ(tuple.temporal_arity(), schema_.temporal_arity);
-  LRPDB_CHECK_EQ(tuple.data_arity(), schema_.data_arity);
-  if (!tuple.ConstraintSatisfiable()) return false;
-  entries_.push_back(Entry{std::move(tuple), {}, false});
-  return true;
-}
-
 bool GeneralizedRelation::ContainsGround(
     const std::vector<int64_t>& times,
     const std::vector<DataValue>& data) const {
-  for (const Entry& e : entries_) {
-    if (e.tuple.ContainsGround(times, data)) return true;
+  for (size_t i = 0; i < store_.size(); ++i) {
+    if (store_.tuple(static_cast<EntryId>(i)).ContainsGround(times, data)) {
+      return true;
+    }
   }
   return false;
 }
@@ -64,15 +19,16 @@ bool GeneralizedRelation::ContainsGround(
 std::vector<GroundTuple> GeneralizedRelation::EnumerateGround(
     int64_t lo, int64_t hi) const {
   std::set<GroundTuple> out;
-  int m = schema_.temporal_arity;
-  for (const Entry& e : entries_) {
+  int m = schema().temporal_arity;
+  for (size_t e = 0; e < store_.size(); ++e) {
+    const GeneralizedTuple& t = store_.tuple(static_cast<EntryId>(e));
     // Per-column candidate time values inside the window.
     std::vector<std::vector<int64_t>> candidates(m);
     bool feasible = true;
     for (int i = 0; i < m && feasible; ++i) {
-      for (int64_t t = e.tuple.lrp(i).NextAtLeast(lo); t < hi;
-           t += e.tuple.lrp(i).period()) {
-        candidates[i].push_back(t);
+      for (int64_t v = t.lrp(i).NextAtLeast(lo); v < hi;
+           v += t.lrp(i).period()) {
+        candidates[i].push_back(v);
       }
       feasible = !candidates[i].empty();
     }
@@ -81,8 +37,8 @@ std::vector<GroundTuple> GeneralizedRelation::EnumerateGround(
     std::vector<int> index(m, 0);
     while (true) {
       for (int i = 0; i < m; ++i) times[i] = candidates[i][index[i]];
-      if (e.tuple.constraint().ContainsPoint(times)) {
-        out.insert({times, e.tuple.data()});
+      if (t.constraint().ContainsPoint(times)) {
+        out.insert({times, t.data()});
       }
       int pos = m - 1;
       while (pos >= 0) {
@@ -99,21 +55,12 @@ std::vector<GroundTuple> GeneralizedRelation::EnumerateGround(
 StatusOr<std::vector<NormalizedTuple>> GeneralizedRelation::AllPieces(
     const NormalizeLimits& limits) const {
   std::vector<NormalizedTuple> all;
-  for (size_t i = 0; i < entries_.size(); ++i) {
+  for (size_t i = 0; i < store_.size(); ++i) {
     LRPDB_ASSIGN_OR_RETURN(const std::vector<NormalizedTuple>* cached,
-                           pieces(i, limits));
+                           store_.pieces(static_cast<EntryId>(i), limits));
     all.insert(all.end(), cached->begin(), cached->end());
   }
   return all;
-}
-
-std::string GeneralizedRelation::ToString(const Interner* interner) const {
-  std::string s;
-  for (const Entry& e : entries_) {
-    s += e.tuple.ToString(interner);
-    s += "\n";
-  }
-  return s;
 }
 
 }  // namespace lrpdb

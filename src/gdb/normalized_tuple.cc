@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 
 #include "src/common/math_util.h"
 
@@ -52,6 +53,98 @@ Dbm TSpaceOf(const Dbm& quotient, int64_t period,
   return t;
 }
 
+// A tight equality in the closed t-space DBM pinning column i to an earlier
+// column (ti = t_column + offset) or, with column == -1, to a constant
+// (ti == offset).
+struct ResidueAnchor {
+  int column = -1;
+  int64_t offset = 0;
+};
+
+// Finds, per column, a tight equality against the zero variable or an
+// earlier column of the closed DBM. Anchored columns have their residue
+// derived during enumeration instead of multiplying the odometer. This is
+// exact: a residue combination violating ti = tj + c makes the two floored
+// bounds in QuotientOf sum to -1 -- an immediate negative cycle -- so every
+// skipped combination would have produced an unsatisfiable quotient anyway.
+std::vector<std::optional<ResidueAnchor>> AnchorsOf(const Dbm& closed, int m) {
+  std::vector<std::optional<ResidueAnchor>> anchors(m);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j <= i; ++j) {  // DBM index: 0 = zero var, else column j-1.
+      Bound up = closed.bound(i + 1, j);
+      Bound down = closed.bound(j, i + 1);
+      if (up.is_infinite() || down.is_infinite() ||
+          up.value() != -down.value()) {
+        continue;
+      }
+      anchors[i] = ResidueAnchor{j - 1, up.value()};
+      break;
+    }
+  }
+  return anchors;
+}
+
+// Shared residue-piece enumeration: walks the combinations of `choices`
+// (each an ascending residue list) at `period`, derives equality-anchored
+// columns from their anchor's residue, and keeps the pieces whose quotient
+// DBM is satisfiable. Only the free (un-anchored) columns count against the
+// max_pieces budget.
+StatusOr<std::vector<NormalizedTuple>> EnumeratePieces(
+    const Dbm& t_dbm, int64_t period,
+    const std::vector<std::vector<int64_t>>& choices,
+    const std::vector<DataValue>& data, const NormalizeLimits& limits) {
+  int m = static_cast<int>(choices.size());
+  Dbm closed = t_dbm;
+  if (!closed.IsSatisfiable()) return std::vector<NormalizedTuple>{};
+  std::vector<std::optional<ResidueAnchor>> anchors = AnchorsOf(closed, m);
+  int64_t total_pieces = 1;
+  for (int i = 0; i < m; ++i) {
+    if (anchors[i].has_value()) continue;
+    total_pieces *= static_cast<int64_t>(choices[i].size());
+    if (total_pieces > limits.max_pieces) {
+      return ResourceExhaustedError("residue combination count exceeds limit "
+                                    "during normalization");
+    }
+  }
+  std::vector<NormalizedTuple> pieces;
+  std::vector<int64_t> residues(m, 0);
+  std::vector<int> index(m, 0);
+  while (true) {
+    bool feasible = true;
+    for (int i = 0; i < m; ++i) {
+      if (!anchors[i].has_value()) {
+        residues[i] = choices[i][index[i]];
+        continue;
+      }
+      int64_t base = anchors[i]->column < 0 ? 0 : residues[anchors[i]->column];
+      residues[i] = FloorMod(base + anchors[i]->offset, period);
+      if (!std::binary_search(choices[i].begin(), choices[i].end(),
+                              residues[i])) {
+        feasible = false;
+        break;
+      }
+    }
+    if (feasible) {
+      Dbm quotient = QuotientOf(t_dbm, period, residues);
+      if (quotient.IsSatisfiable()) {
+        pieces.emplace_back(period, residues, data, std::move(quotient));
+      }
+    }
+    // Odometer increment over the free columns.
+    int pos = m - 1;
+    while (pos >= 0) {
+      if (!anchors[pos].has_value() &&
+          ++index[pos] < static_cast<int>(choices[pos].size())) {
+        break;
+      }
+      index[pos] = 0;
+      --pos;
+    }
+    if (pos < 0 || m == 0) break;
+  }
+  return pieces;
+}
+
 }  // namespace
 
 NormalizedTuple::NormalizedTuple(int64_t common_period,
@@ -78,36 +171,14 @@ StatusOr<std::vector<NormalizedTuple>> NormalizedTuple::Normalize(
     }
     period = next;
   }
-  // Residue choices per column.
+  // Residue choices per column; equality-anchored columns are derived
+  // rather than enumerated (see EnumeratePieces).
   std::vector<std::vector<int64_t>> choices(m);
-  int64_t total_pieces = 1;
   for (int i = 0; i < m; ++i) {
     choices[i] = tuple.lrp(i).ResiduesModulo(period);
-    total_pieces *= static_cast<int64_t>(choices[i].size());
-    if (total_pieces > limits.max_pieces) {
-      return ResourceExhaustedError("residue combination count exceeds limit "
-                                    "during normalization");
-    }
   }
-  std::vector<NormalizedTuple> pieces;
-  std::vector<int64_t> residues(m, 0);
-  std::vector<int> index(m, 0);
-  while (true) {
-    for (int i = 0; i < m; ++i) residues[i] = choices[i][index[i]];
-    Dbm quotient = QuotientOf(tuple.constraint(), period, residues);
-    if (quotient.IsSatisfiable()) {
-      pieces.emplace_back(period, residues, tuple.data(), quotient);
-    }
-    // Odometer increment.
-    int pos = m - 1;
-    while (pos >= 0) {
-      if (++index[pos] < static_cast<int>(choices[pos].size())) break;
-      index[pos] = 0;
-      --pos;
-    }
-    if (pos < 0 || m == 0) break;
-  }
-  return pieces;
+  return EnumeratePieces(tuple.constraint(), period, choices, tuple.data(),
+                         limits);
 }
 
 StatusOr<std::vector<NormalizedTuple>> NormalizedTuple::AlignTo(
@@ -117,43 +188,20 @@ StatusOr<std::vector<NormalizedTuple>> NormalizedTuple::AlignTo(
   if (target == common_period_) {
     return std::vector<NormalizedTuple>{*this};
   }
-  // Re-express as a generalized tuple (exact) and renormalize at `target`
-  // by temporarily raising each column's lrp period.
+  // Re-express in t-space (exact) and renormalize at `target`: each column's
+  // residue class mod common_period_ splits into target / common_period_
+  // classes mod target.
   Dbm t_dbm = TSpaceOf(quotient_, common_period_, residues_);
-  std::vector<Lrp> lrps;
-  lrps.reserve(residues_.size());
-  for (int64_t r : residues_) lrps.emplace_back(common_period_, r);
-  GeneralizedTuple as_tuple(std::move(lrps), data_, std::move(t_dbm));
-
   int m = temporal_arity();
   int64_t splits = target / common_period_;
-  int64_t total = 1;
+  std::vector<std::vector<int64_t>> choices(m);
   for (int i = 0; i < m; ++i) {
-    total *= splits;
-    if (total > limits.max_pieces) {
-      return ResourceExhaustedError("alignment piece count exceeds limit");
+    choices[i].reserve(splits);
+    for (int64_t k = 0; k < splits; ++k) {
+      choices[i].push_back(residues_[i] + k * common_period_);
     }
   }
-  std::vector<NormalizedTuple> pieces;
-  std::vector<int64_t> residues(m, 0);
-  std::vector<int64_t> k(m, 0);
-  while (true) {
-    for (int i = 0; i < m; ++i) {
-      residues[i] = residues_[i] + k[i] * common_period_;
-    }
-    Dbm quotient = QuotientOf(as_tuple.constraint(), target, residues);
-    if (quotient.IsSatisfiable()) {
-      pieces.emplace_back(target, residues, data_, quotient);
-    }
-    int pos = m - 1;
-    while (pos >= 0) {
-      if (++k[pos] < splits) break;
-      k[pos] = 0;
-      --pos;
-    }
-    if (pos < 0 || m == 0) break;
-  }
-  return pieces;
+  return EnumeratePieces(t_dbm, target, choices, data_, limits);
 }
 
 bool NormalizedTuple::ContainsGround(const std::vector<int64_t>& times,

@@ -1,0 +1,174 @@
+#include "src/gdb/tuple_store.h"
+
+#include <algorithm>
+
+namespace lrpdb {
+
+TupleStore::TupleStore(RelationSchema schema)
+    : schema_(schema), data_index_(schema.data_arity) {}
+
+StatusOr<const std::vector<NormalizedTuple>*> TupleStore::pieces(
+    EntryId id, const NormalizeLimits& limits) const {
+  const Entry& entry = entries_[id];
+  if (!entry.normalized) {
+    LRPDB_ASSIGN_OR_RETURN(entry.pieces,
+                           NormalizedTuple::Normalize(entry.tuple, limits));
+    entry.normalized = true;
+  }
+  return &entry.pieces;
+}
+
+StatusOr<InsertOutcome> TupleStore::Insert(GeneralizedTuple tuple,
+                                           const NormalizeLimits& limits,
+                                           StoreStats* round_stats) {
+  LRPDB_CHECK_EQ(tuple.temporal_arity(), schema_.temporal_arity);
+  LRPDB_CHECK_EQ(tuple.data_arity(), schema_.data_arity);
+  LRPDB_ASSIGN_OR_RETURN(std::vector<NormalizedTuple> candidate,
+                         NormalizedTuple::Normalize(tuple, limits));
+  auto bump = [&](int64_t StoreStats::*field, int64_t amount) {
+    stats_.*field += amount;
+    if (round_stats != nullptr) round_stats->*field += amount;
+  };
+  if (candidate.empty()) {  // Empty ground set.
+    bump(&StoreStats::empty_dropped, 1);
+    return InsertOutcome{false, false};
+  }
+  // Same-signature entries: one bucket probe when indexed, a linear scan on
+  // the brute-force reference path. Both yield the same id set.
+  bump(&StoreStats::signature_probes, 1);
+  std::vector<EntryId> bucket_entries;
+  if (index_enabled_) {
+    auto it = signature_index_.find(tuple.free_extension());
+    if (it != signature_index_.end()) bucket_entries = it->second.entries;
+  } else {
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].tuple.data() == tuple.data() &&
+          entries_[i].tuple.lrps() == tuple.lrps()) {
+        bucket_entries.push_back(static_cast<EntryId>(i));
+      }
+    }
+  }
+  if (!bucket_entries.empty()) {
+    std::vector<NormalizedTuple> existing;
+    for (EntryId id : bucket_entries) {
+      LRPDB_ASSIGN_OR_RETURN(const std::vector<NormalizedTuple>* cached,
+                             pieces(id, limits));
+      existing.insert(existing.end(), cached->begin(), cached->end());
+    }
+    bump(&StoreStats::subsumption_checks, 1);
+    bump(&StoreStats::subsumption_candidates,
+         static_cast<int64_t>(bucket_entries.size()));
+    LRPDB_ASSIGN_OR_RETURN(bool contained,
+                           PiecesContainedIn(candidate, existing, limits));
+    if (contained) {
+      bump(&StoreStats::subsumed, 1);
+      return InsertOutcome{false, false};
+    }
+  }
+  bool new_signature = Append(std::move(tuple), std::move(candidate), true);
+  bump(&StoreStats::inserts, 1);
+  return InsertOutcome{true, new_signature};
+}
+
+bool TupleStore::InsertUnlessEmpty(GeneralizedTuple tuple) {
+  LRPDB_CHECK_EQ(tuple.temporal_arity(), schema_.temporal_arity);
+  LRPDB_CHECK_EQ(tuple.data_arity(), schema_.data_arity);
+  if (!tuple.ConstraintSatisfiable()) return false;
+  Append(std::move(tuple), {}, false);
+  ++stats_.inserts;
+  return true;
+}
+
+bool TupleStore::Append(GeneralizedTuple tuple,
+                        std::vector<NormalizedTuple> pieces, bool normalized) {
+  EntryId id = static_cast<EntryId>(entries_.size());
+  auto [it, created] = signature_index_.try_emplace(tuple.free_extension());
+  if (created) {
+    it->second.id = static_cast<SignatureId>(signature_index_.size() - 1);
+  }
+  it->second.entries.push_back(id);
+  for (int c = 0; c < schema_.data_arity; ++c) {
+    data_index_[c][tuple.data()[c]].push_back(id);
+  }
+  entries_.push_back(
+      Entry{std::move(tuple), it->second.id, std::move(pieces), normalized});
+  return created;
+}
+
+const std::vector<EntryId>* TupleStore::SmallestPosting(
+    const std::vector<TupleStore::DataRequirement>& requirements) const {
+  const std::vector<EntryId>* best = nullptr;
+  for (const DataRequirement& req : requirements) {
+    const auto& column = data_index_[req.column];
+    auto it = column.find(req.value);
+    if (it == column.end()) return nullptr;
+    if (best == nullptr || it->second.size() < best->size()) {
+      best = &it->second;
+    }
+  }
+  return best;
+}
+
+Status TupleStore::CheckConsistency() const {
+  if (delta_lo_ > delta_hi_ || delta_hi_ > entries_.size()) {
+    return InternalError("generation ranges out of order");
+  }
+  if (data_index_.size() != static_cast<size_t>(schema_.data_arity)) {
+    return InternalError("data index arity mismatch");
+  }
+  // Signature buckets partition the entries and match their keys.
+  size_t bucketed = 0;
+  std::unordered_set<SignatureId> signature_ids;
+  for (const auto& [fe, bucket] : signature_index_) {
+    if (!signature_ids.insert(bucket.id).second) {
+      return InternalError("duplicate signature id");
+    }
+    for (EntryId id : bucket.entries) {
+      if (id >= entries_.size()) return InternalError("bucket id out of range");
+      const Entry& entry = entries_[id];
+      if (!(entry.tuple.free_extension() == fe)) {
+        return InternalError("entry filed under a foreign signature");
+      }
+      if (entry.signature != bucket.id) {
+        return InternalError("entry signature id mismatch");
+      }
+      ++bucketed;
+    }
+  }
+  if (bucketed != entries_.size()) {
+    return InternalError("signature buckets do not partition the entries");
+  }
+  // Postings: sorted, value-correct, and complete per column.
+  for (int c = 0; c < schema_.data_arity; ++c) {
+    size_t posted = 0;
+    for (const auto& [value, posting] : data_index_[c]) {
+      if (!std::is_sorted(posting.begin(), posting.end())) {
+        return InternalError("posting list not sorted");
+      }
+      for (EntryId id : posting) {
+        if (id >= entries_.size()) {
+          return InternalError("posting id out of range");
+        }
+        if (entries_[id].tuple.data()[c] != value) {
+          return InternalError("posting value mismatch");
+        }
+        ++posted;
+      }
+    }
+    if (posted != entries_.size()) {
+      return InternalError("postings do not cover all entries");
+    }
+  }
+  return OkStatus();
+}
+
+std::string TupleStore::ToString(const Interner* interner) const {
+  std::string s;
+  for (const Entry& e : entries_) {
+    s += e.tuple.ToString(interner);
+    s += "\n";
+  }
+  return s;
+}
+
+}  // namespace lrpdb

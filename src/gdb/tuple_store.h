@@ -1,0 +1,346 @@
+// Signature-indexed, delta-aware tuple storage.
+//
+// Theorem 4.2's termination argument is phrased in terms of *signatures*:
+// the (data constants, lrp vector) key of a generalized tuple -- its free
+// extension, with the lrp vector residue-normalized (Lrp canonicalizes to
+// period > 0, offset in [0, period)). The store below organizes a
+// generalized relation around exactly that key:
+//
+//  * Signature index. Tuples live in a dense append-only entry array; a
+//    hash index maps each free extension to the list of entries carrying
+//    it. InsertIfNew-style subsumption only ever compares a candidate
+//    against the entries of its own signature bucket -- an O(1) probe
+//    followed by DBM work proportional to the bucket, never to the whole
+//    relation. Free-extension safety (a round adding no *new* signature)
+//    is read off the interning outcome of the probe itself.
+//
+//  * Per-column data value indexes. For every data column, a posting-list
+//    index DataValue -> entry ids lets join sides prune candidates by any
+//    data argument already bound (a constant in the atom or a variable
+//    bound by an earlier atom) instead of scanning the relation.
+//
+//  * Delta generations. Entries are append-only, so the semi-naive
+//    current / delta / new split is three index ranges, not three copied
+//    relations: [0, delta_lo) is "current", [delta_lo, delta_hi) is the
+//    delta of the last completed round, and [delta_hi, size) is what the
+//    running round has appended. AdvanceGeneration() promotes the ranges.
+//
+// The same generation protocol, over ground facts, backs the windowed
+// ground evaluator and (through it) the Datalog1S horizon-doubling loop:
+// see GroundFactStore at the bottom.
+#ifndef LRPDB_GDB_TUPLE_STORE_H_
+#define LRPDB_GDB_TUPLE_STORE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/common/statusor.h"
+#include "src/gdb/generalized_tuple.h"
+#include "src/gdb/normalized_tuple.h"
+#include "src/gdb/schema.h"
+
+namespace lrpdb {
+
+// Dense index of an entry within one TupleStore.
+using EntryId = uint32_t;
+// Dense id of an interned free-extension signature within one TupleStore.
+using SignatureId = uint32_t;
+
+// Cumulative storage-engine counters. The store keeps a lifetime copy;
+// callers may pass their own to scope counts to a round.
+struct StoreStats {
+  // InsertIfNew path.
+  int64_t signature_probes = 0;       // Signature-bucket lookups.
+  int64_t subsumption_checks = 0;     // Candidate-vs-bucket containment tests.
+  int64_t subsumption_candidates = 0; // Same-signature entries compared.
+  int64_t inserts = 0;                // Entries appended.
+  int64_t subsumed = 0;               // Candidates dropped as contained.
+  int64_t empty_dropped = 0;          // Candidates with empty ground sets.
+  // Join probe path.
+  int64_t index_probes = 0;           // Candidate probes issued.
+  int64_t tuples_scanned = 0;         // Entries yielded to the unifier.
+  int64_t tuples_pruned = 0;          // Entries skipped by index/delta filter.
+
+  void Accumulate(const StoreStats& other) {
+    signature_probes += other.signature_probes;
+    subsumption_checks += other.subsumption_checks;
+    subsumption_candidates += other.subsumption_candidates;
+    inserts += other.inserts;
+    subsumed += other.subsumed;
+    empty_dropped += other.empty_dropped;
+    index_probes += other.index_probes;
+    tuples_scanned += other.tuples_scanned;
+    tuples_pruned += other.tuples_pruned;
+  }
+};
+
+// Result of an exact insert: whether the tuple was stored and whether its
+// signature was interned for the first time (the Theorem 4.2 signal).
+struct InsertOutcome {
+  bool inserted = false;
+  bool new_signature = false;
+};
+
+// An indexed set of generalized tuples of one schema.
+class TupleStore {
+ public:
+  // Which generation a probe ranges over.
+  enum class Generation { kAll, kDelta };
+
+  // A data-column equality requirement for a join probe: the entry's data
+  // column `column` must equal `value`.
+  struct DataRequirement {
+    int column = 0;
+    DataValue value = 0;
+  };
+
+  explicit TupleStore(RelationSchema schema);
+
+  const RelationSchema& schema() const { return schema_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const GeneralizedTuple& tuple(EntryId id) const {
+    return entries_[id].tuple;
+  }
+  // The signature the entry was interned under.
+  SignatureId signature_of(EntryId id) const { return entries_[id].signature; }
+  size_t num_signatures() const { return signature_index_.size(); }
+  const StoreStats& stats() const { return stats_; }
+
+  // The residue pieces of entry `id`, computed on first use and cached.
+  StatusOr<const std::vector<NormalizedTuple>*> pieces(
+      EntryId id, const NormalizeLimits& limits = NormalizeLimits()) const;
+
+  // Exact insert: drops the tuple if its ground set is empty or contained
+  // in the union of the stored tuples with the same signature (free
+  // extension) -- the comparison constraint safety (paper, Section 4.3)
+  // prescribes. With indexing enabled the same-signature entries come from
+  // one bucket probe; the linear reference path (set_index_enabled(false))
+  // finds them by scanning, for differential testing. `round_stats`, when
+  // non-null, receives the same counter increments as the lifetime stats.
+  StatusOr<InsertOutcome> Insert(GeneralizedTuple tuple,
+                                 const NormalizeLimits& limits =
+                                     NormalizeLimits(),
+                                 StoreStats* round_stats = nullptr);
+
+  // Inserts after a cheap DBM satisfiability check only; tuples empty
+  // purely through lrp-residue conflicts may be stored (harmless
+  // redundancy). Returns false iff dropped.
+  bool InsertUnlessEmpty(GeneralizedTuple tuple);
+
+  // --- Delta generations ---
+
+  // Promotes generations: the entries appended since the previous call
+  // become the delta; the previous delta joins "current".
+  void AdvanceGeneration() {
+    delta_lo_ = delta_hi_;
+    delta_hi_ = entries_.size();
+  }
+  size_t delta_lo() const { return delta_lo_; }
+  size_t delta_hi() const { return delta_hi_; }
+  size_t delta_size() const { return delta_hi_ - delta_lo_; }
+
+  // --- Join-side candidate probes ---
+
+  // Invokes `fn(EntryId)` for every entry of `generation` compatible with
+  // the data requirements, scanning only the most selective posting list
+  // (or the generation range when no requirement is given or indexing is
+  // disabled). Entries yielded are a superset filter: the caller's unifier
+  // re-checks everything; entries *not* yielded are guaranteed mismatches.
+  template <typename Fn>
+  void ForEachCandidate(const std::vector<DataRequirement>& requirements,
+                        Generation generation, StoreStats* round_stats,
+                        Fn&& fn) const {
+    size_t lo = generation == Generation::kDelta ? delta_lo_ : 0;
+    size_t hi = generation == Generation::kDelta ? delta_hi_ : entries_.size();
+    ++stats_.index_probes;
+    if (round_stats != nullptr) ++round_stats->index_probes;
+    int64_t scanned = 0;
+    const std::vector<EntryId>* posting = nullptr;
+    if (index_enabled_ && !requirements.empty()) {
+      posting = SmallestPosting(requirements);
+      if (posting == nullptr) {
+        // Some required value has no posting list: no candidates at all.
+        CountScan(round_stats, 0, static_cast<int64_t>(hi - lo));
+        return;
+      }
+    }
+    if (posting != nullptr) {
+      // Postings are ascending, so the generation filter is a range scan.
+      auto it = std::lower_bound(posting->begin(), posting->end(),
+                                 static_cast<EntryId>(lo));
+      for (; it != posting->end() && *it < hi; ++it) {
+        ++scanned;
+        fn(*it);
+      }
+    } else {
+      for (size_t id = lo; id < hi; ++id) {
+        ++scanned;
+        fn(static_cast<EntryId>(id));
+      }
+    }
+    CountScan(round_stats, scanned, static_cast<int64_t>(hi - lo) - scanned);
+  }
+
+  // Disables the signature/data indexes for probing: Insert finds
+  // same-signature entries by linear scan and ForEachCandidate scans the
+  // full generation range. Results are identical to the indexed path (the
+  // indexes are still maintained); this is the brute-force reference for
+  // differential tests.
+  void set_index_enabled(bool enabled) { index_enabled_ = enabled; }
+  bool index_enabled() const { return index_enabled_; }
+
+  // Verifies every index invariant (signature buckets partition the
+  // entries, postings are sorted and complete, generation ranges are
+  // well-formed). Intended for tests.
+  Status CheckConsistency() const;
+
+  std::string ToString(const Interner* interner = nullptr) const;
+
+ private:
+  struct Entry {
+    GeneralizedTuple tuple;
+    SignatureId signature = 0;
+    // Lazily computed residue pieces (valid when normalized is true).
+    mutable std::vector<NormalizedTuple> pieces;
+    mutable bool normalized = false;
+  };
+
+  struct SignatureBucket {
+    SignatureId id = 0;
+    std::vector<EntryId> entries;
+  };
+
+  // Appends `tuple` (with optional pre-normalized pieces) and indexes it.
+  // Returns the outcome's new_signature flag.
+  bool Append(GeneralizedTuple tuple, std::vector<NormalizedTuple> pieces,
+              bool normalized);
+
+  // The smallest posting list among the requirements, or nullptr when some
+  // required value has no entries at all.
+  const std::vector<EntryId>* SmallestPosting(
+      const std::vector<DataRequirement>& requirements) const;
+
+  void CountScan(StoreStats* round_stats, int64_t scanned,
+                 int64_t pruned) const {
+    stats_.tuples_scanned += scanned;
+    stats_.tuples_pruned += pruned;
+    if (round_stats != nullptr) {
+      round_stats->tuples_scanned += scanned;
+      round_stats->tuples_pruned += pruned;
+    }
+  }
+
+  RelationSchema schema_;
+  std::vector<Entry> entries_;
+  std::unordered_map<FreeExtension, SignatureBucket, FreeExtensionHash>
+      signature_index_;
+  // data_index_[column][value] = ascending entry ids with that value.
+  std::vector<std::unordered_map<DataValue, std::vector<EntryId>>> data_index_;
+  size_t delta_lo_ = 0;
+  size_t delta_hi_ = 0;
+  bool index_enabled_ = true;
+  mutable StoreStats stats_;
+};
+
+// --- Ground-fact storage (shared delta-generation machinery) ---
+
+// A fully instantiated tuple: time values plus data constants.
+struct GroundTuple {
+  std::vector<int64_t> times;
+  std::vector<DataValue> data;
+
+  friend bool operator==(const GroundTuple& a, const GroundTuple& b) {
+    return a.times == b.times && a.data == b.data;
+  }
+  friend bool operator<(const GroundTuple& a, const GroundTuple& b) {
+    if (a.times != b.times) return a.times < b.times;
+    return a.data < b.data;
+  }
+};
+
+struct GroundTupleHash {
+  size_t operator()(const GroundTuple& t) const {
+    size_t h = 0;
+    for (int64_t v : t.times) h = HashCombine(h, static_cast<size_t>(v));
+    for (DataValue d : t.data) h = HashCombine(h, static_cast<size_t>(d));
+    return h;
+  }
+};
+
+// Append-only deduplicated set of ground facts with the same generation
+// protocol as TupleStore. Backs the windowed ground evaluator's semi-naive
+// loop (and Datalog1S's horizon doubling through it) without per-round
+// delta-set copies. Move-only: insertion order is kept as pointers into the
+// node-based hash set, which survive moves but not copies.
+class GroundFactStore {
+ public:
+  GroundFactStore() = default;
+  GroundFactStore(GroundFactStore&&) = default;
+  GroundFactStore& operator=(GroundFactStore&&) = default;
+  GroundFactStore(const GroundFactStore&) = delete;
+  GroundFactStore& operator=(const GroundFactStore&) = delete;
+
+  // Returns false when the fact was already present.
+  bool Insert(GroundTuple fact) {
+    auto [it, inserted] = set_.insert(std::move(fact));
+    if (inserted) order_.push_back(&*it);
+    return inserted;
+  }
+
+  bool Contains(const GroundTuple& fact) const { return set_.count(fact) > 0; }
+  // std::set-compatible membership spelling, so existing call sites read on.
+  size_t count(const GroundTuple& fact) const { return set_.count(fact); }
+
+  size_t size() const { return order_.size(); }
+  bool empty() const { return order_.empty(); }
+  const GroundTuple& fact(size_t i) const { return *order_[i]; }
+
+  void AdvanceGeneration() {
+    delta_lo_ = delta_hi_;
+    delta_hi_ = order_.size();
+  }
+  size_t delta_lo() const { return delta_lo_; }
+  size_t delta_hi() const { return delta_hi_; }
+  size_t delta_size() const { return delta_hi_ - delta_lo_; }
+
+  // Iteration in insertion order.
+  class const_iterator {
+   public:
+    explicit const_iterator(const GroundTuple* const* p) : p_(p) {}
+    const GroundTuple& operator*() const { return **p_; }
+    const GroundTuple* operator->() const { return *p_; }
+    const_iterator& operator++() {
+      ++p_;
+      return *this;
+    }
+    friend bool operator==(const_iterator a, const_iterator b) {
+      return a.p_ == b.p_;
+    }
+    friend bool operator!=(const_iterator a, const_iterator b) {
+      return a.p_ != b.p_;
+    }
+
+   private:
+    const GroundTuple* const* p_;
+  };
+  const_iterator begin() const { return const_iterator(order_.data()); }
+  const_iterator end() const {
+    return const_iterator(order_.data() + order_.size());
+  }
+
+ private:
+  std::unordered_set<GroundTuple, GroundTupleHash> set_;
+  std::vector<const GroundTuple*> order_;
+  size_t delta_lo_ = 0;
+  size_t delta_hi_ = 0;
+};
+
+}  // namespace lrpdb
+
+#endif  // LRPDB_GDB_TUPLE_STORE_H_
