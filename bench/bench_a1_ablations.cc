@@ -143,12 +143,15 @@ void WriteReport() {
     lrpdb::EvaluationOptions options;
     options.semi_naive = semi_naive;
     report.Time(semi_naive ? "wall_ms_semi_naive" : "wall_ms_naive", [&] {
+      LRPDB_TRACE_SPAN(span, "bench.a1.report_eval");
+      span.AddArg("semi_naive", semi_naive ? 1 : 0);
       auto r = lrpdb::Evaluate(unit->program, db, options);
       LRPDB_CHECK(r.ok()) << r.status();
       if (semi_naive) result = std::move(*r);
     });
   }
   report.SetEvaluation(*result);
+  report.SetProfile(result->profile);
   report.Write();
 }
 

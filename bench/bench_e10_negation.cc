@@ -92,11 +92,13 @@ void WriteReport() {
   report.Set("strata", static_cast<int64_t>(2));
   std::optional<lrpdb::EvaluationResult> result;
   report.Time("wall_ms", [&] {
+    LRPDB_TRACE_SPAN(span, "bench.e10.report_eval");
     auto r = lrpdb::Evaluate(unit->program, db);
     LRPDB_CHECK(r.ok()) << r.status();
     result = std::move(*r);
   });
   report.SetEvaluation(*result);
+  report.SetProfile(result->profile);
   report.Write();
 }
 

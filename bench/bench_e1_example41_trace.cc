@@ -92,11 +92,13 @@ void WriteReport() {
   lrpdb_bench::BenchReport report("e1");
   std::optional<lrpdb::EvaluationResult> result;
   report.Time("wall_ms", [&] {
+    LRPDB_TRACE_SPAN(span, "bench.e1.report_eval");
     auto r = lrpdb::Evaluate(unit->program, db);
     LRPDB_CHECK(r.ok()) << r.status();
     result = std::move(*r);
   });
   report.SetEvaluation(*result);
+  report.SetProfile(result->profile);
   report.Set("free_extension_safe_at", result->free_extension_safe_at);
   report.Write();
 }

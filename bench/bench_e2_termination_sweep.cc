@@ -86,11 +86,13 @@ void WriteReport() {
   report.Set("largest_sweep_period", kPeriod);
   std::optional<lrpdb::EvaluationResult> result;
   double ms = report.Time("wall_ms", [&] {
+    LRPDB_TRACE_SPAN(span, "bench.e2.report_eval");
     auto r = lrpdb::Evaluate(unit->program, db);
     LRPDB_CHECK(r.ok()) << r.status();
     result = std::move(*r);
   });
   report.SetEvaluation(*result);
+  report.SetProfile(result->profile);
   report.Set("per_round_us", ms * 1000.0 / result->iterations);
   report.Write();
 }

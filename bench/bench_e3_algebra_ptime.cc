@@ -98,6 +98,7 @@ BENCHMARK(BM_ArityScaling)->DenseRange(1, 5);
 // One timed pass of each operation at the largest benchmarked size.
 void WriteReport() {
   constexpr int kTuples = 64;
+  LRPDB_TRACE_SPAN(span, "bench.e3.report");
   lrpdb_bench::BenchReport report("e3");
   report.Set("tuples_per_side", static_cast<int64_t>(kTuples));
   GeneralizedRelation a = RandomRelation(kTuples, 2, 1);

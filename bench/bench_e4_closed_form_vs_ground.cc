@@ -95,11 +95,13 @@ void WriteReport() {
   lrpdb_bench::BenchReport report("e4");
   std::optional<lrpdb::EvaluationResult> generalized;
   report.Time("wall_ms_generalized", [&] {
+    LRPDB_TRACE_SPAN(span, "bench.e4.report_eval");
     auto r = lrpdb::Evaluate(unit->program, db);
     LRPDB_CHECK(r.ok()) << r.status();
     generalized = std::move(*r);
   });
   report.SetEvaluation(*generalized);
+  report.SetProfile(generalized->profile);
   lrpdb::GroundEvaluationOptions options;
   options.window_lo = 0;
   options.window_hi = 1 << 14;

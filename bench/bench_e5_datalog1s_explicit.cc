@@ -99,6 +99,7 @@ void WriteReport() {
   int64_t horizon = 0;
   size_t predicates = 0;
   report.Time("wall_ms_conversion", [&] {
+    LRPDB_TRACE_SPAN(span, "bench.e5.report_conversion");
     auto result = lrpdb::EvaluateDatalog1S(unit->program, db);
     LRPDB_CHECK(result.ok()) << result.status();
     horizon = result->horizon;

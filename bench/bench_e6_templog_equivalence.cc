@@ -114,6 +114,7 @@ void WriteReport() {
   lrpdb_bench::BenchReport report("e6");
   int64_t horizon = 0;
   report.Time("wall_ms_templog_end_to_end", [&] {
+    LRPDB_TRACE_SPAN(span, "bench.e6.templog_end_to_end");
     auto templog = lrpdb::ParseTemplog(kTemplog);
     LRPDB_CHECK(templog.ok()) << templog.status();
     lrpdb::Database db;

@@ -127,6 +127,8 @@ void WriteReport() {
   for (int v = 2; v <= kVars; ++v) query.AddDifferenceEquality(v, v - 1, 1);
   bool implied = false;
   report.Time("wall_ms_implied_by_union", [&] {
+    LRPDB_TRACE_SPAN(span, "bench.e7.implied_by_union");
+    span.AddArg("disjuncts", kDisjuncts);
     implied = query.ImpliedByUnion(disjuncts);
   });
   LRPDB_CHECK(implied);

@@ -156,6 +156,7 @@ void WriteReport() {
   int passed = 0;
   constexpr int kTotal = 12;
   report.Time("wall_ms_round_trips", [&] {
+    LRPDB_TRACE_SPAN(span, "bench.e8.round_trips");
     for (int i = 0; i < kTotal; ++i) {
       passed += RoundTrip(first_dist(rng), period_dist(rng));
     }

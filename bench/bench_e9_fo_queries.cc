@@ -140,6 +140,7 @@ void WriteReport() {
     LRPDB_CHECK(query.ok()) << query.status();
     size_t tuples = 0;
     report.Time(entry.key, [&] {
+      LRPDB_TRACE_SPAN(span, "bench.e9.fo_query");
       auto result = lrpdb::EvaluateFoQuery(*query, db);
       LRPDB_CHECK(result.ok()) << result.status();
       tuples = result->relation.size();

@@ -2,9 +2,15 @@
 //
 // Every bench_* binary writes a flat BENCH_<id>.json into the working
 // directory so harnesses can diff runs without scraping stdout. The report
-// is a single JSON object of scalar fields; insertion order is preserved.
-// Header-only and std-only so benches outside the core engine (algebra,
-// constraints, automata) can use it without extra link dependencies.
+// is a single JSON object; insertion order is preserved. Schema (version 2):
+//
+//   {"bench": "<id>", "schema_version": 2, <scalar fields...>,
+//    "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}}}
+//
+// Write() is the single shared writer: it stamps the schema version, embeds
+// a snapshot of the process-global MetricsRegistry, and flushes the global
+// tracer so LRPDB_TRACE sinks are complete even if the bench exits without
+// reaching the atexit hook. ci/validate_bench_json.py checks the contract.
 #ifndef LRPDB_BENCH_BENCH_JSON_H_
 #define LRPDB_BENCH_BENCH_JSON_H_
 
@@ -15,7 +21,14 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace lrpdb_bench {
+
+// Bumped whenever the report shape changes incompatibly. Version 1 had no
+// schema_version field and no "metrics" object.
+inline constexpr int kBenchSchemaVersion = 2;
 
 class BenchReport {
  public:
@@ -44,6 +57,10 @@ class BenchReport {
   void Set(const std::string& key, const char* value) {
     Set(key, std::string(value));
   }
+  // Pre-rendered JSON (object/array) embedded verbatim under `key`.
+  void SetRaw(const std::string& key, std::string json) {
+    Add(key, std::move(json));
+  }
 
   // Evaluation-engine summary: rounds, stored tuples, and the storage
   // counters (works for any type shaped like lrpdb::EvaluationResult).
@@ -62,6 +79,16 @@ class BenchReport {
     Set("tuples_pruned", totals.tuples_pruned);
   }
 
+  // EXPLAIN profile summary (lrpdb::EvalProfile-shaped): evaluation-wide
+  // timings and derivation totals.
+  template <typename EvalProfile>
+  void SetProfile(const EvalProfile& profile) {
+    Set("normalize_us", profile.normalize_us);
+    Set("eval_total_us", profile.total_us);
+    Set("derivations", profile.TotalDerivations());
+    Set("derivations_kept", profile.TotalInserted());
+  }
+
   // Times `fn` (a void() callable) and records the wall time under `key`
   // in milliseconds. Returns the measured milliseconds.
   template <typename Fn>
@@ -75,22 +102,33 @@ class BenchReport {
     return ms;
   }
 
-  // Writes BENCH_<id>.json. Returns false (after printing to stderr) when
-  // the file cannot be written; benches treat that as non-fatal.
+  // Writes BENCH_<id>.json: header fields, the Set() fields in insertion
+  // order, then the embedded metrics snapshot. Also flushes the global trace
+  // sink and the LRPDB_METRICS env sink so every observability artifact is
+  // on disk when the bench exits. Returns false (after printing to stderr)
+  // when the report cannot be written; benches treat that as non-fatal.
   bool Write() const {
+    // Benches that exercise no instrumented engine path (pure constraint or
+    // automata kernels) still get a non-empty counters object this way.
+    LRPDB_COUNTER_INC("bench.reports_written");
     std::string path = "BENCH_" + id_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
       return false;
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\"", Escaped(id_).c_str());
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"schema_version\": %d",
+                 Escaped(id_).c_str(), kBenchSchemaVersion);
     for (const auto& [key, json] : fields_) {
       std::fprintf(f, ",\n  \"%s\": %s", Escaped(key).c_str(), json.c_str());
     }
+    std::fprintf(f, ",\n  \"metrics\": %s",
+                 lrpdb::obs::MetricsRegistry::Global().ToJson().c_str());
     std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
+    lrpdb::obs::Tracer::Global().Flush();
+    lrpdb::obs::MetricsRegistry::Global().WriteEnvSink();
     return true;
   }
 

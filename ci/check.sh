@@ -3,8 +3,12 @@
 #
 #   ci/check.sh              plain RelWithDebInfo build + ctest
 #   ci/check.sh --sanitize   ASan/UBSan build + ctest (slower; separate tree)
-#   ci/check.sh --bench      additionally run every bench binary once and
-#                            check the BENCH_<id>.json reports parse
+#   ci/check.sh --tsan       TSan build + ctest with LRPDB_TRACE enabled, so
+#                            the threaded obs stress tests race the tracer
+#   ci/check.sh --bench      additionally run every bench binary once, check
+#                            each exits cleanly and writes a BENCH_<id>.json
+#                            that passes ci/validate_bench_json.py; reports
+#                            and Chrome traces land in <build>/bench-reports
 #
 # Flags compose; exit status is nonzero on any failure.
 set -euo pipefail
@@ -12,14 +16,20 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 sanitize=0
+tsan=0
 bench=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) sanitize=1 ;;
+    --tsan) tsan=1 ;;
     --bench) bench=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
+if [[ "$sanitize" == 1 && "$tsan" == 1 ]]; then
+  echo "--sanitize and --tsan are mutually exclusive" >&2
+  exit 2
+fi
 
 build_dir=build
 cmake_args=()
@@ -29,26 +39,52 @@ if [[ "$sanitize" == 1 ]]; then
   # Abort on the first UBSan report instead of printing and continuing.
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
   export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
+elif [[ "$tsan" == 1 ]]; then
+  build_dir=build-tsan
+  cmake_args+=(-DLRPDB_SANITIZE=thread)
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 fi
 
 cmake -B "$build_dir" -S . "${cmake_args[@]}"
 cmake --build "$build_dir" -j"$(nproc)"
-ctest --test-dir "$build_dir" --output-on-failure
+if [[ "$tsan" == 1 ]]; then
+  # Run the suite with an active trace sink: every span then takes the
+  # record path (tracer mutex + shared event buffer), which is exactly what
+  # TSan needs to see contended.
+  LRPDB_TRACE="$PWD/$build_dir/ctest-trace.json" \
+    ctest --test-dir "$build_dir" --output-on-failure
+else
+  ctest --test-dir "$build_dir" --output-on-failure
+fi
 
 if [[ "$bench" == 1 ]]; then
-  report_dir=$(mktemp -d)
+  # Stable location (not mktemp) so CI can upload the reports and traces.
+  report_dir="$PWD/$build_dir/bench-reports"
+  rm -rf "$report_dir"
+  mkdir -p "$report_dir"
   for bin in "$build_dir"/bench/bench_*; do
     [[ -x "$bin" && ! -d "$bin" ]] || continue
     name=$(basename "$bin")
+    id=${name#bench_}
+    id=${id%%_*}
     echo "== $name"
-    # Benchmarks emit BENCH_<id>.json into the cwd; collect them per run.
-    (cd "$report_dir" && "$OLDPWD/$bin" --benchmark_min_time=0.01s > /dev/null)
+    # Benchmarks emit BENCH_<id>.json into the cwd; collect them per run,
+    # with a Chrome trace of the instrumented engine spans alongside.
+    (cd "$report_dir" &&
+     LRPDB_TRACE="$report_dir/TRACE_${id}.json" \
+       "$OLDPWD/$bin" --benchmark_min_time=0.01s > /dev/null) || {
+      status=$?
+      echo "error: $name exited with status $status" >&2
+      echo "error: offending report: $report_dir/BENCH_${id}.json" >&2
+      exit 1
+    }
+    if [[ ! -f "$report_dir/BENCH_${id}.json" ]]; then
+      echo "error: $name wrote no report: $report_dir/BENCH_${id}.json" >&2
+      exit 1
+    fi
   done
-  for report in "$report_dir"/BENCH_*.json; do
-    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$report"
-    echo "ok: $(basename "$report")"
-  done
-  rm -rf "$report_dir"
+  python3 ci/validate_bench_json.py "$report_dir"/BENCH_*.json
+  echo "bench reports and traces in $report_dir"
 fi
 
 echo "ci/check.sh: all checks passed"

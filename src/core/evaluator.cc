@@ -1,6 +1,8 @@
 #include "src/core/evaluator.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <optional>
 #include <set>
 #include <utility>
@@ -8,9 +10,44 @@
 #include "src/gdb/algebra.h"
 
 #include "src/gdb/normalized_tuple.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace lrpdb {
 namespace {
+
+using SteadyTime = std::chrono::steady_clock::time_point;
+
+// The profile's *counts* are plain integer adds and always collected; the
+// *timings* cost a clock read per round and per clause application, so they
+// follow the obs layer: under LRPDB_NO_METRICS they compile to zeros and
+// the uninstrumented build performs no clock reads in the evaluation loop.
+#if !defined(LRPDB_NO_METRICS)
+SteadyTime Now() { return std::chrono::steady_clock::now(); }
+
+int64_t UsSince(SteadyTime start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Now() - start)
+      .count();
+}
+#else
+SteadyTime Now() { return SteadyTime(); }
+
+int64_t UsSince(SteadyTime) { return 0; }
+#endif
+
+// "head :- body1, !body2" sketch of a normalized clause, for EXPLAIN dumps.
+std::string RenderClause(const Program& program,
+                         const NormalizedClause& clause) {
+  std::string s = program.predicates().NameOf(clause.head_predicate);
+  if (clause.body.empty()) return s + ".";
+  s += " :- ";
+  for (size_t i = 0; i < clause.body.size(); ++i) {
+    if (i > 0) s += ", ";
+    if (clause.body[i].negated) s += "!";
+    s += program.predicates().NameOf(clause.body[i].predicate);
+  }
+  return s;
+}
 
 // A partial assignment of the clause's variables built while joining body
 // atoms: per temporal variable an optional lrp (unset = only DBM-bounded so
@@ -309,11 +346,80 @@ int64_t EvaluationResult::TuplesStored() const {
   return total;
 }
 
+int64_t EvalProfile::TotalDerivations() const {
+  int64_t total = 0;
+  for (const RuleProfile& rule : rules) total += rule.derivations;
+  return total;
+}
+
+int64_t EvalProfile::TotalInserted() const {
+  int64_t total = 0;
+  for (const RuleProfile& rule : rules) total += rule.inserted;
+  return total;
+}
+
+std::string EvaluationResult::Explain() const {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "EXPLAIN: %d rounds, %s, %lld derivations, %lld kept "
+                "(total %lld us, normalize %lld us)\n",
+                iterations,
+                reached_fixpoint ? "fixpoint reached"
+                                 : ("gave up: " + gave_up_reason).c_str(),
+                static_cast<long long>(profile.TotalDerivations()),
+                static_cast<long long>(profile.TotalInserted()),
+                static_cast<long long>(profile.total_us),
+                static_cast<long long>(profile.normalize_us));
+  out += line;
+  for (const RuleProfile& rule : profile.rules) {
+    std::snprintf(line, sizeof(line),
+                  "  rule %-3d %-40s apps=%-5lld derived=%-6lld kept=%-6lld "
+                  "subsumed=%-6lld new_fe=%-5lld apply_us=%lld\n",
+                  rule.clause_index, rule.rule.c_str(),
+                  static_cast<long long>(rule.applications),
+                  static_cast<long long>(rule.derivations),
+                  static_cast<long long>(rule.inserted),
+                  static_cast<long long>(rule.subsumed),
+                  static_cast<long long>(rule.new_free_extensions),
+                  static_cast<long long>(rule.apply_us));
+    out += line;
+  }
+  out += "  round  stratum  delta  cand  ins  new_fe  apply_us  insert_us\n";
+  for (const RoundStats& round : rounds) {
+    std::snprintf(line, sizeof(line),
+                  "  %-6d %-8d %-6lld %-5d %-4d %-7d %-9lld %lld\n",
+                  round.round, round.stratum,
+                  static_cast<long long>(round.delta_tuples),
+                  round.candidates, round.inserted, round.new_free_extensions,
+                  static_cast<long long>(round.apply_us),
+                  static_cast<long long>(round.insert_us));
+    out += line;
+  }
+  return out;
+}
+
 StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
                                     const EvaluationOptions& options) {
-  LRPDB_ASSIGN_OR_RETURN(NormalizedProgram normalized, Normalize(program));
-
+  const SteadyTime eval_start = Now();
+  LRPDB_TRACE_SPAN(eval_span, "eval.run");
   EvaluationResult result;
+  const SteadyTime normalize_start = Now();
+  LRPDB_ASSIGN_OR_RETURN(NormalizedProgram normalized, Normalize(program));
+  result.profile.normalize_us = UsSince(normalize_start);
+  result.profile.rules.resize(normalized.clauses.size());
+  for (size_t ci = 0; ci < normalized.clauses.size(); ++ci) {
+    RuleProfile& rule = result.profile.rules[ci];
+    rule.clause_index = static_cast<int>(ci);
+    rule.head_predicate =
+        program.predicates().NameOf(normalized.clauses[ci].head_predicate);
+    rule.rule = RenderClause(program, normalized.clauses[ci]);
+  }
+  // Stamps the whole-evaluation profile fields; call before every return.
+  auto finalize = [&result, eval_start] {
+    result.profile.total_us = UsSince(eval_start);
+  };
+
   // Initialize empty IDB relations for every intensional predicate.
   for (SymbolId predicate : program.idb_predicates()) {
     const std::string& name = program.predicates().NameOf(predicate);
@@ -362,12 +468,17 @@ StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
         result.iterations = options.max_iterations;
         result.gave_up_reason = "max_iterations reached";
         result.free_extension_safe_at = last_new_fe_round;
+        finalize();
         return result;
       }
       ++total_rounds;
       // Collect candidates against the state at round start. The stores'
       // delta generations hold exactly the tuples inserted last round, so
       // semi-naive pivots read an index range instead of a copied relation.
+      const SteadyTime round_start = Now();
+      LRPDB_TRACE_SPAN(round_span, "eval.round");
+      round_span.AddArg("round", total_rounds);
+      round_span.AddArg("stratum", stratum);
       RoundStats stats;
       stats.round = total_rounds;
       stats.stratum = stratum;
@@ -375,6 +486,8 @@ StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
         stats.delta_tuples +=
             static_cast<int64_t>(relation.store().delta_size());
       }
+      LRPDB_COUNTER_INC("eval.rounds");
+      LRPDB_COUNTER_ADD("eval.round.delta_tuples", stats.delta_tuples);
       std::vector<std::pair<int, GeneralizedTuple>> candidates;
       for (size_t ci = 0; ci < normalized.clauses.size(); ++ci) {
         const NormalizedClause& clause = normalized.clauses[ci];
@@ -404,8 +517,14 @@ StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
                 resolver.Resolve(atom.predicate, atom.is_intensional));
           }
         }
+        RuleProfile& rule_profile = result.profile.rules[ci];
+        const SteadyTime apply_start = Now();
+        LRPDB_TRACE_SPAN(rule_span, "eval.rule");
+        rule_span.AddArg("clause", static_cast<int64_t>(ci));
+        rule_span.AddArg("round", total_rounds);
         std::vector<GeneralizedTuple> clause_candidates;
         if (!options.semi_naive || round == 1 || recursive == 0) {
+          ++rule_profile.applications;
           LRPDB_RETURN_IF_ERROR(ApplyClause(clause, sources, options.limits,
                                             &stats.store,
                                             &clause_candidates));
@@ -419,11 +538,19 @@ StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
             if (sources[pivot].relation->store().delta_size() == 0) continue;
             std::vector<AtomSource> pivot_sources = sources;
             pivot_sources[pivot].generation = TupleStore::Generation::kDelta;
+            ++rule_profile.applications;
             LRPDB_RETURN_IF_ERROR(ApplyClause(clause, pivot_sources,
                                               options.limits, &stats.store,
                                               &clause_candidates));
           }
         }
+        rule_profile.derivations +=
+            static_cast<int64_t>(clause_candidates.size());
+        rule_span.AddArg("derivations",
+                         static_cast<int64_t>(clause_candidates.size()));
+        const int64_t apply_us = UsSince(apply_start);
+        rule_profile.apply_us += apply_us;
+        stats.apply_us += apply_us;
         for (GeneralizedTuple& t : clause_candidates) {
           candidates.emplace_back(static_cast<int>(ci), std::move(t));
         }
@@ -432,11 +559,13 @@ StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
       // Insert candidates; the store reports growth and new signatures
       // (free extensions) directly from its interning probe.
       stats.candidates = static_cast<int>(candidates.size());
+      const SteadyTime insert_start = Now();
       bool grew = false;
       for (auto& [clause_index, tuple] : candidates) {
         const std::string& name = program.predicates().NameOf(
             normalized.clauses[clause_index].head_predicate);
         GeneralizedRelation& relation = result.idb.at(name);
+        RuleProfile& rule_profile = result.profile.rules[clause_index];
         InsertOutcome outcome;
         if (options.record_trace) {
           LRPDB_ASSIGN_OR_RETURN(
@@ -454,12 +583,17 @@ StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
         if (outcome.inserted) {
           grew = true;
           ++stats.inserted;
+          ++rule_profile.inserted;
           if (outcome.new_signature) {
             last_new_fe_round = total_rounds;
             ++stats.new_free_extensions;
+            ++rule_profile.new_free_extensions;
           }
+        } else {
+          ++rule_profile.subsumed;
         }
       }
+      stats.insert_us = UsSince(insert_start);
       // Promote generations: this round's inserts become the next round's
       // delta; the previous delta joins "current".
       for (auto& [unused, relation] : result.idb) {
@@ -467,6 +601,15 @@ StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
       }
 
       result.iterations = total_rounds;
+      stats.duration_us = UsSince(round_start);
+      LRPDB_COUNTER_ADD("eval.candidates", stats.candidates);
+      LRPDB_COUNTER_ADD("eval.inserted", stats.inserted);
+      LRPDB_COUNTER_ADD("eval.new_free_extensions",
+                        stats.new_free_extensions);
+      LRPDB_HISTOGRAM_RECORD("eval.round.duration_us", stats.duration_us);
+      round_span.AddArg("candidates", stats.candidates);
+      round_span.AddArg("inserted", stats.inserted);
+      round_span.AddArg("delta_tuples", stats.delta_tuples);
       result.rounds.push_back(stats);
       if (!grew) break;  // This stratum reached its fixpoint.
       if (total_rounds - std::max(last_new_fe_round, stratum_start) >=
@@ -476,6 +619,7 @@ StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
             std::to_string(options.fes_patience) + " rounds (Section 4.3 "
             "give-up)";
         result.free_extension_safe_at = last_new_fe_round;
+        finalize();
         return result;
       }
     }
@@ -500,7 +644,21 @@ StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
       relation = std::move(compacted);
     }
   }
+  finalize();
   return result;
+}
+
+Status Evaluator::Run() {
+  if (result_.has_value()) return OkStatus();
+  LRPDB_ASSIGN_OR_RETURN(EvaluationResult result,
+                         Evaluate(program_, db_, options_));
+  result_ = std::move(result);
+  return OkStatus();
+}
+
+const EvaluationResult& Evaluator::Result() const {
+  LRPDB_CHECK(result_.has_value()) << "Evaluator::Run() has not succeeded";
+  return *result_;
 }
 
 StatusOr<GeneralizedRelation> QueryAtom(const Program& program,

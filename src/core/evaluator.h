@@ -25,7 +25,9 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/ast/ast.h"
@@ -82,12 +84,48 @@ struct RoundStats {
   int new_free_extensions = 0;
   // Tuples in the delta generations feeding this round's semi-naive joins.
   int64_t delta_tuples = 0;
+  // Wall time of the round, split into the clause-application (join +
+  // head projection) and candidate-insertion (subsumption) phases.
+  int64_t duration_us = 0;
+  int64_t apply_us = 0;
+  int64_t insert_us = 0;
   // Storage-engine counters for the round (see StoreStats in
   // src/gdb/tuple_store.h): insert-side signature probes and bucket-bounded
   // subsumption work, and join-side index probes with scanned/pruned tuple
   // counts. scanned + pruned always equals the tuples a full scan would
   // have visited, so pruned > 0 certifies the index did real work.
   StoreStats store;
+};
+
+// Cost attribution for one normalized clause across the whole evaluation:
+// how often it was applied, what it derived, and what that cost. Together
+// with the per-round RoundStats this is the engine's EXPLAIN output -- it
+// makes the Theorem 4.2/4.3 termination behavior auditable per rule rather
+// than through opaque wall clocks.
+struct RuleProfile {
+  int clause_index = 0;
+  std::string head_predicate;
+  std::string rule;  // Rendered "head :- body" sketch for dumps.
+  // ApplyClause invocations: 1 for the initial full round plus one per
+  // nonempty semi-naive delta pivot per later round.
+  int64_t applications = 0;
+  int64_t derivations = 0;   // Candidate head tuples produced (attempted).
+  int64_t inserted = 0;      // Candidates kept (new ground tuples).
+  int64_t subsumed = 0;      // Candidates adding nothing new (or empty).
+  int64_t new_free_extensions = 0;  // Inserted tuples with a new signature.
+  int64_t apply_us = 0;      // Wall time in ApplyClause (join + project).
+};
+
+// The evaluation's EXPLAIN profile: per-rule totals plus evaluation-wide
+// timings. Per-round delta sizes and phase timings live in
+// EvaluationResult::rounds.
+struct EvalProfile {
+  std::vector<RuleProfile> rules;
+  int64_t normalize_us = 0;  // Program normalization (clause preparation).
+  int64_t total_us = 0;      // Whole Evaluate() call.
+
+  int64_t TotalDerivations() const;
+  int64_t TotalInserted() const;
 };
 
 struct EvaluationResult {
@@ -107,6 +145,10 @@ struct EvaluationResult {
   // Human-readable reason when reached_fixpoint is false.
   std::string gave_up_reason;
   std::vector<TraceEntry> trace;
+  // Per-rule EXPLAIN profile. The counts are always collected (a few plain
+  // integer adds per round, independent of the obs layer); the *_us timings
+  // follow LRPDB_NO_METRICS and read as 0 in uninstrumented builds.
+  EvalProfile profile;
 
   // Convenience lookup; CHECK-fails on unknown predicate.
   const GeneralizedRelation& Relation(const std::string& name) const;
@@ -115,6 +157,10 @@ struct EvaluationResult {
   StoreStats StoreTotals() const;
   // Total generalized tuples stored across the IDB relations.
   int64_t TuplesStored() const;
+
+  // Human-readable EXPLAIN dump: one line per rule (derivations attempted /
+  // kept / subsumed, time) and one per round (delta sizes, phase split).
+  std::string Explain() const;
 };
 
 // Evaluates `program` bottom-up over the extensional database `db`.
@@ -124,6 +170,31 @@ struct EvaluationResult {
 StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
                                     const EvaluationOptions& options =
                                         EvaluationOptions());
+
+// Object-style wrapper around Evaluate() exposing the EXPLAIN API: run
+// once, then read the per-rule profile or the rendered dump. References to
+// `program` and `db` must outlive the evaluator.
+class Evaluator {
+ public:
+  Evaluator(const Program& program, const Database& db,
+            EvaluationOptions options = EvaluationOptions())
+      : program_(program), db_(db), options_(std::move(options)) {}
+
+  // Evaluates the program (idempotent: later calls are no-ops).
+  Status Run();
+
+  bool has_run() const { return result_.has_value(); }
+  // CHECK-fail unless Run() succeeded.
+  const EvaluationResult& Result() const;
+  const EvalProfile& Profile() const { return Result().profile; }
+  std::string Explain() const { return Result().Explain(); }
+
+ private:
+  const Program& program_;
+  const Database& db_;
+  EvaluationOptions options_;
+  std::optional<EvaluationResult> result_;
+};
 
 // Evaluates a single query atom against the computed model (IDB) plus the
 // extensional database: returns the relation of answer bindings, one

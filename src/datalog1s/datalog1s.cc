@@ -5,6 +5,8 @@
 #include <set>
 
 #include "src/core/ground_evaluator.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace lrpdb {
 namespace {
@@ -214,6 +216,10 @@ struct WindowModel {
 StatusOr<WindowModel> EvaluateWindow(const Program& program,
                                      const Database& db, int64_t horizon,
                                      int64_t max_facts) {
+  LRPDB_COUNTER_INC("datalog1s.window_evals");
+  LRPDB_TRACE_SPAN(span, "datalog1s.window");
+  span.AddArg("horizon", horizon);
+  LRPDB_SCOPED_TIMER_US("datalog1s.window.duration_us");
   GroundEvaluationOptions options;
   options.window_lo = 0;
   options.window_hi = horizon;
@@ -281,6 +287,11 @@ Datalog1SResult BuildCandidate(const WindowModel& window, int64_t offset,
 bool IsClosed(const Program& program, const Database& db,
               const Datalog1SResult& candidate, int64_t offset,
               int64_t period) {
+  LRPDB_COUNTER_INC("datalog1s.closure_checks");
+  LRPDB_TRACE_SPAN(span, "datalog1s.closure_check");
+  span.AddArg("offset", offset);
+  span.AddArg("period", period);
+  LRPDB_SCOPED_TIMER_US("datalog1s.closure_check.duration_us");
   Oracle oracle(candidate, program, db);
   int64_t max_shift = 0;
   for (const Clause& clause : program.clauses()) {
@@ -366,6 +377,7 @@ StatusOr<Datalog1SResult> EvaluateDatalog1S(const Program& program,
                                             const Database& db,
                                             const Datalog1SOptions& options) {
   LRPDB_RETURN_IF_ERROR(ValidateDatalog1S(program));
+  LRPDB_TRACE_SPAN(eval_span, "datalog1s.evaluate");
   int64_t horizon = options.initial_horizon;
   LRPDB_ASSIGN_OR_RETURN(
       WindowModel window,
@@ -382,16 +394,21 @@ StatusOr<Datalog1SResult> EvaluateDatalog1S(const Program& program,
     std::optional<std::pair<int64_t, int64_t>> detected =
         DetectPeriodicity(window);
     if (detected.has_value()) {
+      LRPDB_COUNTER_INC("datalog1s.periods_detected");
       auto [offset, period] = *detected;
       Datalog1SResult candidate = BuildCandidate(window, offset, period);
       if (IsClosed(program, db, candidate, offset, period) &&
           MatchesWindow(candidate, confirm)) {
         candidate.horizon = horizon;
+        LRPDB_GAUGE_SET("datalog1s.certified_horizon", horizon);
+        eval_span.AddArg("horizon", horizon);
+        eval_span.AddArg("period", period);
         return candidate;
       }
     }
     window = std::move(confirm);
     horizon *= 2;
+    LRPDB_COUNTER_INC("datalog1s.horizon_doublings");
   }
 }
 

@@ -5,6 +5,9 @@
 #include <set>
 #include <string>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace lrpdb {
 namespace {
 
@@ -46,6 +49,7 @@ StatusOr<GeneralizedRelation> Intersect(const GeneralizedRelation& a,
                                         const GeneralizedRelation& b,
                                         const NormalizeLimits& limits) {
   LRPDB_CHECK(a.schema() == b.schema());
+  LRPDB_OPERATOR_SCOPE(op, "gdb.intersect", a.size() + b.size());
   GeneralizedRelation out(a.schema());
   for (size_t i = 0; i < a.size(); ++i) {
     for (size_t j = 0; j < b.size(); ++j) {
@@ -55,6 +59,7 @@ StatusOr<GeneralizedRelation> Intersect(const GeneralizedRelation& a,
       LRPDB_RETURN_IF_ERROR(out.InsertIfNew(*std::move(t), limits).status());
     }
   }
+  op.set_output(static_cast<int64_t>(out.size()));
   return out;
 }
 
@@ -62,6 +67,7 @@ StatusOr<GeneralizedRelation> Union(const GeneralizedRelation& a,
                                     const GeneralizedRelation& b,
                                     const NormalizeLimits& limits) {
   LRPDB_CHECK(a.schema() == b.schema());
+  LRPDB_OPERATOR_SCOPE(op, "gdb.union", a.size() + b.size());
   GeneralizedRelation out(a.schema());
   for (size_t i = 0; i < a.size(); ++i) {
     LRPDB_RETURN_IF_ERROR(out.InsertIfNew(a.tuple(i), limits).status());
@@ -69,6 +75,7 @@ StatusOr<GeneralizedRelation> Union(const GeneralizedRelation& a,
   for (size_t i = 0; i < b.size(); ++i) {
     LRPDB_RETURN_IF_ERROR(out.InsertIfNew(b.tuple(i), limits).status());
   }
+  op.set_output(static_cast<int64_t>(out.size()));
   return out;
 }
 
@@ -76,6 +83,7 @@ StatusOr<GeneralizedRelation> Difference(const GeneralizedRelation& a,
                                          const GeneralizedRelation& b,
                                          const NormalizeLimits& limits) {
   LRPDB_CHECK(a.schema() == b.schema());
+  LRPDB_OPERATOR_SCOPE(op, "gdb.difference", a.size() + b.size());
   GeneralizedRelation out(a.schema());
   for (size_t i = 0; i < a.size(); ++i) {
     // Subtract only b-tuples with matching data constants.
@@ -100,12 +108,14 @@ StatusOr<GeneralizedRelation> Difference(const GeneralizedRelation& a,
       LRPDB_RETURN_IF_ERROR(out.InsertIfNew(std::move(t), limits).status());
     }
   }
+  op.set_output(static_cast<int64_t>(out.size()));
   return out;
 }
 
 StatusOr<GeneralizedRelation> CartesianProduct(const GeneralizedRelation& a,
                                                const GeneralizedRelation& b,
                                                const NormalizeLimits& limits) {
+  LRPDB_OPERATOR_SCOPE(op, "gdb.product", a.size() + b.size());
   RelationSchema schema{
       a.schema().temporal_arity + b.schema().temporal_arity,
       a.schema().data_arity + b.schema().data_arity};
@@ -135,6 +145,7 @@ StatusOr<GeneralizedRelation> CartesianProduct(const GeneralizedRelation& a,
               .status());
     }
   }
+  op.set_output(static_cast<int64_t>(out.size()));
   return out;
 }
 
@@ -143,6 +154,8 @@ StatusOr<GeneralizedRelation> JoinOnEqualities(
     const std::vector<TemporalEquality>& temporal_eqs,
     const std::vector<std::pair<int, int>>& data_eqs,
     const NormalizeLimits& limits) {
+  LRPDB_OPERATOR_SCOPE(op, "gdb.join", a.size() + b.size());
+  LRPDB_TRACE_SPAN(span, "gdb.join");
   LRPDB_ASSIGN_OR_RETURN(GeneralizedRelation product,
                          CartesianProduct(a, b, limits));
   // Build the join condition as a DBM over the product's temporal columns.
@@ -172,6 +185,7 @@ StatusOr<GeneralizedRelation> JoinOnEqualities(
     LRPDB_RETURN_IF_ERROR(
         out.InsertUnlessEmpty(std::move(joined), limits).status());
   }
+  op.set_output(static_cast<int64_t>(out.size()));
   return out;
 }
 
@@ -179,12 +193,14 @@ StatusOr<GeneralizedRelation> SelectConstraint(const GeneralizedRelation& r,
                                                const Dbm& constraint,
                                                const NormalizeLimits& limits) {
   LRPDB_CHECK_EQ(constraint.num_vars(), r.schema().temporal_arity);
+  LRPDB_OPERATOR_SCOPE(op, "gdb.select", r.size());
   GeneralizedRelation out(r.schema());
   for (size_t i = 0; i < r.size(); ++i) {
     GeneralizedTuple t = r.tuple(i);
     t.mutable_constraint().And(constraint);
     LRPDB_RETURN_IF_ERROR(out.InsertUnlessEmpty(std::move(t), limits).status());
   }
+  op.set_output(static_cast<int64_t>(out.size()));
   return out;
 }
 
@@ -192,6 +208,8 @@ StatusOr<GeneralizedRelation> Project(const GeneralizedRelation& r,
                                       const std::vector<int>& temporal_columns,
                                       const std::vector<int>& data_columns,
                                       const NormalizeLimits& limits) {
+  LRPDB_OPERATOR_SCOPE(op, "gdb.project", r.size());
+  LRPDB_TRACE_SPAN(span, "gdb.project");
   RelationSchema schema{static_cast<int>(temporal_columns.size()),
                         static_cast<int>(data_columns.size())};
   GeneralizedRelation out(schema);
@@ -302,40 +320,47 @@ StatusOr<GeneralizedRelation> Project(const GeneralizedRelation& r,
           out.InsertUnlessEmpty(std::move(t), limits).status());
     }
   }
+  op.set_output(static_cast<int64_t>(out.size()));
   return out;
 }
 
 GeneralizedRelation SelectDataEquals(const GeneralizedRelation& r, int column,
                                      DataValue value) {
+  LRPDB_OPERATOR_SCOPE(op, "gdb.select_data", r.size());
   GeneralizedRelation out(r.schema());
   for (size_t i = 0; i < r.size(); ++i) {
     if (r.tuple(i).data()[column] == value) {
       LRPDB_CHECK_OK(out.InsertUnlessEmpty(r.tuple(i)).status());
     }
   }
+  op.set_output(static_cast<int64_t>(out.size()));
   return out;
 }
 
 GeneralizedRelation SelectDataColumnsEqual(const GeneralizedRelation& r,
                                            int i, int j) {
+  LRPDB_OPERATOR_SCOPE(op, "gdb.select_data_eq", r.size());
   GeneralizedRelation out(r.schema());
   for (size_t k = 0; k < r.size(); ++k) {
     if (r.tuple(k).data()[i] == r.tuple(k).data()[j]) {
       LRPDB_CHECK_OK(out.InsertUnlessEmpty(r.tuple(k)).status());
     }
   }
+  op.set_output(static_cast<int64_t>(out.size()));
   return out;
 }
 
 StatusOr<GeneralizedRelation> ShiftColumn(const GeneralizedRelation& r,
                                           int column, int64_t c,
                                           const NormalizeLimits& limits) {
+  LRPDB_OPERATOR_SCOPE(op, "gdb.shift", r.size());
   GeneralizedRelation out(r.schema());
   for (size_t i = 0; i < r.size(); ++i) {
     LRPDB_RETURN_IF_ERROR(
         out.InsertUnlessEmpty(r.tuple(i).WithColumnShifted(column, c), limits)
             .status());
   }
+  op.set_output(static_cast<int64_t>(out.size()));
   return out;
 }
 
@@ -343,6 +368,9 @@ StatusOr<GeneralizedRelation> Complement(
     const GeneralizedRelation& r,
     const std::vector<std::vector<DataValue>>& data_universe,
     const NormalizeLimits& limits) {
+  LRPDB_OPERATOR_SCOPE(op, "gdb.complement",
+                       r.size() + data_universe.size());
+  LRPDB_TRACE_SPAN(span, "gdb.complement");
   GeneralizedRelation out(r.schema());
   int m = r.schema().temporal_arity;
   for (const std::vector<DataValue>& data : data_universe) {
@@ -373,6 +401,7 @@ StatusOr<GeneralizedRelation> Complement(
           out.InsertUnlessEmpty(std::move(t), limits).status());
     }
   }
+  op.set_output(static_cast<int64_t>(out.size()));
   return out;
 }
 
@@ -501,6 +530,7 @@ StatusOr<bool> TryCoalesceColumn(const std::vector<GeneralizedTuple>& group,
 StatusOr<std::vector<GeneralizedTuple>> CoalesceTuples(
     std::vector<GeneralizedTuple> tuples, const NormalizeLimits& limits) {
   if (tuples.empty() || !limits.coalesce_outputs) return tuples;
+  LRPDB_OPERATOR_SCOPE(op, "gdb.coalesce", tuples.size());
   int m = tuples.front().temporal_arity();
   bool changed = true;
   while (changed) {
@@ -523,6 +553,7 @@ StatusOr<std::vector<GeneralizedTuple>> CoalesceTuples(
       tuples = std::move(next);
     }
   }
+  op.set_output(static_cast<int64_t>(tuples.size()));
   return tuples;
 }
 
@@ -530,6 +561,7 @@ StatusOr<bool> SameGroundSet(const GeneralizedRelation& a,
                              const GeneralizedRelation& b,
                              const NormalizeLimits& limits) {
   LRPDB_CHECK(a.schema() == b.schema());
+  LRPDB_OPERATOR_SCOPE(op, "gdb.same_ground_set", a.size() + b.size());
   // Compare per data vector: pieces grouped by data inside SubtractPieces
   // already, so a direct two-way containment suffices.
   LRPDB_ASSIGN_OR_RETURN(std::vector<NormalizedTuple> pa, a.AllPieces(limits));

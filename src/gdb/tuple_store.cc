@@ -2,7 +2,55 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+
 namespace lrpdb {
+namespace {
+
+// Mirrors a StoreStats delta onto the global registry, so the storage
+// engine reports through the same store.* schema as every other layer.
+// The round-scoped StoreStats plumbing stays: it is what RoundStats and the
+// differential tests consume; the registry carries the process-lifetime
+// totals.
+void MirrorInsertStats(int64_t StoreStats::*field, int64_t amount) {
+#if !defined(LRPDB_NO_METRICS)
+  struct Handles {
+    obs::Counter* signature_probes;
+    obs::Counter* subsumption_checks;
+    obs::Counter* subsumption_candidates;
+    obs::Counter* inserts;
+    obs::Counter* subsumed;
+    obs::Counter* empty_dropped;
+  };
+  static Handles handles = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+    return Handles{r.GetCounter("store.signature_probes"),
+                   r.GetCounter("store.subsumption_checks"),
+                   r.GetCounter("store.subsumption_candidates"),
+                   r.GetCounter("store.inserts"),
+                   r.GetCounter("store.subsumed"),
+                   r.GetCounter("store.empty_dropped")};
+  }();
+  if (field == &StoreStats::signature_probes) {
+    handles.signature_probes->Add(amount);
+  } else if (field == &StoreStats::subsumption_checks) {
+    handles.subsumption_checks->Add(amount);
+  } else if (field == &StoreStats::subsumption_candidates) {
+    handles.subsumption_candidates->Add(amount);
+  } else if (field == &StoreStats::inserts) {
+    handles.inserts->Add(amount);
+  } else if (field == &StoreStats::subsumed) {
+    handles.subsumed->Add(amount);
+  } else if (field == &StoreStats::empty_dropped) {
+    handles.empty_dropped->Add(amount);
+  }
+#else
+  (void)field;
+  (void)amount;
+#endif
+}
+
+}  // namespace
 
 TupleStore::TupleStore(RelationSchema schema)
     : schema_(schema), data_index_(schema.data_arity) {}
@@ -28,6 +76,7 @@ StatusOr<InsertOutcome> TupleStore::Insert(GeneralizedTuple tuple,
   auto bump = [&](int64_t StoreStats::*field, int64_t amount) {
     stats_.*field += amount;
     if (round_stats != nullptr) round_stats->*field += amount;
+    MirrorInsertStats(field, amount);
   };
   if (candidate.empty()) {  // Empty ground set.
     bump(&StoreStats::empty_dropped, 1);
@@ -76,6 +125,7 @@ bool TupleStore::InsertUnlessEmpty(GeneralizedTuple tuple) {
   if (!tuple.ConstraintSatisfiable()) return false;
   Append(std::move(tuple), {}, false);
   ++stats_.inserts;
+  MirrorInsertStats(&StoreStats::inserts, 1);
   return true;
 }
 

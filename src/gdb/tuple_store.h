@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "src/common/statusor.h"
+#include "src/obs/metrics.h"
 #include "src/gdb/generalized_tuple.h"
 #include "src/gdb/normalized_tuple.h"
 #include "src/gdb/schema.h"
@@ -160,6 +161,7 @@ class TupleStore {
     size_t hi = generation == Generation::kDelta ? delta_hi_ : entries_.size();
     ++stats_.index_probes;
     if (round_stats != nullptr) ++round_stats->index_probes;
+    LRPDB_COUNTER_INC("store.index_probes");
     int64_t scanned = 0;
     const std::vector<EntryId>* posting = nullptr;
     if (index_enabled_ && !requirements.empty()) {
@@ -234,6 +236,8 @@ class TupleStore {
       round_stats->tuples_scanned += scanned;
       round_stats->tuples_pruned += pruned;
     }
+    LRPDB_COUNTER_ADD("store.tuples_scanned", scanned);
+    LRPDB_COUNTER_ADD("store.tuples_pruned", pruned);
   }
 
   RelationSchema schema_;

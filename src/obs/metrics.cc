@@ -1,0 +1,200 @@
+#include "src/obs/metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/logging.h"
+
+namespace lrpdb::obs {
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+template <typename Map, typename AppendValue>
+void AppendJsonObject(std::string* out, const char* key, const Map& map,
+                      AppendValue&& append_value) {
+  AppendJsonString(out, key);
+  *out += ": {";
+  bool first = true;
+  for (const auto& [name, value] : map) {
+    if (!first) *out += ", ";
+    first = false;
+    AppendJsonString(out, name);
+    *out += ": ";
+    append_value(out, value);
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  AppendJsonObject(&out, "counters", counters,
+                   [](std::string* o, int64_t v) { *o += std::to_string(v); });
+  out += ", ";
+  AppendJsonObject(&out, "gauges", gauges,
+                   [](std::string* o, int64_t v) { *o += std::to_string(v); });
+  out += ", ";
+  AppendJsonObject(&out, "histograms", histograms,
+                   [](std::string* o, const HistogramData& h) {
+                     *o += "{\"count\": " + std::to_string(h.count) +
+                           ", \"sum\": " + std::to_string(h.sum) +
+                           ", \"buckets\": {";
+                     bool first = true;
+                     for (const auto& [bucket, count] : h.buckets) {
+                       if (!first) *o += ", ";
+                       first = false;
+                       AppendJsonString(o, std::to_string(
+                                               Histogram::BucketUpperBound(
+                                                   bucket)));
+                       *o += ": " + std::to_string(count);
+                     }
+                     *o += "}}";
+                   });
+  out += "}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LRPDB_CHECK(gauges_.count(name) == 0 && histograms_.count(name) == 0)
+      << "metric '" << name << "' already registered as a different kind";
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LRPDB_CHECK(counters_.count(name) == 0 && histograms_.count(name) == 0)
+      << "metric '" << name << "' already registered as a different kind";
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(name))).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LRPDB_CHECK(counters_.count(name) == 0 && gauges_.count(name) == 0)
+      << "metric '" << name << "' already registered as a different kind";
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::unique_ptr<Histogram>(new Histogram(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.count = histogram->count();
+    data.sum = histogram->sum();
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      int64_t c = histogram->bucket_count(i);
+      if (c != 0) data.buckets.emplace_back(i, c);
+    }
+    snapshot.histograms.emplace(name, std::move(data));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [unused, counter] : counters_) {
+    counter->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [unused, gauge] : gauges_) {
+    gauge->value_.store(0, std::memory_order_relaxed);
+    gauge->max_.store(INT64_MIN, std::memory_order_relaxed);
+  }
+  for (auto& [unused, histogram] : histograms_) {
+    for (auto& bucket : histogram->buckets_) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    histogram->count_.store(0, std::memory_order_relaxed);
+    histogram->sum_.store(0, std::memory_order_relaxed);
+  }
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+bool MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot write metrics to %s\n", path.c_str());
+    return false;
+  }
+  std::string json = ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+bool MetricsRegistry::WriteEnvSink() const {
+  const char* path = std::getenv("LRPDB_METRICS");
+  if (path == nullptr || path[0] == '\0') return true;
+  return WriteJsonFile(path);
+}
+
+OperatorMetrics* OperatorMetrics::Get(const std::string& op) {
+  static std::mutex mu;
+  static std::map<std::string, std::unique_ptr<OperatorMetrics>>* interned =
+      new std::map<std::string, std::unique_ptr<OperatorMetrics>>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = interned->find(op);
+  if (it == interned->end()) {
+    auto m = std::make_unique<OperatorMetrics>();
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    m->calls = registry.GetCounter(op + ".calls");
+    m->input_tuples = registry.GetCounter(op + ".input_tuples");
+    m->output_tuples = registry.GetCounter(op + ".output_tuples");
+    m->duration_us = registry.GetHistogram(op + ".duration_us");
+    it = interned->emplace(op, std::move(m)).first;
+  }
+  return it->second.get();
+}
+
+}  // namespace lrpdb::obs

@@ -1,0 +1,146 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+
+namespace lrpdb::obs {
+namespace {
+
+uint64_t CurrentTid() {
+  return std::hash<std::thread::id>()(std::this_thread::get_id()) & 0xffffff;
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    if (c == '\n') {
+      *out += "\\n";
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+// One trace_event object: complete ("X") events carry ts + dur, so the
+// viewer reconstructs nesting from containment without begin/end pairing.
+std::string EventJson(const TraceEvent& e) {
+  std::string out = "{\"name\": \"";
+  AppendEscaped(&out, e.name);
+  out += "\", \"cat\": \"";
+  AppendEscaped(&out, e.category);
+  out += "\", \"ph\": \"X\", \"ts\": " + std::to_string(e.ts_us) +
+         ", \"dur\": " + std::to_string(e.dur_us) +
+         ", \"pid\": 1, \"tid\": " + std::to_string(e.tid);
+  if (!e.args.empty()) {
+    out += ", \"args\": {";
+    bool first = true;
+    for (const auto& [key, value] : e.args) {
+      if (!first) out += ", ";
+      first = false;
+      out += "\"";
+      AppendEscaped(&out, key);
+      out += "\": " + std::to_string(value);
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  // Heap-allocated intentionally (no destruction-order hazards for spans in
+  // other static destructors); the atexit hook below still flushes the sink.
+  static Tracer* tracer = [] {
+    const char* path = std::getenv("LRPDB_TRACE");
+    std::string sink = path == nullptr ? "" : path;
+    auto* t = new Tracer(sink, /*enabled=*/!sink.empty());
+    if (t->enabled()) std::atexit([] { Tracer::Global().Flush(); });
+    return t;
+  }();
+  return *tracer;
+}
+
+Tracer::Tracer(std::string path) : Tracer(std::move(path), true) {}
+
+Tracer::Tracer(std::string path, bool enabled)
+    : enabled_(enabled),
+      path_(std::move(path)),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (const char* limit = std::getenv("LRPDB_TRACE_LIMIT")) {
+    char* end = nullptr;
+    long long parsed = std::strtoll(limit, &end, 10);
+    if (end != limit && parsed > 0) limit_ = static_cast<size_t>(parsed);
+  }
+}
+
+Tracer::~Tracer() { Flush(); }
+
+void Tracer::Record(TraceEvent event) {
+  if (!enabled_) return;
+  event.tid = CurrentTid();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= limit_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+bool Tracer::Flush() {
+  if (path_.empty()) return true;
+  std::vector<TraceEvent> snapshot = events();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dropped_ > 0) {
+      TraceEvent marker;
+      marker.name = "obs.dropped_events";
+      marker.category = "obs";
+      marker.ts_us = NowUs();
+      marker.args.emplace_back("dropped", static_cast<int64_t>(dropped_));
+      marker.args.emplace_back("limit", static_cast<int64_t>(limit_));
+      snapshot.push_back(std::move(marker));
+    }
+  }
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot write trace to %s\n", path_.c_str());
+    return false;
+  }
+  bool jsonl = EndsWith(path_, ".jsonl");
+  if (!jsonl) std::fputs("{\"traceEvents\": [", f);
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    std::string json = EventJson(snapshot[i]);
+    if (!jsonl && i > 0) std::fputs(",\n", f);
+    std::fwrite(json.data(), 1, json.size(), f);
+    if (jsonl) std::fputc('\n', f);
+  }
+  if (!jsonl) std::fputs("]}\n", f);
+  std::fclose(f);
+  return true;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+size_t Tracer::dropped_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+}  // namespace lrpdb::obs

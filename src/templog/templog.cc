@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/parser/lexer.h"
 
 namespace lrpdb {
@@ -154,6 +156,9 @@ StatusOr<TemplogProgram> ParseTemplog(std::string_view source) {
 
 StatusOr<Program> TranslateToDatalog1S(const TemplogProgram& templog,
                                        Database* db) {
+  LRPDB_TRACE_SPAN(span, "templog.translate");
+  LRPDB_COUNTER_ADD("templog.clauses_translated",
+                    static_cast<int64_t>(templog.clauses.size()));
   Program program(&db->interner());
   std::map<std::string, int> arities;
   std::set<std::string> needs_eventually;
@@ -172,6 +177,7 @@ StatusOr<Program> TranslateToDatalog1S(const TemplogProgram& templog,
   // Eventually auxiliaries: __ev_p(t, V...) <- p(t, V...);
   //                         __ev_p(t, V...) <- __ev_p(t+1, V...).
   for (const std::string& name : needs_eventually) {
+    LRPDB_COUNTER_INC("templog.eventually_aux_predicates");
     int arity = arities.at(name);
     std::string ev = "__ev_" + name;
     LRPDB_RETURN_IF_ERROR(program.Declare(ev, {1, arity}));
@@ -234,6 +240,7 @@ StatusOr<Program> TranslateToDatalog1S(const TemplogProgram& templog,
     }
 
     // Box head: trigger predicate carrying the head's data arguments.
+    LRPDB_COUNTER_INC("templog.box_expansions");
     const TemplogAtom& head = templog_clause.head;
     std::string trigger =
         "__box" + std::to_string(box_counter++) + "_" + head.predicate;
@@ -277,6 +284,10 @@ StatusOr<Program> TranslateToDatalog1S(const TemplogProgram& templog,
                       .data_args = vars});
     LRPDB_RETURN_IF_ERROR(program.AddClause(std::move(project)));
   }
+  LRPDB_COUNTER_ADD("templog.datalog1s_clauses_emitted",
+                    static_cast<int64_t>(program.clauses().size()));
+  span.AddArg("input_clauses", static_cast<int64_t>(templog.clauses.size()));
+  span.AddArg("output_clauses", static_cast<int64_t>(program.clauses().size()));
   return program;
 }
 

@@ -1,0 +1,50 @@
+// Compiled with LRPDB_NO_METRICS (see tests/CMakeLists.txt): the call-site
+// macros must still compile in every position the instrumented code uses
+// them, and must leave no trace in the global registry or tracer.
+#ifndef LRPDB_NO_METRICS
+#error "this test must be compiled with LRPDB_NO_METRICS"
+#endif
+
+#include <gtest/gtest.h>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace lrpdb::obs {
+namespace {
+
+// Exercises every macro shape the instrumented sources rely on.
+int InstrumentedFunction(int n) {
+  LRPDB_COUNTER_INC("disabled.count");
+  LRPDB_COUNTER_ADD("disabled.count", n);
+  LRPDB_GAUGE_SET("disabled.gauge", n);
+  LRPDB_HISTOGRAM_RECORD("disabled.histogram", n);
+  LRPDB_SCOPED_TIMER_US("disabled.timer_us");
+  LRPDB_TRACE_SPAN(span, "disabled.span");
+  span.AddArg("n", n);
+  LRPDB_OPERATOR_SCOPE(op, "disabled.op", n);
+  op.set_output(n * 2);
+  return n + 1;
+}
+
+TEST(ObsDisabledTest, MacrosCompileAndDoNothing) {
+  EXPECT_EQ(InstrumentedFunction(5), 6);
+  EXPECT_EQ(InstrumentedFunction(7), 8);
+  // Nothing was registered: the macros are full no-ops, not merely muted.
+  EXPECT_EQ(MetricsRegistry::Global().size(), 0u);
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  EXPECT_TRUE(snapshot.counters.empty());
+  EXPECT_TRUE(snapshot.gauges.empty());
+  EXPECT_TRUE(snapshot.histograms.empty());
+}
+
+TEST(ObsDisabledTest, RegistryClassItselfStillWorks) {
+  // The classes stay available (bench_json.h snapshots unconditionally);
+  // only the macro call sites are compiled out.
+  MetricsRegistry registry;
+  registry.GetCounter("explicit.count")->Add(2);
+  EXPECT_EQ(registry.Snapshot().counters.at("explicit.count"), 2);
+}
+
+}  // namespace
+}  // namespace lrpdb::obs

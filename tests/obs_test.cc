@@ -1,0 +1,339 @@
+// Tests for the observability substrate (src/obs): metrics registry
+// correctness, histogram bucket boundaries, span capture and nesting,
+// env-var sink selection, and thread safety (the threaded tests are what
+// the TSan CI job exercises).
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace lrpdb::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string TempPath(const std::string& leaf) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir == nullptr ? "/tmp" : dir) + "/" + leaf;
+}
+
+TEST(MetricsRegistryTest, CounterInterningReturnsStableHandle) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x.calls");
+  Counter* b = registry.GetCounter("x.calls");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a->name(), "x.calls");
+  a->Increment();
+  b->Add(4);
+  EXPECT_EQ(a->value(), 5);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, GaugeTracksLastValueAndMax) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("depth");
+  g->Set(7);
+  g->Set(3);
+  EXPECT_EQ(g->value(), 3);
+  EXPECT_EQ(g->max(), 7);
+  g->Set(11);
+  EXPECT_EQ(g->value(), 11);
+  EXPECT_EQ(g->max(), 11);
+}
+
+TEST(MetricsRegistryTest, DistinctKindsAreDistinctHandles) {
+  MetricsRegistry registry;
+  registry.GetCounter("a");
+  registry.GetGauge("b");
+  registry.GetHistogram("c");
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsHandles) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("events");
+  Gauge* g = registry.GetGauge("level");
+  Histogram* h = registry.GetHistogram("lat");
+  c->Add(10);
+  g->Set(5);
+  h->Record(100);
+  registry.Reset();
+  EXPECT_EQ(c->value(), 0);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(h->count(), 0);
+  EXPECT_EQ(h->sum(), 0);
+  // The same pointers keep working after the reset.
+  c->Increment();
+  EXPECT_EQ(c->value(), 1);
+  EXPECT_EQ(registry.GetCounter("events"), c);
+}
+
+TEST(HistogramTest, BucketBoundariesArePowersOfTwo) {
+  // Bucket 0: v <= 0. Bucket i >= 1: [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketOf(-5), 0);
+  EXPECT_EQ(Histogram::BucketOf(0), 0);
+  EXPECT_EQ(Histogram::BucketOf(1), 1);
+  EXPECT_EQ(Histogram::BucketOf(2), 2);
+  EXPECT_EQ(Histogram::BucketOf(3), 2);
+  EXPECT_EQ(Histogram::BucketOf(4), 3);
+  EXPECT_EQ(Histogram::BucketOf(7), 3);
+  EXPECT_EQ(Histogram::BucketOf(8), 4);
+  EXPECT_EQ(Histogram::BucketOf(1023), 10);
+  EXPECT_EQ(Histogram::BucketOf(1024), 11);
+  EXPECT_EQ(Histogram::BucketOf(INT64_MAX), Histogram::kNumBuckets - 1);
+
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 7);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1023);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kNumBuckets - 1),
+            INT64_MAX);
+}
+
+TEST(HistogramTest, RecordAccumulatesCountSumAndBuckets) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("dur");
+  for (int64_t v : {0, 1, 2, 3, 4}) h->Record(v);
+  EXPECT_EQ(h->count(), 5);
+  EXPECT_EQ(h->sum(), 10);
+  EXPECT_EQ(h->bucket_count(0), 1);  // 0
+  EXPECT_EQ(h->bucket_count(1), 1);  // 1
+  EXPECT_EQ(h->bucket_count(2), 2);  // 2, 3
+  EXPECT_EQ(h->bucket_count(3), 1);  // 4
+}
+
+TEST(MetricsRegistryTest, SnapshotAndJsonCarryEveryKind) {
+  MetricsRegistry registry;
+  registry.GetCounter("c.events")->Add(3);
+  registry.GetGauge("g.depth")->Set(9);
+  registry.GetHistogram("h.lat")->Record(5);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("c.events"), 3);
+  EXPECT_EQ(snapshot.gauges.at("g.depth"), 9);
+  EXPECT_EQ(snapshot.histograms.at("h.lat").count, 1);
+  EXPECT_EQ(snapshot.histograms.at("h.lat").sum, 5);
+  ASSERT_EQ(snapshot.histograms.at("h.lat").buckets.size(), 1u);
+  EXPECT_EQ(snapshot.histograms.at("h.lat").buckets[0].first,
+            Histogram::BucketOf(5));
+
+  std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"c.events\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"g.depth\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"h.lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, EnvVarSelectsMetricsSink) {
+  MetricsRegistry registry;
+  registry.GetCounter("sinked.count")->Add(42);
+  std::string path = TempPath("lrpdb_obs_test_metrics.json");
+  std::remove(path.c_str());
+  ASSERT_EQ(setenv("LRPDB_METRICS", path.c_str(), 1), 0);
+  EXPECT_TRUE(registry.WriteEnvSink());
+  ASSERT_EQ(unsetenv("LRPDB_METRICS"), 0);
+  std::string json = ReadFile(path);
+  EXPECT_NE(json.find("\"sinked.count\": 42"), std::string::npos);
+  // Without the variable, WriteEnvSink is a successful no-op.
+  std::remove(path.c_str());
+  EXPECT_TRUE(registry.WriteEnvSink());
+  EXPECT_TRUE(ReadFile(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST(MetricsMacrosTest, SitesRegisterInTheGlobalRegistry) {
+#if defined(LRPDB_NO_METRICS)
+  GTEST_SKIP() << "macro call sites are compiled out under LRPDB_NO_METRICS";
+#endif
+  LRPDB_COUNTER_INC("obs_test.macro_counter");
+  LRPDB_COUNTER_ADD("obs_test.macro_counter", 2);
+  LRPDB_GAUGE_SET("obs_test.macro_gauge", 17);
+  LRPDB_HISTOGRAM_RECORD("obs_test.macro_histogram", 6);
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.counters.at("obs_test.macro_counter"), 3);
+  EXPECT_EQ(snapshot.gauges.at("obs_test.macro_gauge"), 17);
+  EXPECT_EQ(snapshot.histograms.at("obs_test.macro_histogram").count, 1);
+}
+
+TEST(OperatorMetricsTest, ScopeRecordsCallsCardinalitiesAndDuration) {
+  OperatorMetrics* m = OperatorMetrics::Get("obs_test.op");
+  EXPECT_EQ(OperatorMetrics::Get("obs_test.op"), m);
+  {
+    OperatorMetrics::Scope scope(m, 12);
+    scope.set_output(5);
+  }
+  {
+    OperatorMetrics::Scope scope(m, 3);
+    scope.set_output(0);
+  }
+  EXPECT_EQ(m->calls->value(), 2);
+  EXPECT_EQ(m->input_tuples->value(), 15);
+  EXPECT_EQ(m->output_tuples->value(), 5);
+  EXPECT_EQ(m->duration_us->count(), 2);
+  // The bundle registers under the documented taxonomy.
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.counters.at("obs_test.op.calls"), 2);
+  EXPECT_EQ(snapshot.counters.at("obs_test.op.input_tuples"), 15);
+}
+
+TEST(TracerTest, CapturesNestedSpansInnermostFirst) {
+  Tracer tracer("");  // Capture-only: enabled, no sink.
+  ASSERT_TRUE(tracer.enabled());
+  {
+    TraceSpan outer(tracer, "outer");
+    outer.AddArg("round", 1);
+    {
+      TraceSpan inner(tracer, "inner", "eval");
+      inner.AddArg("clause", 2);
+    }
+  }
+  std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Destruction order: the inner span completes (and records) first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].category, "eval");
+  EXPECT_EQ(events[1].name, "outer");
+  // Containment: outer starts no later and ends no earlier than inner.
+  EXPECT_LE(events[1].ts_us, events[0].ts_us);
+  EXPECT_GE(events[1].ts_us + events[1].dur_us,
+            events[0].ts_us + events[0].dur_us);
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].first, "clause");
+  EXPECT_EQ(events[0].args[0].second, 2);
+  ASSERT_EQ(events[1].args.size(), 1u);
+  EXPECT_EQ(events[1].args[0].first, "round");
+}
+
+TEST(TracerTest, GlobalTracerFollowsTheEnvVar) {
+  // The global tracer reads LRPDB_TRACE once, at first use: enabled iff the
+  // variable named a sink then. Spans against a disabled tracer record
+  // nothing.
+  Tracer& global = Tracer::Global();
+  size_t before = global.event_count();
+  {
+    TraceSpan span(global, "obs_test.global");
+  }
+  if (std::getenv("LRPDB_TRACE") != nullptr && global.enabled()) {
+    EXPECT_EQ(global.event_count(), before + 1);
+  } else if (!global.enabled()) {
+    EXPECT_EQ(global.event_count(), 0u);
+  }
+}
+
+TEST(TracerTest, BoundedCaptureDropsBeyondTheLimit) {
+  ASSERT_EQ(setenv("LRPDB_TRACE_LIMIT", "3", 1), 0);
+  Tracer tracer("");
+  ASSERT_EQ(unsetenv("LRPDB_TRACE_LIMIT"), 0);
+  ASSERT_EQ(tracer.event_limit(), 3u);
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan span(tracer, "capped");
+  }
+  EXPECT_EQ(tracer.event_count(), 3u);
+  EXPECT_EQ(tracer.dropped_count(), 2u);
+}
+
+TEST(TracerTest, FlushAppendsDropMarkerToTheSink) {
+  std::string path = TempPath("lrpdb_obs_test_dropped.json");
+  ASSERT_EQ(setenv("LRPDB_TRACE_LIMIT", "1", 1), 0);
+  {
+    Tracer tracer(path);
+    { TraceSpan a(tracer, "kept"); }
+    { TraceSpan b(tracer, "dropped"); }
+  }
+  ASSERT_EQ(unsetenv("LRPDB_TRACE_LIMIT"), 0);
+  std::string json = ReadFile(path);
+  EXPECT_NE(json.find("\"name\": \"kept\""), std::string::npos);
+  EXPECT_EQ(json.find("\"name\": \"dropped\""), std::string::npos);
+  EXPECT_NE(json.find("obs.dropped_events"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\": 1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TracerTest, FlushWritesChromeTraceJson) {
+  std::string path = TempPath("lrpdb_obs_test_trace.json");
+  {
+    Tracer tracer(path);
+    TraceSpan span(tracer, "work");
+    span.AddArg("items", 4);
+  }  // Destructor flushes.
+  std::string json = ReadFile(path);
+  EXPECT_NE(json.find("{\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"work\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"items\": 4}"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TracerTest, JsonlSinkWritesOneEventPerLine) {
+  std::string path = TempPath("lrpdb_obs_test_trace.jsonl");
+  {
+    Tracer tracer(path);
+    { TraceSpan a(tracer, "a"); }
+    { TraceSpan b(tracer, "b"); }
+  }
+  std::string text = ReadFile(path);
+  EXPECT_EQ(text.find("traceEvents"), std::string::npos);
+  std::istringstream lines(text);
+  std::string line;
+  int n = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    ++n;
+  }
+  EXPECT_EQ(n, 2);
+  std::remove(path.c_str());
+}
+
+TEST(ObsThreadingTest, ConcurrentCountersHistogramsAndSpans) {
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 5000;
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("stress.events");
+  Histogram* histogram = registry.GetHistogram("stress.lat");
+  Tracer tracer("");
+  std::atomic<int> started{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      started.fetch_add(1);
+      while (started.load() < kThreads) {
+      }
+      for (int i = 0; i < kIterations; ++i) {
+        counter->Increment();
+        histogram->Record(i & 1023);
+        // Interning from many threads must also be safe.
+        registry.GetCounter("stress.events")->Add(0);
+        if (i % 1000 == 0) {
+          TraceSpan span(tracer, "stress");
+          span.AddArg("thread", t);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter->value(), kThreads * kIterations);
+  EXPECT_EQ(histogram->count(), kThreads * kIterations);
+  EXPECT_EQ(tracer.event_count(),
+            static_cast<size_t>(kThreads * (kIterations / 1000)));
+}
+
+}  // namespace
+}  // namespace lrpdb::obs
