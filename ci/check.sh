@@ -9,6 +9,11 @@
 #                            each exits cleanly and writes a BENCH_<id>.json
 #                            that passes ci/validate_bench_json.py; reports
 #                            and Chrome traces land in <build>/bench-reports
+#   ci/check.sh --lint       additionally run the project-invariant lint pass
+#                            (ci/lint/run_lint.py) and its fixture self-test
+#   ci/check.sh --format     additionally run clang-format --dry-run --Werror
+#                            over src/, tests/, and bench/ (skipped with a
+#                            note when clang-format is not installed)
 #
 # Flags compose; exit status is nonzero on any failure.
 set -euo pipefail
@@ -18,11 +23,15 @@ cd "$(dirname "$0")/.."
 sanitize=0
 tsan=0
 bench=0
+lint=0
+format=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) sanitize=1 ;;
     --tsan) tsan=1 ;;
     --bench) bench=1 ;;
+    --lint) lint=1 ;;
+    --format) format=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -46,6 +55,12 @@ elif [[ "$tsan" == 1 ]]; then
 fi
 
 cmake -B "$build_dir" -S . "${cmake_args[@]}"
+# Keep a repo-root compile database for clang tooling (clangd, run_lint.py's
+# optional libclang engine). CMAKE_EXPORT_COMPILE_COMMANDS is on in
+# CMakeLists.txt, so every configured tree has one.
+if [[ -f "$build_dir/compile_commands.json" ]]; then
+  cp "$build_dir/compile_commands.json" compile_commands.json
+fi
 cmake --build "$build_dir" -j"$(nproc)"
 if [[ "$tsan" == 1 ]]; then
   # Run the suite with an active trace sink: every span then takes the
@@ -55,6 +70,23 @@ if [[ "$tsan" == 1 ]]; then
     ctest --test-dir "$build_dir" --output-on-failure
 else
   ctest --test-dir "$build_dir" --output-on-failure
+fi
+
+if [[ "$lint" == 1 ]]; then
+  echo "== lint self-test"
+  python3 ci/lint/run_lint.py --self-test
+  echo "== lint"
+  python3 ci/lint/run_lint.py
+fi
+
+if [[ "$format" == 1 ]]; then
+  if command -v clang-format > /dev/null; then
+    echo "== clang-format"
+    find src tests bench -name '*.h' -o -name '*.cc' | \
+      xargs clang-format --dry-run --Werror
+  else
+    echo "note: clang-format not installed; skipping --format" >&2
+  fi
 fi
 
 if [[ "$bench" == 1 ]]; then

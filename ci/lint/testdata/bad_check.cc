@@ -1,0 +1,26 @@
+// lint-fixture-path: src/gdb/bad_check.cc
+// Fixture: the check-in-status-fn rule (hot-path .cc files only).
+#include "src/common/logging.h"
+#include "src/common/status.h"
+
+namespace lrpdb {
+
+[[nodiscard]] Status Validate(int arity) {
+  LRPDB_CHECK_EQ(arity, 2);      // expect-lint: check-in-status-fn
+  if (arity < 0) return InvalidArgumentError("negative arity");
+  return OkStatus();
+}
+
+[[nodiscard]] StatusOr<int> Halve(int n) {
+  LRPDB_CHECK(n % 2 == 0);       // expect-lint: check-in-status-fn
+  return n / 2;
+}
+
+int Count(int arity) {
+  // A function that cannot return a Status may still crash on invariant
+  // violations; the rule only fires where an error return was possible.
+  LRPDB_CHECK(arity >= 0);
+  return arity;
+}
+
+}  // namespace lrpdb

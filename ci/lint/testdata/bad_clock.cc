@@ -1,0 +1,24 @@
+// lint-fixture-path: src/core/bad_clock.cc
+// Fixture: the wall-clock rule.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+
+int64_t NowUs() {
+  auto t = std::chrono::steady_clock::now();  // expect-lint: wall-clock
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
+int Roll() {
+  return rand() % 6;             // expect-lint: wall-clock
+}
+
+void Seed() {
+  srand(42);                     // expect-lint: wall-clock
+}
+
+// `time_since_epoch` above must not be mistaken for time(); durations and
+// time_points that arrive as *arguments* are fine anywhere.
+int64_t Widen(std::chrono::microseconds us) { return us.count(); }

@@ -1,0 +1,25 @@
+// lint-fixture-path: src/common/bad_discard.cc
+// Fixture: the status-discarded rule (cross-file declared-name set; the
+// self-test seeds it from this fixture's own declarations).
+#include "src/common/status.h"
+
+namespace lrpdb {
+
+[[nodiscard]] Status Persist();
+[[nodiscard]] StatusOr<bool> TryPersist();
+
+void Tick() {
+  Persist();                     // expect-lint: status-discarded
+  TryPersist();                  // expect-lint: status-discarded
+  Status s = Persist();          // Bound to a variable: fine.
+  (void)s;
+  if (!Persist().ok()) {         // Inspected: fine.
+    return;
+  }
+}
+
+[[nodiscard]] Status Flush() {
+  return Persist();              // Propagated: fine.
+}
+
+}  // namespace lrpdb

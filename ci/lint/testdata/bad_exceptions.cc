@@ -1,0 +1,22 @@
+// lint-fixture-path: src/templog/bad_exceptions.cc
+// Fixture: the no-exceptions and throwing-stdlib rules.
+#include <string>
+
+int ParseOrZero(const std::string& s) {
+  try {                        // expect-lint: no-exceptions
+    return std::stoi(s);       // expect-lint: throwing-stdlib
+  } catch (...) {              // expect-lint: no-exceptions
+    throw;                     // expect-lint: no-exceptions
+  }
+}
+
+long ParseLong(const std::string& s) {
+  return std::stoll(s);        // expect-lint: throwing-stdlib
+}
+
+// The keywords are fine inside comments (try, catch, throw) ...
+inline const char* Motto() { return "try harder"; }  // ... and strings.
+
+// Identifiers merely containing the keywords are fine too.
+int retry_count = 0;
+struct Catcher {};

@@ -1,0 +1,34 @@
+// lint-fixture-path: src/gdb/bad_mutex.h
+// Fixture: the mutex-annotation rule.
+#include <mutex>
+#include <shared_mutex>
+
+#include "src/common/thread_annotations.h"
+
+class Good {
+ private:
+  mutable std::mutex mu_;
+  int value_ LRPDB_GUARDED_BY(mu_) = 0;
+};
+
+class GoodWithOrdering {
+ private:
+  std::mutex first_mu_;
+  std::mutex second_mu_ LRPDB_ACQUIRED_AFTER(first_mu_);
+  int a_ LRPDB_GUARDED_BY(first_mu_) = 0;
+  int b_ LRPDB_GUARDED_BY(second_mu_) = 0;
+};
+
+class Bad {
+ private:
+  std::mutex unguarded_mu_;        // expect-lint: mutex-annotation
+  std::shared_mutex rw_mu_;        // expect-lint: mutex-annotation
+  int value_ = 0;
+};
+
+inline int NextId() {
+  static std::mutex local_mu;  // Function-local, not a member: exempt.
+  std::lock_guard<std::mutex> lock(local_mu);
+  static int id = 0;
+  return ++id;
+}

@@ -1,0 +1,39 @@
+// lint-fixture-path: src/common/bad_new.cc
+// Fixture: the naked-new rule.
+#include <memory>
+
+struct Widget {
+  int x = 0;
+};
+
+Widget* MakeRaw() {
+  return new Widget();           // expect-lint: naked-new
+}
+
+std::unique_ptr<Widget> MakeOwned() {
+  // Same-line unique_ptr ownership is the sanctioned spelling.
+  return std::unique_ptr<Widget>(new Widget());
+}
+
+std::unique_ptr<Widget> MakeBest() { return std::make_unique<Widget>(); }
+
+void Destroy(Widget* w) {
+  delete w;                      // expect-lint: naked-new
+}
+
+void DestroyMany(Widget* w) {
+  delete[] w;                    // expect-lint: naked-new
+}
+
+struct NoCopy {
+  NoCopy() = default;
+  NoCopy(const NoCopy&) = delete;            // Deleted function, not a free.
+  NoCopy& operator=(const NoCopy&) = delete;
+};
+
+Widget* LeakySingleton() {
+  // Intentionally leaked process-lifetime singleton; see DESIGN.md.
+  // lint: allow(naked-new)
+  static Widget* instance = new Widget();
+  return instance;
+}

@@ -1,0 +1,31 @@
+// lint-fixture-path: src/common/bad_nodiscard.h
+// Fixture: the status-nodiscard rule.
+#include "src/common/status.h"
+#include "src/common/statusor.h"
+
+namespace lrpdb {
+
+Status Flush();                  // expect-lint: status-nodiscard
+
+[[nodiscard]] Status Sync();
+
+StatusOr<int> ParseCount(const char* s);  // expect-lint: status-nodiscard
+
+[[nodiscard]]
+StatusOr<int> ParseTotal(const char* s);  // Annotation one line up is fine.
+
+[[nodiscard]] StatusOr<std::pair<int, int>> ParsePair(const char* s);
+
+class Store {
+ public:
+  Status Compact();              // expect-lint: status-nodiscard
+  [[nodiscard]] Status Reindex();
+
+  // Local variables and calls are not signatures:
+  void Tick() {
+    Status s = Reindex();
+    (void)s;
+  }
+};
+
+}  // namespace lrpdb

@@ -1,0 +1,16 @@
+// lint-fixture-path: src/obs/clock_ok_in_obs.cc
+// Fixture: src/obs is the one library allowed to read the clock.
+#include <chrono>
+#include <cstdint>
+
+namespace lrpdb {
+namespace obs {
+
+int64_t WallUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace obs
+}  // namespace lrpdb

@@ -2,7 +2,7 @@
 
 namespace lrpdb {
 
-Status Program::Declare(const std::string& name, RelationSchema schema) {
+[[nodiscard]] Status Program::Declare(const std::string& name, RelationSchema schema) {
   SymbolId id = predicates_.Intern(name);
   auto [it, inserted] = declarations_.emplace(id, schema);
   if (!inserted && !(it->second == schema)) {
@@ -18,7 +18,7 @@ std::optional<RelationSchema> Program::SchemaOf(SymbolId predicate) const {
   return it->second;
 }
 
-Status Program::AddClause(Clause clause) {
+[[nodiscard]] Status Program::AddClause(Clause clause) {
   idb_.insert(clause.head.predicate);
   clauses_.push_back(std::move(clause));
   return OkStatus();
@@ -26,7 +26,7 @@ Status Program::AddClause(Clause clause) {
 
 namespace {
 
-Status CheckAtomArity(const Program& program, const PredicateAtom& atom) {
+[[nodiscard]] Status CheckAtomArity(const Program& program, const PredicateAtom& atom) {
   std::optional<RelationSchema> schema = program.SchemaOf(atom.predicate);
   if (!schema.has_value()) {
     return NotFoundError("predicate '" +
@@ -45,7 +45,7 @@ Status CheckAtomArity(const Program& program, const PredicateAtom& atom) {
 
 }  // namespace
 
-Status Program::Validate() const {
+[[nodiscard]] Status Program::Validate() const {
   for (const Clause& clause : clauses_) {
     LRPDB_RETURN_IF_ERROR(CheckAtomArity(*this, clause.head));
     if (clause.head.negated) {
@@ -121,7 +121,7 @@ Status Program::Validate() const {
   return OkStatus();
 }
 
-StatusOr<std::map<SymbolId, int>> Program::Stratify() const {
+[[nodiscard]] StatusOr<std::map<SymbolId, int>> Program::Stratify() const {
   std::map<SymbolId, int> strata;
   for (const auto& [predicate, unused] : declarations_) strata[predicate] = 0;
   // Relax constraints until stable; more than |predicates| full passes that

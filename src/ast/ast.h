@@ -107,10 +107,10 @@ class Program {
   const Interner& data_constants() const { return *data_interner_; }
 
   // Declares predicate `name` with the given schema.
-  Status Declare(const std::string& name, RelationSchema schema);
+  [[nodiscard]] Status Declare(const std::string& name, RelationSchema schema);
   std::optional<RelationSchema> SchemaOf(SymbolId predicate) const;
 
-  Status AddClause(Clause clause);
+  [[nodiscard]] Status AddClause(Clause clause);
   const std::vector<Clause>& clauses() const { return clauses_; }
 
   // Predicates appearing in some clause head.
@@ -126,13 +126,13 @@ class Program {
   // restriction of head data variables, that heads are not negated, and
   // that every variable of a negated body atom also occurs in a positive
   // body predicate atom (safety of negation).
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   // Assigns a stratum to every predicate such that positive dependencies
   // stay within a stratum or go down and negative dependencies strictly go
   // down. Extensional predicates sit at stratum 0. Fails when the program
   // has recursion through negation.
-  StatusOr<std::map<SymbolId, int>> Stratify() const;
+  [[nodiscard]] StatusOr<std::map<SymbolId, int>> Stratify() const;
 
   std::string ToString() const;
   std::string AtomToString(const PredicateAtom& atom) const;

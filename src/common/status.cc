@@ -36,23 +36,23 @@ std::ostream& operator<<(std::ostream& os, const Status& status) {
   return os << status.ToString();
 }
 
-Status OkStatus() { return Status(); }
-Status InvalidArgumentError(std::string message) {
+[[nodiscard]] Status OkStatus() { return Status(); }
+[[nodiscard]] Status InvalidArgumentError(std::string message) {
   return Status(StatusCode::kInvalidArgument, std::move(message));
 }
-Status NotFoundError(std::string message) {
+[[nodiscard]] Status NotFoundError(std::string message) {
   return Status(StatusCode::kNotFound, std::move(message));
 }
-Status InternalError(std::string message) {
+[[nodiscard]] Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
 }
-Status ResourceExhaustedError(std::string message) {
+[[nodiscard]] Status ResourceExhaustedError(std::string message) {
   return Status(StatusCode::kResourceExhausted, std::move(message));
 }
-Status UnimplementedError(std::string message) {
+[[nodiscard]] Status UnimplementedError(std::string message) {
   return Status(StatusCode::kUnimplemented, std::move(message));
 }
-Status ParseError(std::string message) {
+[[nodiscard]] Status ParseError(std::string message) {
   return Status(StatusCode::kParseError, std::move(message));
 }
 

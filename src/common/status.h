@@ -36,14 +36,19 @@ enum class StatusCode {
 const char* StatusCodeToString(StatusCode code);
 
 // A success-or-error value. Cheap to copy in the success case.
-class Status {
+//
+// The class itself is [[nodiscard]]: any call that returns a Status by
+// value and ignores it is a compile error (-Werror=unused-result), because
+// a dropped Status is a swallowed failure. Handle it, propagate it with
+// LRPDB_RETURN_IF_ERROR, or crash deliberately with LRPDB_CHECK_OK.
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status Ok() { return Status(); }
+  [[nodiscard]] static Status Ok() { return Status(); }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -64,13 +69,13 @@ class Status {
 std::ostream& operator<<(std::ostream& os, const Status& status);
 
 // Convenience constructors, mirroring absl's free functions.
-Status OkStatus();
-Status InvalidArgumentError(std::string message);
-Status NotFoundError(std::string message);
-Status InternalError(std::string message);
-Status ResourceExhaustedError(std::string message);
-Status UnimplementedError(std::string message);
-Status ParseError(std::string message);
+[[nodiscard]] Status OkStatus();
+[[nodiscard]] Status InvalidArgumentError(std::string message);
+[[nodiscard]] Status NotFoundError(std::string message);
+[[nodiscard]] Status InternalError(std::string message);
+[[nodiscard]] Status ResourceExhaustedError(std::string message);
+[[nodiscard]] Status UnimplementedError(std::string message);
+[[nodiscard]] Status ParseError(std::string message);
 
 }  // namespace lrpdb
 

@@ -14,8 +14,10 @@ namespace lrpdb {
 // Holds either a T (when status().ok()) or a non-OK Status. Accessing the
 // value of a non-OK StatusOr aborts the process; callers must check ok()
 // first or use the LRPDB_ASSIGN_OR_RETURN macro.
+// [[nodiscard]] for the same reason as Status: ignoring a returned
+// StatusOr discards both the value and the error explaining its absence.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Intentionally implicit, so functions returning StatusOr<T> can
   // `return value;` or `return SomeError(...);` directly (absl convention).

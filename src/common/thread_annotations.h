@@ -1,0 +1,63 @@
+// Clang thread-safety-analysis annotation macros (LRPDB_GUARDED_BY and
+// friends). Under Clang with -Wthread-safety these expand to the
+// corresponding __attribute__((...)) and turn lock-discipline violations
+// into compile errors (the top-level CMakeLists.txt adds
+// -Werror=thread-safety to every Clang build); under other compilers they
+// expand to nothing, so GCC builds are unaffected.
+//
+// Policy (DESIGN.md, "Static analysis & invariants"): every std::mutex or
+// std::shared_mutex member must be accompanied by annotations naming the
+// state it protects — ci/lint/run_lint.py rejects unannotated mutex
+// members. LRPDB_NO_THREAD_SAFETY_ANALYSIS is the escape hatch of last
+// resort; each use must carry a comment explaining why the analysis cannot
+// see the invariant, and reviewers should treat new uses as a design smell.
+#ifndef LRPDB_COMMON_THREAD_ANNOTATIONS_H_
+#define LRPDB_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define LRPDB_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define LRPDB_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op
+#endif
+
+// Documents that the field (or, for LRPDB_PT_GUARDED_BY, the data pointed
+// to by the field) may be read or written only with `x` held.
+#define LRPDB_GUARDED_BY(x) LRPDB_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+#define LRPDB_PT_GUARDED_BY(x) \
+  LRPDB_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+// Documents that callers of the function must hold the given lock(s),
+// exclusively or shared. The function itself does not acquire them.
+#define LRPDB_EXCLUSIVE_LOCKS_REQUIRED(...) \
+  LRPDB_THREAD_ANNOTATION_ATTRIBUTE_(exclusive_locks_required(__VA_ARGS__))
+#define LRPDB_SHARED_LOCKS_REQUIRED(...) \
+  LRPDB_THREAD_ANNOTATION_ATTRIBUTE_(shared_locks_required(__VA_ARGS__))
+
+// Documents that the function acquires / releases the given lock(s) and
+// does not release / re-acquire them before returning.
+#define LRPDB_ACQUIRE(...) \
+  LRPDB_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+#define LRPDB_RELEASE(...) \
+  LRPDB_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+// Documents that callers must NOT hold the given lock(s) when calling (the
+// function acquires them itself; prevents self-deadlock).
+#define LRPDB_LOCKS_EXCLUDED(...) \
+  LRPDB_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+// Documents a lock-ordering edge between two mutexes.
+#define LRPDB_ACQUIRED_BEFORE(...) \
+  LRPDB_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+#define LRPDB_ACQUIRED_AFTER(...) \
+  LRPDB_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+// The function's return value is a reference to the given guarded state;
+// access through it is checked like direct access.
+#define LRPDB_LOCK_RETURNED(x) \
+  LRPDB_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+// Escape hatch: suppresses analysis for one function. See policy above.
+#define LRPDB_NO_THREAD_SAFETY_ANALYSIS \
+  LRPDB_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // LRPDB_COMMON_THREAD_ANNOTATIONS_H_

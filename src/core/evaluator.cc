@@ -1,7 +1,6 @@
 #include "src/core/evaluator.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <optional>
 #include <set>
@@ -16,24 +15,16 @@
 namespace lrpdb {
 namespace {
 
-using SteadyTime = std::chrono::steady_clock::time_point;
-
 // The profile's *counts* are plain integer adds and always collected; the
 // *timings* cost a clock read per round and per clause application, so they
-// follow the obs layer: under LRPDB_NO_METRICS they compile to zeros and
-// the uninstrumented build performs no clock reads in the evaluation loop.
-#if !defined(LRPDB_NO_METRICS)
-SteadyTime Now() { return std::chrono::steady_clock::now(); }
+// go through the obs layer's monotonic clock: under LRPDB_NO_METRICS it
+// compiles to zeros and the uninstrumented build performs no clock reads in
+// the evaluation loop. (obs is the only library allowed to read the clock;
+// ci/lint/run_lint.py enforces this.)
+using SteadyTime = obs::MonotonicTime;
+using obs::UsSince;
 
-int64_t UsSince(SteadyTime start) {
-  return std::chrono::duration_cast<std::chrono::microseconds>(Now() - start)
-      .count();
-}
-#else
-SteadyTime Now() { return SteadyTime(); }
-
-int64_t UsSince(SteadyTime) { return 0; }
-#endif
+SteadyTime Now() { return obs::MonotonicNow(); }
 
 // "head :- body1, !body2" sketch of a normalized clause, for EXPLAIN dumps.
 std::string RenderClause(const Program& program,
@@ -136,7 +127,7 @@ struct AtomSource {
 // columns already determined by the atom's constants or the running binding
 // select a posting list, and only that bucket is scanned (`stats`, when
 // non-null, receives the probe counters).
-Status ApplyClause(const NormalizedClause& clause,
+[[nodiscard]] Status ApplyClause(const NormalizedClause& clause,
                    const std::vector<AtomSource>& sources,
                    const NormalizeLimits& limits, StoreStats* stats,
                    std::vector<GeneralizedTuple>* candidates) {
@@ -198,7 +189,9 @@ Status ApplyClause(const NormalizedClause& clause,
         head_data.push_back(arg.constant);
       } else {
         const std::optional<DataValue>& v = binding.data[arg.variable];
-        LRPDB_CHECK(v.has_value()) << "unbound head data variable";
+        if (!v.has_value()) {
+          return InternalError("unbound head data variable in clause head");
+        }
         head_data.push_back(*v);
       }
     }
@@ -222,18 +215,20 @@ class RelationResolver {
                    std::map<std::string, GeneralizedRelation>* idb)
       : program_(program), db_(db), idb_(idb) {}
 
-  StatusOr<const GeneralizedRelation*> Resolve(SymbolId predicate,
+  [[nodiscard]] StatusOr<const GeneralizedRelation*> Resolve(SymbolId predicate,
                                                bool is_intensional) const {
     const std::string& name = program_.predicates().NameOf(predicate);
     if (is_intensional) {
       auto it = idb_->find(name);
-      LRPDB_CHECK(it != idb_->end());
+      if (it == idb_->end()) {
+        return NotFoundError("no intensional relation '" + name + "'");
+      }
       return &it->second;
     }
     return db_.Relation(name);
   }
 
-  StatusOr<const GeneralizedRelation*> ResolveNegated(
+  [[nodiscard]] StatusOr<const GeneralizedRelation*> ResolveNegated(
       SymbolId predicate, bool is_intensional,
       const NormalizeLimits& limits) {
     auto it = complements_.find(predicate);
@@ -256,7 +251,7 @@ class RelationResolver {
   }
 
  private:
-  StatusOr<std::vector<std::vector<DataValue>>> DataUniverse(int arity) const {
+  [[nodiscard]] StatusOr<std::vector<std::vector<DataValue>>> DataUniverse(int arity) const {
     constexpr int64_t kMaxRows = 65536;
     std::vector<std::vector<DataValue>> rows;
     if (arity == 0) {
@@ -399,7 +394,7 @@ std::string EvaluationResult::Explain() const {
   return out;
 }
 
-StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
+[[nodiscard]] StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
                                     const EvaluationOptions& options) {
   const SteadyTime eval_start = Now();
   LRPDB_TRACE_SPAN(eval_span, "eval.run");
@@ -648,7 +643,7 @@ StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
   return result;
 }
 
-Status Evaluator::Run() {
+[[nodiscard]] Status Evaluator::Run() {
   if (result_.has_value()) return OkStatus();
   LRPDB_ASSIGN_OR_RETURN(EvaluationResult result,
                          Evaluate(program_, db_, options_));
@@ -661,7 +656,7 @@ const EvaluationResult& Evaluator::Result() const {
   return *result_;
 }
 
-StatusOr<GeneralizedRelation> QueryAtom(const Program& program,
+[[nodiscard]] StatusOr<GeneralizedRelation> QueryAtom(const Program& program,
                                         const Database& db,
                                         const EvaluationResult& result,
                                         const PredicateAtom& query,

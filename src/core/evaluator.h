@@ -167,7 +167,7 @@ struct EvaluationResult {
 // Exceeding max_iterations/fes_patience is reported in-band
 // (reached_fixpoint == false); a Status error indicates an invalid program
 // or a blown normalization budget.
-StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
+[[nodiscard]] StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
                                     const EvaluationOptions& options =
                                         EvaluationOptions());
 
@@ -181,7 +181,7 @@ class Evaluator {
       : program_(program), db_(db), options_(std::move(options)) {}
 
   // Evaluates the program (idempotent: later calls are no-ops).
-  Status Run();
+  [[nodiscard]] Status Run();
 
   bool has_run() const { return result_.has_value(); }
   // CHECK-fail unless Run() succeeded.
@@ -202,7 +202,7 @@ class Evaluator {
 // first occurrence) and one data column per distinct data variable. A fully
 // ground query yields a 0-ary relation that is non-empty iff the answer is
 // "yes".
-StatusOr<GeneralizedRelation> QueryAtom(const Program& program,
+[[nodiscard]] StatusOr<GeneralizedRelation> QueryAtom(const Program& program,
                                         const Database& db,
                                         const EvaluationResult& result,
                                         const PredicateAtom& query,

@@ -65,7 +65,7 @@ bool UnifyGround(const NormalizedBodyAtom& atom, const GroundTuple& fact,
 
 }  // namespace
 
-StatusOr<GroundEvaluationResult> EvaluateGround(
+[[nodiscard]] StatusOr<GroundEvaluationResult> EvaluateGround(
     const Program& program, const Database& db,
     const GroundEvaluationOptions& options) {
   LRPDB_ASSIGN_OR_RETURN(NormalizedProgram normalized, Normalize(program));
@@ -252,7 +252,9 @@ StatusOr<GroundEvaluationResult> EvaluateGround(
             if (arg.is_constant()) {
               fact.data.push_back(arg.constant);
             } else {
-              LRPDB_CHECK(binding.data[arg.variable].has_value());
+              if (!binding.data[arg.variable].has_value()) {
+                return InternalError("unbound head data variable");
+              }
               fact.data.push_back(*binding.data[arg.variable]);
             }
           }

@@ -41,7 +41,7 @@ struct GroundEvaluationResult {
   int64_t facts_derived = 0;
 };
 
-StatusOr<GroundEvaluationResult> EvaluateGround(
+[[nodiscard]] StatusOr<GroundEvaluationResult> EvaluateGround(
     const Program& program, const Database& db,
     const GroundEvaluationOptions& options);
 

@@ -69,7 +69,7 @@ NormalizedDataArg NormalizeDataTerm(ClauseContext& ctx, const DataTerm& term) {
 
 }  // namespace
 
-StatusOr<NormalizedProgram> Normalize(const Program& program) {
+[[nodiscard]] StatusOr<NormalizedProgram> Normalize(const Program& program) {
   LRPDB_RETURN_IF_ERROR(program.Validate());
   NormalizedProgram result;
   for (const Clause& clause : program.clauses()) {

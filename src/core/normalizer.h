@@ -81,7 +81,7 @@ struct NormalizedProgram {
 
 // Normalizes every clause. Fails on arity mismatches (validated first) or on
 // clauses whose head predicate is also used extensionally.
-StatusOr<NormalizedProgram> Normalize(const Program& program);
+[[nodiscard]] StatusOr<NormalizedProgram> Normalize(const Program& program);
 
 }  // namespace lrpdb
 

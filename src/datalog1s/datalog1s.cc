@@ -152,7 +152,7 @@ bool Datalog1SResult::Holds(const std::string& predicate,
   return dit->second.Contains(time);
 }
 
-Status ValidateDatalog1S(const Program& program) {
+[[nodiscard]] Status ValidateDatalog1S(const Program& program) {
   LRPDB_RETURN_IF_ERROR(program.Validate());
   for (const auto& [predicate, schema] : program.declarations()) {
     if (schema.temporal_arity != 1) {
@@ -213,7 +213,7 @@ struct WindowModel {
   }
 };
 
-StatusOr<WindowModel> EvaluateWindow(const Program& program,
+[[nodiscard]] StatusOr<WindowModel> EvaluateWindow(const Program& program,
                                      const Database& db, int64_t horizon,
                                      int64_t max_facts) {
   LRPDB_COUNTER_INC("datalog1s.window_evals");
@@ -373,7 +373,7 @@ bool MatchesWindow(const Datalog1SResult& candidate,
 
 }  // namespace
 
-StatusOr<Datalog1SResult> EvaluateDatalog1S(const Program& program,
+[[nodiscard]] StatusOr<Datalog1SResult> EvaluateDatalog1S(const Program& program,
                                             const Database& db,
                                             const Datalog1SOptions& options) {
   LRPDB_RETURN_IF_ERROR(ValidateDatalog1S(program));

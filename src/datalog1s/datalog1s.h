@@ -63,13 +63,13 @@ struct Datalog1SResult {
 // Validates that `program` is a Datalog1S program: every predicate has
 // temporal arity exactly 1, every clause uses at most one temporal variable,
 // and there are no constraint atoms (the [CI88] language has none).
-Status ValidateDatalog1S(const Program& program);
+[[nodiscard]] Status ValidateDatalog1S(const Program& program);
 
 // Computes the explicit eventually-periodic form of the minimal model of
 // `program` over `db` (extensional single-temporal-parameter relations;
 // pass an empty database for pure clausal programs). The temporal domain is
 // the naturals: derivations below 0 are vacuous.
-StatusOr<Datalog1SResult> EvaluateDatalog1S(
+[[nodiscard]] StatusOr<Datalog1SResult> EvaluateDatalog1S(
     const Program& program, const Database& db,
     const Datalog1SOptions& options = Datalog1SOptions());
 

@@ -26,7 +26,7 @@ class FoParser {
         extra_schemas_(extra_schemas),
         query_(query) {}
 
-  Status Run() {
+  [[nodiscard]] Status Run() {
     auto formula = ParseOr();
     if (!formula.ok()) return formula.status();
     if (Peek().kind != TokenKind::kEnd) return Error("trailing input");
@@ -44,14 +44,14 @@ class FoParser {
     ++pos_;
     return true;
   }
-  Status Error(const std::string& message) const {
+  [[nodiscard]] Status Error(const std::string& message) const {
     const Token& t = Peek();
     return ParseError("line " + std::to_string(t.line) + ":" +
                       std::to_string(t.column) + ": " + message +
                       (t.text.empty() ? "" : " (at '" + t.text + "')"));
   }
 
-  StatusOr<SymbolId> NoteVariable(const std::string& name, bool temporal) {
+  [[nodiscard]] StatusOr<SymbolId> NoteVariable(const std::string& name, bool temporal) {
     SymbolId id = query_->variables.Intern(name);
     auto [it, inserted] = query_->is_temporal.emplace(id, temporal);
     if (!inserted && it->second != temporal) {
@@ -62,7 +62,7 @@ class FoParser {
     return id;
   }
 
-  StatusOr<int64_t> ParseSignedNumber() {
+  [[nodiscard]] StatusOr<int64_t> ParseSignedNumber() {
     bool negative = Match(TokenKind::kMinus);
     if (Peek().kind != TokenKind::kNumber) {
       return Status(StatusCode::kParseError, "expected integer");
@@ -71,7 +71,7 @@ class FoParser {
     return negative ? -v : v;
   }
 
-  StatusOr<TemporalTerm> ParseTemporalTerm() {
+  [[nodiscard]] StatusOr<TemporalTerm> ParseTemporalTerm() {
     if (Peek().kind == TokenKind::kIdentifier) {
       std::string name = tokens_[pos_++].text;
       LRPDB_ASSIGN_OR_RETURN(SymbolId id, NoteVariable(name, true));
@@ -88,7 +88,7 @@ class FoParser {
     return TemporalTerm::Constant(value);
   }
 
-  StatusOr<FoFormulaPtr> ParseOr() {
+  [[nodiscard]] StatusOr<FoFormulaPtr> ParseOr() {
     LRPDB_ASSIGN_OR_RETURN(FoFormulaPtr left, ParseAnd());
     while (Match(TokenKind::kPipe)) {
       LRPDB_ASSIGN_OR_RETURN(FoFormulaPtr right, ParseAnd());
@@ -101,7 +101,7 @@ class FoParser {
     return left;
   }
 
-  StatusOr<FoFormulaPtr> ParseAnd() {
+  [[nodiscard]] StatusOr<FoFormulaPtr> ParseAnd() {
     LRPDB_ASSIGN_OR_RETURN(FoFormulaPtr left, ParseUnary());
     while (Match(TokenKind::kAmp)) {
       LRPDB_ASSIGN_OR_RETURN(FoFormulaPtr right, ParseUnary());
@@ -114,7 +114,7 @@ class FoParser {
     return left;
   }
 
-  StatusOr<FoFormulaPtr> ParseUnary() {
+  [[nodiscard]] StatusOr<FoFormulaPtr> ParseUnary() {
     if (Match(TokenKind::kTilde)) {
       LRPDB_ASSIGN_OR_RETURN(FoFormulaPtr child, ParseUnary());
       auto node = std::make_unique<FoFormula>();
@@ -176,7 +176,7 @@ class FoParser {
     return extra_schemas_ != nullptr && extra_schemas_->count(name) > 0;
   }
 
-  StatusOr<RelationSchema> SchemaOf(const std::string& name) const {
+  [[nodiscard]] StatusOr<RelationSchema> SchemaOf(const std::string& name) const {
     if (extra_schemas_ != nullptr) {
       auto it = extra_schemas_->find(name);
       if (it != extra_schemas_->end()) return it->second;
@@ -184,7 +184,7 @@ class FoParser {
     return db_->SchemaOf(name);
   }
 
-  StatusOr<FoFormulaPtr> ParseAtom() {
+  [[nodiscard]] StatusOr<FoFormulaPtr> ParseAtom() {
     std::string name = tokens_[pos_++].text;
     auto schema = SchemaOf(name);
     if (!schema.ok()) return schema.status();
@@ -222,7 +222,7 @@ class FoParser {
     return node;
   }
 
-  StatusOr<FoFormulaPtr> ParseComparison() {
+  [[nodiscard]] StatusOr<FoFormulaPtr> ParseComparison() {
     auto node = std::make_unique<FoFormula>();
     node->kind = FoFormula::Kind::kComparison;
     LRPDB_ASSIGN_OR_RETURN(node->comparison.lhs, ParseTemporalTerm());
@@ -285,7 +285,7 @@ class FoEvaluator {
     active_domain_.assign(domain.begin(), domain.end());
   }
 
-  StatusOr<FoResult> Evaluate(const FoFormula& formula) {
+  [[nodiscard]] StatusOr<FoResult> Evaluate(const FoFormula& formula) {
     switch (formula.kind) {
       case FoFormula::Kind::kAtom:
         return EvaluateAtom(formula.atom);
@@ -319,7 +319,7 @@ class FoEvaluator {
     return query_.variables.NameOf(var);
   }
 
-  StatusOr<const GeneralizedRelation*> ResolveRelation(
+  [[nodiscard]] StatusOr<const GeneralizedRelation*> ResolveRelation(
       const std::string& name) const {
     if (options_.extra_relations != nullptr) {
       auto it = options_.extra_relations->find(name);
@@ -328,7 +328,7 @@ class FoEvaluator {
     return db_.Relation(name);
   }
 
-  StatusOr<FoResult> EvaluateAtom(const FoAtom& atom) {
+  [[nodiscard]] StatusOr<FoResult> EvaluateAtom(const FoAtom& atom) {
     LRPDB_ASSIGN_OR_RETURN(const GeneralizedRelation* stored,
                            ResolveRelation(atom.predicate));
     int m = stored->schema().temporal_arity;
@@ -376,8 +376,9 @@ class FoEvaluator {
     for (size_t col = 0; col < atom.data_args.size(); ++col) {
       const DataTerm& term = atom.data_args[col];
       if (term.is_constant()) {
-        filtered = SelectDataEquals(filtered, static_cast<int>(col),
-                                    term.constant);
+        LRPDB_ASSIGN_OR_RETURN(
+            filtered, SelectDataEquals(filtered, static_cast<int>(col),
+                                       term.constant));
         continue;
       }
       auto it = std::find(data_vars.begin(), data_vars.end(), term.variable);
@@ -385,9 +386,11 @@ class FoEvaluator {
         data_vars.push_back(term.variable);
         data_first_column.push_back(static_cast<int>(col));
       } else {
-        filtered = SelectDataColumnsEqual(
-            filtered, data_first_column[it - data_vars.begin()],
-            static_cast<int>(col));
+        LRPDB_ASSIGN_OR_RETURN(
+            filtered,
+            SelectDataColumnsEqual(filtered,
+                                   data_first_column[it - data_vars.begin()],
+                                   static_cast<int>(col)));
       }
     }
     LRPDB_ASSIGN_OR_RETURN(
@@ -401,7 +404,7 @@ class FoEvaluator {
     return result;
   }
 
-  StatusOr<FoResult> EvaluateComparison(const ConstraintAtom& comparison) {
+  [[nodiscard]] StatusOr<FoResult> EvaluateComparison(const ConstraintAtom& comparison) {
     // Relation over the comparison's variables (0, 1 or 2 of them).
     std::vector<SymbolId> vars;
     auto note = [&](const TemporalTerm& term) {
@@ -470,7 +473,7 @@ class FoEvaluator {
 
   // Extends `r` with universe columns for the missing variables and reorders
   // to exactly (temporal_vars, data_vars).
-  StatusOr<FoResult> ExtendTo(FoResult r,
+  [[nodiscard]] StatusOr<FoResult> ExtendTo(FoResult r,
                               const std::vector<std::string>& temporal_vars,
                               const std::vector<std::string>& data_vars) {
     // Append missing temporal columns.
@@ -531,7 +534,7 @@ class FoEvaluator {
     return out;
   }
 
-  StatusOr<FoResult> EvaluateAnd(const FoFormula& formula) {
+  [[nodiscard]] StatusOr<FoResult> EvaluateAnd(const FoFormula& formula) {
     LRPDB_ASSIGN_OR_RETURN(FoResult left, Evaluate(*formula.left));
     LRPDB_ASSIGN_OR_RETURN(FoResult right, Evaluate(*formula.right));
     // Join on shared variables.
@@ -595,7 +598,7 @@ class FoEvaluator {
     return result;
   }
 
-  StatusOr<FoResult> EvaluateOr(const FoFormula& formula) {
+  [[nodiscard]] StatusOr<FoResult> EvaluateOr(const FoFormula& formula) {
     LRPDB_ASSIGN_OR_RETURN(FoResult left, Evaluate(*formula.left));
     LRPDB_ASSIGN_OR_RETURN(FoResult right, Evaluate(*formula.right));
     std::vector<std::string> temporal_vars = left.temporal_vars;
@@ -624,7 +627,7 @@ class FoEvaluator {
     return result;
   }
 
-  StatusOr<FoResult> EvaluateNot(const FoFormula& formula) {
+  [[nodiscard]] StatusOr<FoResult> EvaluateNot(const FoFormula& formula) {
     LRPDB_ASSIGN_OR_RETURN(FoResult child, Evaluate(*formula.left));
     // Complement within (Z^m) x (active domain ^ l).
     std::vector<std::vector<DataValue>> data_universe;
@@ -661,7 +664,7 @@ class FoEvaluator {
     return result;
   }
 
-  StatusOr<FoResult> EvaluateExists(const FoFormula& formula) {
+  [[nodiscard]] StatusOr<FoResult> EvaluateExists(const FoFormula& formula) {
     LRPDB_ASSIGN_OR_RETURN(FoResult child, Evaluate(*formula.left));
     std::set<std::string> bound;
     for (SymbolId var : formula.bound) bound.insert(NameOf(var));
@@ -692,7 +695,7 @@ class FoEvaluator {
 
 }  // namespace
 
-StatusOr<FoQuery> ParseFoQuery(
+[[nodiscard]] StatusOr<FoQuery> ParseFoQuery(
     std::string_view source, Database* db,
     const std::map<std::string, RelationSchema>* extra_schemas) {
   LRPDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
@@ -702,7 +705,7 @@ StatusOr<FoQuery> ParseFoQuery(
   return query;
 }
 
-StatusOr<FoResult> EvaluateFoQuery(const FoQuery& query, const Database& db,
+[[nodiscard]] StatusOr<FoResult> EvaluateFoQuery(const FoQuery& query, const Database& db,
                                    const FoOptions& options) {
   if (query.formula == nullptr) {
     return InvalidArgumentError("empty query");

@@ -81,7 +81,7 @@ struct FoResult {
 // Parses an FO query against the schemas declared in `db`, plus (when
 // given) `extra_schemas` -- typically the intensional predicates of an
 // EvaluationResult, so FO queries can range over derived relations.
-StatusOr<FoQuery> ParseFoQuery(
+[[nodiscard]] StatusOr<FoQuery> ParseFoQuery(
     std::string_view source, Database* db,
     const std::map<std::string, RelationSchema>* extra_schemas = nullptr);
 
@@ -97,7 +97,7 @@ struct FoOptions {
 
 // Evaluates `query` over `db`. Negation complements data columns over the
 // active domain and temporal columns over all of Z.
-StatusOr<FoResult> EvaluateFoQuery(const FoQuery& query, const Database& db,
+[[nodiscard]] StatusOr<FoResult> EvaluateFoQuery(const FoQuery& query, const Database& db,
                                    const FoOptions& options = FoOptions());
 
 }  // namespace lrpdb

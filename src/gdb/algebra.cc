@@ -45,10 +45,12 @@ std::optional<GeneralizedTuple> IntersectTuples(const GeneralizedTuple& a,
 
 }  // namespace
 
-StatusOr<GeneralizedRelation> Intersect(const GeneralizedRelation& a,
+[[nodiscard]] StatusOr<GeneralizedRelation> Intersect(const GeneralizedRelation& a,
                                         const GeneralizedRelation& b,
                                         const NormalizeLimits& limits) {
-  LRPDB_CHECK(a.schema() == b.schema());
+  if (!(a.schema() == b.schema())) {
+    return InvalidArgumentError("gdb.intersect: schema mismatch");
+  }
   LRPDB_OPERATOR_SCOPE(op, "gdb.intersect", a.size() + b.size());
   GeneralizedRelation out(a.schema());
   for (size_t i = 0; i < a.size(); ++i) {
@@ -63,10 +65,12 @@ StatusOr<GeneralizedRelation> Intersect(const GeneralizedRelation& a,
   return out;
 }
 
-StatusOr<GeneralizedRelation> Union(const GeneralizedRelation& a,
+[[nodiscard]] StatusOr<GeneralizedRelation> Union(const GeneralizedRelation& a,
                                     const GeneralizedRelation& b,
                                     const NormalizeLimits& limits) {
-  LRPDB_CHECK(a.schema() == b.schema());
+  if (!(a.schema() == b.schema())) {
+    return InvalidArgumentError("gdb.union: schema mismatch");
+  }
   LRPDB_OPERATOR_SCOPE(op, "gdb.union", a.size() + b.size());
   GeneralizedRelation out(a.schema());
   for (size_t i = 0; i < a.size(); ++i) {
@@ -79,10 +83,12 @@ StatusOr<GeneralizedRelation> Union(const GeneralizedRelation& a,
   return out;
 }
 
-StatusOr<GeneralizedRelation> Difference(const GeneralizedRelation& a,
+[[nodiscard]] StatusOr<GeneralizedRelation> Difference(const GeneralizedRelation& a,
                                          const GeneralizedRelation& b,
                                          const NormalizeLimits& limits) {
-  LRPDB_CHECK(a.schema() == b.schema());
+  if (!(a.schema() == b.schema())) {
+    return InvalidArgumentError("gdb.difference: schema mismatch");
+  }
   LRPDB_OPERATOR_SCOPE(op, "gdb.difference", a.size() + b.size());
   GeneralizedRelation out(a.schema());
   for (size_t i = 0; i < a.size(); ++i) {
@@ -112,7 +118,7 @@ StatusOr<GeneralizedRelation> Difference(const GeneralizedRelation& a,
   return out;
 }
 
-StatusOr<GeneralizedRelation> CartesianProduct(const GeneralizedRelation& a,
+[[nodiscard]] StatusOr<GeneralizedRelation> CartesianProduct(const GeneralizedRelation& a,
                                                const GeneralizedRelation& b,
                                                const NormalizeLimits& limits) {
   LRPDB_OPERATOR_SCOPE(op, "gdb.product", a.size() + b.size());
@@ -149,7 +155,7 @@ StatusOr<GeneralizedRelation> CartesianProduct(const GeneralizedRelation& a,
   return out;
 }
 
-StatusOr<GeneralizedRelation> JoinOnEqualities(
+[[nodiscard]] StatusOr<GeneralizedRelation> JoinOnEqualities(
     const GeneralizedRelation& a, const GeneralizedRelation& b,
     const std::vector<TemporalEquality>& temporal_eqs,
     const std::vector<std::pair<int, int>>& data_eqs,
@@ -161,10 +167,11 @@ StatusOr<GeneralizedRelation> JoinOnEqualities(
   // Build the join condition as a DBM over the product's temporal columns.
   Dbm condition(product.schema().temporal_arity);
   for (const TemporalEquality& eq : temporal_eqs) {
-    LRPDB_CHECK(eq.left_column >= 0 &&
-                eq.left_column < a.schema().temporal_arity);
-    LRPDB_CHECK(eq.right_column >= 0 &&
-                eq.right_column < b.schema().temporal_arity);
+    if (eq.left_column < 0 || eq.left_column >= a.schema().temporal_arity ||
+        eq.right_column < 0 ||
+        eq.right_column >= b.schema().temporal_arity) {
+      return InvalidArgumentError("gdb.join: equality column out of range");
+    }
     condition.AddDifferenceEquality(
         eq.left_column + 1,
         a.schema().temporal_arity + eq.right_column + 1, eq.offset);
@@ -189,10 +196,13 @@ StatusOr<GeneralizedRelation> JoinOnEqualities(
   return out;
 }
 
-StatusOr<GeneralizedRelation> SelectConstraint(const GeneralizedRelation& r,
+[[nodiscard]] StatusOr<GeneralizedRelation> SelectConstraint(const GeneralizedRelation& r,
                                                const Dbm& constraint,
                                                const NormalizeLimits& limits) {
-  LRPDB_CHECK_EQ(constraint.num_vars(), r.schema().temporal_arity);
+  if (constraint.num_vars() != r.schema().temporal_arity) {
+    return InvalidArgumentError(
+        "gdb.select: constraint arity does not match schema");
+  }
   LRPDB_OPERATOR_SCOPE(op, "gdb.select", r.size());
   GeneralizedRelation out(r.schema());
   for (size_t i = 0; i < r.size(); ++i) {
@@ -204,7 +214,7 @@ StatusOr<GeneralizedRelation> SelectConstraint(const GeneralizedRelation& r,
   return out;
 }
 
-StatusOr<GeneralizedRelation> Project(const GeneralizedRelation& r,
+[[nodiscard]] StatusOr<GeneralizedRelation> Project(const GeneralizedRelation& r,
                                       const std::vector<int>& temporal_columns,
                                       const std::vector<int>& data_columns,
                                       const NormalizeLimits& limits) {
@@ -216,7 +226,9 @@ StatusOr<GeneralizedRelation> Project(const GeneralizedRelation& r,
   int m = r.schema().temporal_arity;
   std::vector<bool> kept(m, false);
   for (int c : temporal_columns) {
-    LRPDB_CHECK(c >= 0 && c < m);
+    if (c < 0 || c >= m) {
+      return InvalidArgumentError("gdb.project: temporal column out of range");
+    }
     kept[c] = true;
   }
   for (size_t i = 0; i < r.size(); ++i) {
@@ -324,33 +336,40 @@ StatusOr<GeneralizedRelation> Project(const GeneralizedRelation& r,
   return out;
 }
 
-GeneralizedRelation SelectDataEquals(const GeneralizedRelation& r, int column,
-                                     DataValue value) {
+[[nodiscard]] StatusOr<GeneralizedRelation> SelectDataEquals(
+    const GeneralizedRelation& r, int column, DataValue value) {
+  if (column < 0 || column >= r.schema().data_arity) {
+    return InvalidArgumentError("gdb.select_data: column out of range");
+  }
   LRPDB_OPERATOR_SCOPE(op, "gdb.select_data", r.size());
   GeneralizedRelation out(r.schema());
   for (size_t i = 0; i < r.size(); ++i) {
     if (r.tuple(i).data()[column] == value) {
-      LRPDB_CHECK_OK(out.InsertUnlessEmpty(r.tuple(i)).status());
+      LRPDB_RETURN_IF_ERROR(out.InsertUnlessEmpty(r.tuple(i)).status());
     }
   }
   op.set_output(static_cast<int64_t>(out.size()));
   return out;
 }
 
-GeneralizedRelation SelectDataColumnsEqual(const GeneralizedRelation& r,
-                                           int i, int j) {
+[[nodiscard]] StatusOr<GeneralizedRelation> SelectDataColumnsEqual(
+    const GeneralizedRelation& r, int i, int j) {
+  if (i < 0 || i >= r.schema().data_arity || j < 0 ||
+      j >= r.schema().data_arity) {
+    return InvalidArgumentError("gdb.select_data_eq: column out of range");
+  }
   LRPDB_OPERATOR_SCOPE(op, "gdb.select_data_eq", r.size());
   GeneralizedRelation out(r.schema());
   for (size_t k = 0; k < r.size(); ++k) {
     if (r.tuple(k).data()[i] == r.tuple(k).data()[j]) {
-      LRPDB_CHECK_OK(out.InsertUnlessEmpty(r.tuple(k)).status());
+      LRPDB_RETURN_IF_ERROR(out.InsertUnlessEmpty(r.tuple(k)).status());
     }
   }
   op.set_output(static_cast<int64_t>(out.size()));
   return out;
 }
 
-StatusOr<GeneralizedRelation> ShiftColumn(const GeneralizedRelation& r,
+[[nodiscard]] StatusOr<GeneralizedRelation> ShiftColumn(const GeneralizedRelation& r,
                                           int column, int64_t c,
                                           const NormalizeLimits& limits) {
   LRPDB_OPERATOR_SCOPE(op, "gdb.shift", r.size());
@@ -364,7 +383,7 @@ StatusOr<GeneralizedRelation> ShiftColumn(const GeneralizedRelation& r,
   return out;
 }
 
-StatusOr<GeneralizedRelation> Complement(
+[[nodiscard]] StatusOr<GeneralizedRelation> Complement(
     const GeneralizedRelation& r,
     const std::vector<std::vector<DataValue>>& data_universe,
     const NormalizeLimits& limits) {
@@ -374,7 +393,10 @@ StatusOr<GeneralizedRelation> Complement(
   GeneralizedRelation out(r.schema());
   int m = r.schema().temporal_arity;
   for (const std::vector<DataValue>& data : data_universe) {
-    LRPDB_CHECK_EQ(static_cast<int>(data.size()), r.schema().data_arity);
+    if (static_cast<int>(data.size()) != r.schema().data_arity) {
+      return InvalidArgumentError(
+          "gdb.complement: universe row arity does not match schema");
+    }
     // Universe piece for this data row: all time vectors.
     std::vector<Lrp> all(m, Lrp());
     GeneralizedTuple universe =
@@ -455,7 +477,7 @@ Dbm LoosestDbm(const std::vector<const GeneralizedTuple*>& tuples) {
 // same lrp period p in that column) into tuples with a coarser period p'.
 // Appends results (merged or original) to `out`; returns true if anything
 // merged.
-StatusOr<bool> TryCoalesceColumn(const std::vector<GeneralizedTuple>& group,
+[[nodiscard]] StatusOr<bool> TryCoalesceColumn(const std::vector<GeneralizedTuple>& group,
                                  int j, std::vector<GeneralizedTuple>* out,
                                  const NormalizeLimits& limits) {
   int64_t p = group.front().lrp(j).period();
@@ -527,7 +549,7 @@ StatusOr<bool> TryCoalesceColumn(const std::vector<GeneralizedTuple>& group,
 
 }  // namespace
 
-StatusOr<std::vector<GeneralizedTuple>> CoalesceTuples(
+[[nodiscard]] StatusOr<std::vector<GeneralizedTuple>> CoalesceTuples(
     std::vector<GeneralizedTuple> tuples, const NormalizeLimits& limits) {
   if (tuples.empty() || !limits.coalesce_outputs) return tuples;
   LRPDB_OPERATOR_SCOPE(op, "gdb.coalesce", tuples.size());
@@ -557,10 +579,12 @@ StatusOr<std::vector<GeneralizedTuple>> CoalesceTuples(
   return tuples;
 }
 
-StatusOr<bool> SameGroundSet(const GeneralizedRelation& a,
+[[nodiscard]] StatusOr<bool> SameGroundSet(const GeneralizedRelation& a,
                              const GeneralizedRelation& b,
                              const NormalizeLimits& limits) {
-  LRPDB_CHECK(a.schema() == b.schema());
+  if (!(a.schema() == b.schema())) {
+    return InvalidArgumentError("gdb.same_ground_set: schema mismatch");
+  }
   LRPDB_OPERATOR_SCOPE(op, "gdb.same_ground_set", a.size() + b.size());
   // Compare per data vector: pieces grouped by data inside SubtractPieces
   // already, so a direct two-way containment suffices.

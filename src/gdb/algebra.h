@@ -16,25 +16,25 @@
 namespace lrpdb {
 
 // Ground-set intersection of two relations with identical schemas.
-StatusOr<GeneralizedRelation> Intersect(
+[[nodiscard]] StatusOr<GeneralizedRelation> Intersect(
     const GeneralizedRelation& a, const GeneralizedRelation& b,
     const NormalizeLimits& limits = NormalizeLimits());
 
 // Ground-set union of two relations with identical schemas (with
 // containment-based deduplication).
-StatusOr<GeneralizedRelation> Union(
+[[nodiscard]] StatusOr<GeneralizedRelation> Union(
     const GeneralizedRelation& a, const GeneralizedRelation& b,
     const NormalizeLimits& limits = NormalizeLimits());
 
 // Ground-set difference a \ b of two relations with identical schemas.
 // Exact (residue-aligned DBM subtraction).
-StatusOr<GeneralizedRelation> Difference(
+[[nodiscard]] StatusOr<GeneralizedRelation> Difference(
     const GeneralizedRelation& a, const GeneralizedRelation& b,
     const NormalizeLimits& limits = NormalizeLimits());
 
 // Cartesian product: temporal columns of `a` then of `b`, data columns of
 // `a` then of `b`.
-StatusOr<GeneralizedRelation> CartesianProduct(
+[[nodiscard]] StatusOr<GeneralizedRelation> CartesianProduct(
     const GeneralizedRelation& a, const GeneralizedRelation& b,
     const NormalizeLimits& limits = NormalizeLimits());
 
@@ -47,7 +47,7 @@ struct TemporalEquality {
   int right_column;
   int64_t offset;  // left == right + offset.
 };
-StatusOr<GeneralizedRelation> JoinOnEqualities(
+[[nodiscard]] StatusOr<GeneralizedRelation> JoinOnEqualities(
     const GeneralizedRelation& a, const GeneralizedRelation& b,
     const std::vector<TemporalEquality>& temporal_eqs,
     const std::vector<std::pair<int, int>>& data_eqs,
@@ -55,35 +55,36 @@ StatusOr<GeneralizedRelation> JoinOnEqualities(
 
 // Conjoins `constraint` (a DBM over the relation's temporal columns) into
 // every tuple, dropping tuples that become empty.
-StatusOr<GeneralizedRelation> SelectConstraint(
+[[nodiscard]] StatusOr<GeneralizedRelation> SelectConstraint(
     const GeneralizedRelation& r, const Dbm& constraint,
     const NormalizeLimits& limits = NormalizeLimits());
 
 // Projects onto the given temporal and data columns (0-based, in the order
 // given). Temporal projection is exact (performed on normalized pieces).
-StatusOr<GeneralizedRelation> Project(
+[[nodiscard]] StatusOr<GeneralizedRelation> Project(
     const GeneralizedRelation& r, const std::vector<int>& temporal_columns,
     const std::vector<int>& data_columns,
     const NormalizeLimits& limits = NormalizeLimits());
 
-// Keeps only tuples whose data column `column` equals `value`.
-GeneralizedRelation SelectDataEquals(const GeneralizedRelation& r, int column,
-                                     DataValue value);
+// Keeps only tuples whose data column `column` equals `value`. Errors
+// (column out of range, insertion failure) propagate instead of aborting.
+[[nodiscard]] StatusOr<GeneralizedRelation> SelectDataEquals(
+    const GeneralizedRelation& r, int column, DataValue value);
 
 // Keeps only tuples whose data columns i and j are equal.
-GeneralizedRelation SelectDataColumnsEqual(const GeneralizedRelation& r,
-                                           int i, int j);
+[[nodiscard]] StatusOr<GeneralizedRelation> SelectDataColumnsEqual(
+    const GeneralizedRelation& r, int i, int j);
 
 // Translates temporal column `column` by c (c applications of +1, or of -1
 // when c is negative).
-StatusOr<GeneralizedRelation> ShiftColumn(
+[[nodiscard]] StatusOr<GeneralizedRelation> ShiftColumn(
     const GeneralizedRelation& r, int column, int64_t c,
     const NormalizeLimits& limits = NormalizeLimits());
 
 // The complement of `r`'s ground set within the universe
 // (all time vectors) x (the given data universe rows). Each row of
 // `data_universe` is one data-constant vector of the schema's data arity.
-StatusOr<GeneralizedRelation> Complement(
+[[nodiscard]] StatusOr<GeneralizedRelation> Complement(
     const GeneralizedRelation& r,
     const std::vector<std::vector<DataValue>>& data_universe,
     const NormalizeLimits& limits = NormalizeLimits());
@@ -95,12 +96,12 @@ StatusOr<GeneralizedRelation> Complement(
 // split relations into one tuple per residue class; this pass undoes the
 // splitting wherever the classes carry identical constraints, which keeps
 // closed forms near their minimal size. The ground set is unchanged.
-StatusOr<std::vector<GeneralizedTuple>> CoalesceTuples(
+[[nodiscard]] StatusOr<std::vector<GeneralizedTuple>> CoalesceTuples(
     std::vector<GeneralizedTuple> tuples,
     const NormalizeLimits& limits = NormalizeLimits());
 
 // True iff the two relations represent the same ground set.
-StatusOr<bool> SameGroundSet(const GeneralizedRelation& a,
+[[nodiscard]] StatusOr<bool> SameGroundSet(const GeneralizedRelation& a,
                              const GeneralizedRelation& b,
                              const NormalizeLimits& limits = NormalizeLimits());
 

@@ -2,7 +2,7 @@
 
 namespace lrpdb {
 
-Status Database::Declare(std::string_view name, RelationSchema schema) {
+[[nodiscard]] Status Database::Declare(std::string_view name, RelationSchema schema) {
   auto it = relations_.find(name);
   if (it != relations_.end()) {
     if (it->second.schema() == schema) return OkStatus();
@@ -17,7 +17,7 @@ bool Database::IsDeclared(std::string_view name) const {
   return relations_.find(name) != relations_.end();
 }
 
-Status Database::AddTuple(std::string_view name, GeneralizedTuple tuple) {
+[[nodiscard]] Status Database::AddTuple(std::string_view name, GeneralizedTuple tuple) {
   auto it = relations_.find(name);
   if (it == relations_.end()) {
     return NotFoundError("relation '" + std::string(name) + "' not declared");
@@ -30,7 +30,7 @@ Status Database::AddTuple(std::string_view name, GeneralizedTuple tuple) {
   return it->second.InsertUnlessEmpty(std::move(tuple)).status();
 }
 
-StatusOr<const GeneralizedRelation*> Database::Relation(
+[[nodiscard]] StatusOr<const GeneralizedRelation*> Database::Relation(
     std::string_view name) const {
   auto it = relations_.find(name);
   if (it == relations_.end()) {
@@ -39,7 +39,7 @@ StatusOr<const GeneralizedRelation*> Database::Relation(
   return &it->second;
 }
 
-StatusOr<RelationSchema> Database::SchemaOf(std::string_view name) const {
+[[nodiscard]] StatusOr<RelationSchema> Database::SchemaOf(std::string_view name) const {
   auto it = relations_.find(name);
   if (it == relations_.end()) {
     return NotFoundError("relation '" + std::string(name) + "' not declared");

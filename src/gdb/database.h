@@ -23,17 +23,17 @@ class Database {
 
   // Declares `name` with the given schema. Error if already declared with a
   // different schema.
-  Status Declare(std::string_view name, RelationSchema schema);
+  [[nodiscard]] Status Declare(std::string_view name, RelationSchema schema);
 
   bool IsDeclared(std::string_view name) const;
 
   // Adds a generalized tuple to `name` (which must be declared). Tuples
   // whose ground set is empty are silently dropped, matching the semantics
   // of the representation.
-  Status AddTuple(std::string_view name, GeneralizedTuple tuple);
+  [[nodiscard]] Status AddTuple(std::string_view name, GeneralizedTuple tuple);
 
-  StatusOr<const GeneralizedRelation*> Relation(std::string_view name) const;
-  StatusOr<RelationSchema> SchemaOf(std::string_view name) const;
+  [[nodiscard]] StatusOr<const GeneralizedRelation*> Relation(std::string_view name) const;
+  [[nodiscard]] StatusOr<RelationSchema> SchemaOf(std::string_view name) const;
 
   // Names of all declared relations, sorted.
   std::vector<std::string> RelationNames() const;

@@ -52,7 +52,7 @@ std::vector<GroundTuple> GeneralizedRelation::EnumerateGround(
   return {out.begin(), out.end()};
 }
 
-StatusOr<std::vector<NormalizedTuple>> GeneralizedRelation::AllPieces(
+[[nodiscard]] StatusOr<std::vector<NormalizedTuple>> GeneralizedRelation::AllPieces(
     const NormalizeLimits& limits) const {
   std::vector<NormalizedTuple> all;
   for (size_t i = 0; i < store_.size(); ++i) {

@@ -34,7 +34,7 @@ class GeneralizedRelation {
   // The residue pieces of tuple `i`, computed on first use and cached.
   // Normalization can blow the limits for tuples mixing many unconstrained
   // (period-1) columns with periodic ones, hence the Status.
-  StatusOr<const std::vector<NormalizedTuple>*> pieces(
+  [[nodiscard]] StatusOr<const std::vector<NormalizedTuple>*> pieces(
       size_t i, const NormalizeLimits& limits = NormalizeLimits()) const {
     return store_.pieces(static_cast<EntryId>(i), limits);
   }
@@ -48,7 +48,7 @@ class GeneralizedRelation {
   // to their lcm, which explodes for coprime periods, and a tuple kept
   // redundantly is subsumed on its next re-derivation anyway. Returns
   // false iff the tuple was dropped (empty or subsumed).
-  StatusOr<bool> InsertIfNew(GeneralizedTuple tuple,
+  [[nodiscard]] StatusOr<bool> InsertIfNew(GeneralizedTuple tuple,
                              const NormalizeLimits& limits =
                                  NormalizeLimits()) {
     LRPDB_ASSIGN_OR_RETURN(InsertOutcome outcome,
@@ -60,7 +60,7 @@ class GeneralizedRelation {
   // tuples whose ground set is empty purely through lrp-residue conflicts
   // may be stored (they are harmless redundancy -- every membership or
   // set-level operation treats them as empty). Returns false iff dropped.
-  StatusOr<bool> InsertUnlessEmpty(
+  [[nodiscard]] StatusOr<bool> InsertUnlessEmpty(
       GeneralizedTuple tuple,
       const NormalizeLimits& limits = NormalizeLimits()) {
     (void)limits;
@@ -76,7 +76,7 @@ class GeneralizedRelation {
   std::vector<GroundTuple> EnumerateGround(int64_t lo, int64_t hi) const;
 
   // Concatenation of all stored normalized pieces (cached per tuple).
-  StatusOr<std::vector<NormalizedTuple>> AllPieces(
+  [[nodiscard]] StatusOr<std::vector<NormalizedTuple>> AllPieces(
       const NormalizeLimits& limits = NormalizeLimits()) const;
 
   std::string ToString(const Interner* interner = nullptr) const {

@@ -89,7 +89,7 @@ std::vector<std::optional<ResidueAnchor>> AnchorsOf(const Dbm& closed, int m) {
 // columns from their anchor's residue, and keeps the pieces whose quotient
 // DBM is satisfiable. Only the free (un-anchored) columns count against the
 // max_pieces budget.
-StatusOr<std::vector<NormalizedTuple>> EnumeratePieces(
+[[nodiscard]] StatusOr<std::vector<NormalizedTuple>> EnumeratePieces(
     const Dbm& t_dbm, int64_t period,
     const std::vector<std::vector<int64_t>>& choices,
     const std::vector<DataValue>& data, const NormalizeLimits& limits) {
@@ -159,7 +159,7 @@ NormalizedTuple::NormalizedTuple(int64_t common_period,
   for (int64_t r : residues_) LRPDB_CHECK(r >= 0 && r < common_period_);
 }
 
-StatusOr<std::vector<NormalizedTuple>> NormalizedTuple::Normalize(
+[[nodiscard]] StatusOr<std::vector<NormalizedTuple>> NormalizedTuple::Normalize(
     const GeneralizedTuple& tuple, const NormalizeLimits& limits) {
   int m = tuple.temporal_arity();
   int64_t period = 1;
@@ -181,10 +181,13 @@ StatusOr<std::vector<NormalizedTuple>> NormalizedTuple::Normalize(
                          limits);
 }
 
-StatusOr<std::vector<NormalizedTuple>> NormalizedTuple::AlignTo(
+[[nodiscard]] StatusOr<std::vector<NormalizedTuple>> NormalizedTuple::AlignTo(
     int64_t target, const NormalizeLimits& limits) const {
-  LRPDB_CHECK_GT(target, 0);
-  LRPDB_CHECK_EQ(target % common_period_, 0);
+  if (target <= 0 || target % common_period_ != 0) {
+    return InvalidArgumentError(
+        "AlignTo: target period must be a positive multiple of the common "
+        "period");
+  }
   if (target == common_period_) {
     return std::vector<NormalizedTuple>{*this};
   }
@@ -274,7 +277,7 @@ struct ClassKey {
 };
 
 // Aligns every piece of `pieces` to `target`, appending into `out`.
-Status AlignAll(const std::vector<NormalizedTuple>& pieces, int64_t target,
+[[nodiscard]] Status AlignAll(const std::vector<NormalizedTuple>& pieces, int64_t target,
                 const NormalizeLimits& limits,
                 std::vector<NormalizedTuple>* out) {
   for (const NormalizedTuple& p : pieces) {
@@ -285,7 +288,7 @@ Status AlignAll(const std::vector<NormalizedTuple>& pieces, int64_t target,
   return OkStatus();
 }
 
-StatusOr<int64_t> CommonPeriodOf(const std::vector<NormalizedTuple>& a,
+[[nodiscard]] StatusOr<int64_t> CommonPeriodOf(const std::vector<NormalizedTuple>& a,
                                  const std::vector<NormalizedTuple>& b,
                                  const NormalizeLimits& limits) {
   int64_t period = 1;
@@ -302,7 +305,7 @@ StatusOr<int64_t> CommonPeriodOf(const std::vector<NormalizedTuple>& a,
 
 }  // namespace
 
-StatusOr<std::vector<NormalizedTuple>> SubtractPieces(
+[[nodiscard]] StatusOr<std::vector<NormalizedTuple>> SubtractPieces(
     const std::vector<NormalizedTuple>& a,
     const std::vector<NormalizedTuple>& b, const NormalizeLimits& limits) {
   if (a.empty()) return std::vector<NormalizedTuple>{};
@@ -341,7 +344,7 @@ StatusOr<std::vector<NormalizedTuple>> SubtractPieces(
   return result;
 }
 
-StatusOr<bool> PiecesContainedIn(const std::vector<NormalizedTuple>& a,
+[[nodiscard]] StatusOr<bool> PiecesContainedIn(const std::vector<NormalizedTuple>& a,
                                  const std::vector<NormalizedTuple>& b,
                                  const NormalizeLimits& limits) {
   LRPDB_ASSIGN_OR_RETURN(std::vector<NormalizedTuple> diff,
@@ -349,14 +352,14 @@ StatusOr<bool> PiecesContainedIn(const std::vector<NormalizedTuple>& a,
   return diff.empty();
 }
 
-StatusOr<bool> GroundSetEmpty(const GeneralizedTuple& tuple,
+[[nodiscard]] StatusOr<bool> GroundSetEmpty(const GeneralizedTuple& tuple,
                               const NormalizeLimits& limits) {
   LRPDB_ASSIGN_OR_RETURN(std::vector<NormalizedTuple> pieces,
                          NormalizedTuple::Normalize(tuple, limits));
   return pieces.empty();
 }
 
-StatusOr<bool> GroundTupleContainedIn(const GeneralizedTuple& a,
+[[nodiscard]] StatusOr<bool> GroundTupleContainedIn(const GeneralizedTuple& a,
                                       const std::vector<GeneralizedTuple>& bs,
                                       const NormalizeLimits& limits) {
   LRPDB_ASSIGN_OR_RETURN(std::vector<NormalizedTuple> a_pieces,

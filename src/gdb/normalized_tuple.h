@@ -48,7 +48,7 @@ class NormalizedTuple {
   // Splits `tuple` into satisfiable residue pieces. The union of the pieces'
   // ground sets equals the tuple's ground set, and distinct pieces are
   // disjoint.
-  static StatusOr<std::vector<NormalizedTuple>> Normalize(
+  [[nodiscard]] static StatusOr<std::vector<NormalizedTuple>> Normalize(
       const GeneralizedTuple& tuple,
       const NormalizeLimits& limits = NormalizeLimits());
 
@@ -60,7 +60,7 @@ class NormalizedTuple {
 
   // Refines this piece to period `target` (a positive multiple of
   // common_period()), splitting into (target/L)^m sub-pieces -- exact.
-  StatusOr<std::vector<NormalizedTuple>> AlignTo(
+  [[nodiscard]] StatusOr<std::vector<NormalizedTuple>> AlignTo(
       int64_t target, const NormalizeLimits& limits = NormalizeLimits()) const;
 
   // True iff the piece's ground set contains the point.
@@ -98,25 +98,25 @@ class NormalizedTuple {
 
 // Ground-set difference: pieces covering exactly union(a) \ union(b).
 // All pieces are aligned to a common period internally.
-StatusOr<std::vector<NormalizedTuple>> SubtractPieces(
+[[nodiscard]] StatusOr<std::vector<NormalizedTuple>> SubtractPieces(
     const std::vector<NormalizedTuple>& a,
     const std::vector<NormalizedTuple>& b,
     const NormalizeLimits& limits = NormalizeLimits());
 
 // True iff union(a) is a subset of union(b), decided exactly.
-StatusOr<bool> PiecesContainedIn(
+[[nodiscard]] StatusOr<bool> PiecesContainedIn(
     const std::vector<NormalizedTuple>& a,
     const std::vector<NormalizedTuple>& b,
     const NormalizeLimits& limits = NormalizeLimits());
 
 // Convenience: exact emptiness of a generalized tuple's ground set.
-StatusOr<bool> GroundSetEmpty(const GeneralizedTuple& tuple,
+[[nodiscard]] StatusOr<bool> GroundSetEmpty(const GeneralizedTuple& tuple,
                               const NormalizeLimits& limits =
                                   NormalizeLimits());
 
 // Convenience: exact containment ground(a) subset-of ground(b1) u ... u
 // ground(bk) for generalized tuples of identical arities.
-StatusOr<bool> GroundTupleContainedIn(
+[[nodiscard]] StatusOr<bool> GroundTupleContainedIn(
     const GeneralizedTuple& a, const std::vector<GeneralizedTuple>& bs,
     const NormalizeLimits& limits = NormalizeLimits());
 

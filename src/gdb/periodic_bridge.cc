@@ -6,7 +6,7 @@
 
 namespace lrpdb {
 
-StatusOr<GeneralizedRelation> ToGeneralizedRelation(
+[[nodiscard]] StatusOr<GeneralizedRelation> ToGeneralizedRelation(
     const EventuallyPeriodicSet& set, const NormalizeLimits& limits) {
   GeneralizedRelation relation({1, 0});
   // Prefix members: pinned points (the lrp n with T = t, per the paper's
@@ -36,7 +36,7 @@ StatusOr<GeneralizedRelation> ToGeneralizedRelation(
   return relation;
 }
 
-StatusOr<EventuallyPeriodicSet> ToEventuallyPeriodicSet(
+[[nodiscard]] StatusOr<EventuallyPeriodicSet> ToEventuallyPeriodicSet(
     const GeneralizedRelation& relation, const NormalizeLimits& limits) {
   if (relation.schema().temporal_arity != 1 ||
       relation.schema().data_arity != 0) {

@@ -15,7 +15,7 @@ namespace lrpdb {
 // ground set is exactly `set`: one pinned tuple per prefix member and one
 // lrp tuple (period = set.period(), constrained to T >= offset) per tail
 // residue.
-StatusOr<GeneralizedRelation> ToGeneralizedRelation(
+[[nodiscard]] StatusOr<GeneralizedRelation> ToGeneralizedRelation(
     const EventuallyPeriodicSet& set,
     const NormalizeLimits& limits = NormalizeLimits());
 
@@ -25,7 +25,7 @@ StatusOr<GeneralizedRelation> ToGeneralizedRelation(
 // generalized relation is eventually periodic with period dividing the lcm
 // of the stored periods and offset bounded by the largest absolute DBM
 // bound.
-StatusOr<EventuallyPeriodicSet> ToEventuallyPeriodicSet(
+[[nodiscard]] StatusOr<EventuallyPeriodicSet> ToEventuallyPeriodicSet(
     const GeneralizedRelation& relation,
     const NormalizeLimits& limits = NormalizeLimits());
 

@@ -55,28 +55,81 @@ void MirrorInsertStats(int64_t StoreStats::*field, int64_t amount) {
 TupleStore::TupleStore(RelationSchema schema)
     : schema_(schema), data_index_(schema.data_arity) {}
 
-StatusOr<const std::vector<NormalizedTuple>*> TupleStore::pieces(
-    EntryId id, const NormalizeLimits& limits) const {
-  const Entry& entry = entries_[id];
-  if (!entry.normalized) {
-    LRPDB_ASSIGN_OR_RETURN(entry.pieces,
-                           NormalizedTuple::Normalize(entry.tuple, limits));
-    entry.normalized = true;
-  }
-  return &entry.pieces;
+TupleStore::TupleStore(TupleStore&& other) noexcept
+    : schema_(std::move(other.schema_)),
+      entries_(std::move(other.entries_)),
+      signature_index_(std::move(other.signature_index_)),
+      data_index_(std::move(other.data_index_)),
+      delta_lo_(other.delta_lo_),
+      delta_hi_(other.delta_hi_),
+      index_enabled_(other.index_enabled_) {
+  std::lock_guard<std::mutex> pieces_lock(other.pieces_mu_);
+  std::lock_guard<std::mutex> stats_lock(other.stats_mu_);
+  pieces_cache_ = std::move(other.pieces_cache_);
+  stats_ = other.stats_;
 }
 
-StatusOr<InsertOutcome> TupleStore::Insert(GeneralizedTuple tuple,
+TupleStore& TupleStore::operator=(TupleStore&& other) noexcept {
+  if (this == &other) return *this;
+  schema_ = std::move(other.schema_);
+  entries_ = std::move(other.entries_);
+  signature_index_ = std::move(other.signature_index_);
+  data_index_ = std::move(other.data_index_);
+  delta_lo_ = other.delta_lo_;
+  delta_hi_ = other.delta_hi_;
+  index_enabled_ = other.index_enabled_;
+  // std::scoped_lock would deadlock-order these for us, but the acquisition
+  // order here matches LRPDB_ACQUIRED_AFTER(pieces_mu_) everywhere else.
+  std::lock_guard<std::mutex> other_pieces(other.pieces_mu_);
+  std::lock_guard<std::mutex> self_pieces(pieces_mu_);
+  std::lock_guard<std::mutex> other_stats(other.stats_mu_);
+  std::lock_guard<std::mutex> self_stats(stats_mu_);
+  pieces_cache_ = std::move(other.pieces_cache_);
+  stats_ = other.stats_;
+  return *this;
+}
+
+StoreStats TupleStore::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void TupleStore::BumpStat(int64_t StoreStats::*field, int64_t amount,
+                          StoreStats* round_stats) const {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.*field += amount;
+  }
+  if (round_stats != nullptr) round_stats->*field += amount;
+  MirrorInsertStats(field, amount);
+}
+
+[[nodiscard]] StatusOr<const std::vector<NormalizedTuple>*> TupleStore::pieces(
+    EntryId id, const NormalizeLimits& limits) const {
+  std::lock_guard<std::mutex> lock(pieces_mu_);
+  PiecesCache& cache = pieces_cache_[id];
+  if (!cache.normalized) {
+    LRPDB_ASSIGN_OR_RETURN(cache.pieces,
+                           NormalizedTuple::Normalize(entries_[id].tuple,
+                                                      limits));
+    cache.normalized = true;
+  }
+  // Safe to hand out past the unlock: the slot is never rewritten and deque
+  // growth does not move it.
+  return &cache.pieces;
+}
+
+[[nodiscard]] StatusOr<InsertOutcome> TupleStore::Insert(GeneralizedTuple tuple,
                                            const NormalizeLimits& limits,
                                            StoreStats* round_stats) {
-  LRPDB_CHECK_EQ(tuple.temporal_arity(), schema_.temporal_arity);
-  LRPDB_CHECK_EQ(tuple.data_arity(), schema_.data_arity);
+  if (tuple.temporal_arity() != schema_.temporal_arity ||
+      tuple.data_arity() != schema_.data_arity) {
+    return InvalidArgumentError("tuple arity does not match store schema");
+  }
   LRPDB_ASSIGN_OR_RETURN(std::vector<NormalizedTuple> candidate,
                          NormalizedTuple::Normalize(tuple, limits));
   auto bump = [&](int64_t StoreStats::*field, int64_t amount) {
-    stats_.*field += amount;
-    if (round_stats != nullptr) round_stats->*field += amount;
-    MirrorInsertStats(field, amount);
+    BumpStat(field, amount, round_stats);
   };
   if (candidate.empty()) {  // Empty ground set.
     bump(&StoreStats::empty_dropped, 1);
@@ -124,8 +177,7 @@ bool TupleStore::InsertUnlessEmpty(GeneralizedTuple tuple) {
   LRPDB_CHECK_EQ(tuple.data_arity(), schema_.data_arity);
   if (!tuple.ConstraintSatisfiable()) return false;
   Append(std::move(tuple), {}, false);
-  ++stats_.inserts;
-  MirrorInsertStats(&StoreStats::inserts, 1);
+  BumpStat(&StoreStats::inserts, 1, nullptr);
   return true;
 }
 
@@ -140,8 +192,11 @@ bool TupleStore::Append(GeneralizedTuple tuple,
   for (int c = 0; c < schema_.data_arity; ++c) {
     data_index_[c][tuple.data()[c]].push_back(id);
   }
-  entries_.push_back(
-      Entry{std::move(tuple), it->second.id, std::move(pieces), normalized});
+  entries_.push_back(Entry{std::move(tuple), it->second.id});
+  {
+    std::lock_guard<std::mutex> lock(pieces_mu_);
+    pieces_cache_.push_back(PiecesCache{std::move(pieces), normalized});
+  }
   return created;
 }
 
@@ -159,7 +214,7 @@ const std::vector<EntryId>* TupleStore::SmallestPosting(
   return best;
 }
 
-Status TupleStore::CheckConsistency() const {
+[[nodiscard]] Status TupleStore::CheckConsistency() const {
   if (delta_lo_ > delta_hi_ || delta_hi_ > entries_.size()) {
     return InternalError("generation ranges out of order");
   }

@@ -33,6 +33,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -40,6 +42,7 @@
 #include <vector>
 
 #include "src/common/statusor.h"
+#include "src/common/thread_annotations.h"
 #include "src/obs/metrics.h"
 #include "src/gdb/generalized_tuple.h"
 #include "src/gdb/normalized_tuple.h"
@@ -88,6 +91,15 @@ struct InsertOutcome {
 };
 
 // An indexed set of generalized tuples of one schema.
+//
+// Thread-safety contract: mutations (Insert, InsertUnlessEmpty,
+// AdvanceGeneration, set_index_enabled) require exclusive access. Between
+// mutations, any number of threads may issue const operations concurrently
+// — ForEachCandidate, pieces(), stats(), CheckConsistency, ToString — the
+// two pieces of const-path mutable state (the lazy residue-piece cache and
+// the probe counters) are guarded by internal mutexes, annotated below for
+// Clang's -Wthread-safety and exercised from 8 threads under TSan in
+// tests/tuple_store_test.cc.
 class TupleStore {
  public:
   // Which generation a probe ranges over.
@@ -102,6 +114,14 @@ class TupleStore {
 
   explicit TupleStore(RelationSchema schema);
 
+  // Movable (relations hand stores around by value); moving counts as a
+  // mutation, so it requires exclusive access to both operands. The mutexes
+  // themselves stay put — the destination keeps its own.
+  TupleStore(TupleStore&& other) noexcept;
+  TupleStore& operator=(TupleStore&& other) noexcept;
+  TupleStore(const TupleStore&) = delete;
+  TupleStore& operator=(const TupleStore&) = delete;
+
   const RelationSchema& schema() const { return schema_; }
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
@@ -111,11 +131,16 @@ class TupleStore {
   // The signature the entry was interned under.
   SignatureId signature_of(EntryId id) const { return entries_[id].signature; }
   size_t num_signatures() const { return signature_index_.size(); }
-  const StoreStats& stats() const { return stats_; }
+  // A consistent copy of the lifetime counters (they advance concurrently
+  // with const probes, so a reference would be a torn read).
+  StoreStats stats() const LRPDB_LOCKS_EXCLUDED(stats_mu_);
 
   // The residue pieces of entry `id`, computed on first use and cached.
-  StatusOr<const std::vector<NormalizedTuple>*> pieces(
-      EntryId id, const NormalizeLimits& limits = NormalizeLimits()) const;
+  // The returned pointer stays valid until the next mutation; the pointee
+  // is immutable once returned, so concurrent callers may share it.
+  [[nodiscard]] StatusOr<const std::vector<NormalizedTuple>*> pieces(
+      EntryId id, const NormalizeLimits& limits = NormalizeLimits()) const
+      LRPDB_LOCKS_EXCLUDED(pieces_mu_);
 
   // Exact insert: drops the tuple if its ground set is empty or contained
   // in the union of the stored tuples with the same signature (free
@@ -124,7 +149,7 @@ class TupleStore {
   // one bucket probe; the linear reference path (set_index_enabled(false))
   // finds them by scanning, for differential testing. `round_stats`, when
   // non-null, receives the same counter increments as the lifetime stats.
-  StatusOr<InsertOutcome> Insert(GeneralizedTuple tuple,
+  [[nodiscard]] StatusOr<InsertOutcome> Insert(GeneralizedTuple tuple,
                                  const NormalizeLimits& limits =
                                      NormalizeLimits(),
                                  StoreStats* round_stats = nullptr);
@@ -159,8 +184,6 @@ class TupleStore {
                         Fn&& fn) const {
     size_t lo = generation == Generation::kDelta ? delta_lo_ : 0;
     size_t hi = generation == Generation::kDelta ? delta_hi_ : entries_.size();
-    ++stats_.index_probes;
-    if (round_stats != nullptr) ++round_stats->index_probes;
     LRPDB_COUNTER_INC("store.index_probes");
     int64_t scanned = 0;
     const std::vector<EntryId>* posting = nullptr;
@@ -168,7 +191,7 @@ class TupleStore {
       posting = SmallestPosting(requirements);
       if (posting == nullptr) {
         // Some required value has no posting list: no candidates at all.
-        CountScan(round_stats, 0, static_cast<int64_t>(hi - lo));
+        CountProbe(round_stats, 0, static_cast<int64_t>(hi - lo));
         return;
       }
     }
@@ -186,7 +209,7 @@ class TupleStore {
         fn(static_cast<EntryId>(id));
       }
     }
-    CountScan(round_stats, scanned, static_cast<int64_t>(hi - lo) - scanned);
+    CountProbe(round_stats, scanned, static_cast<int64_t>(hi - lo) - scanned);
   }
 
   // Disables the signature/data indexes for probing: Insert finds
@@ -200,17 +223,23 @@ class TupleStore {
   // Verifies every index invariant (signature buckets partition the
   // entries, postings are sorted and complete, generation ranges are
   // well-formed). Intended for tests.
-  Status CheckConsistency() const;
+  [[nodiscard]] Status CheckConsistency() const;
 
   std::string ToString(const Interner* interner = nullptr) const;
 
  private:
+  // Immutable once appended; safe to read without a lock between mutations.
   struct Entry {
     GeneralizedTuple tuple;
     SignatureId signature = 0;
-    // Lazily computed residue pieces (valid when normalized is true).
-    mutable std::vector<NormalizedTuple> pieces;
-    mutable bool normalized = false;
+  };
+
+  // Lazily computed residue pieces of one entry (filled at most once, under
+  // pieces_mu_; immutable afterwards). Kept in a deque parallel to entries_
+  // so slot references survive appends.
+  struct PiecesCache {
+    std::vector<NormalizedTuple> pieces;
+    bool normalized = false;
   };
 
   struct SignatureBucket {
@@ -221,18 +250,30 @@ class TupleStore {
   // Appends `tuple` (with optional pre-normalized pieces) and indexes it.
   // Returns the outcome's new_signature flag.
   bool Append(GeneralizedTuple tuple, std::vector<NormalizedTuple> pieces,
-              bool normalized);
+              bool normalized) LRPDB_LOCKS_EXCLUDED(pieces_mu_);
 
   // The smallest posting list among the requirements, or nullptr when some
   // required value has no entries at all.
   const std::vector<EntryId>* SmallestPosting(
       const std::vector<DataRequirement>& requirements) const;
 
-  void CountScan(StoreStats* round_stats, int64_t scanned,
-                 int64_t pruned) const {
-    stats_.tuples_scanned += scanned;
-    stats_.tuples_pruned += pruned;
+  // Folds one insert-path counter into the lifetime stats (under stats_mu_),
+  // the caller's round stats (caller-owned, unlocked), and the registry.
+  void BumpStat(int64_t StoreStats::*field, int64_t amount,
+                StoreStats* round_stats) const LRPDB_LOCKS_EXCLUDED(stats_mu_);
+
+  // One probe's worth of counter updates, a single critical section per
+  // ForEachCandidate call rather than per yielded tuple.
+  void CountProbe(StoreStats* round_stats, int64_t scanned,
+                  int64_t pruned) const LRPDB_LOCKS_EXCLUDED(stats_mu_) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.index_probes;
+      stats_.tuples_scanned += scanned;
+      stats_.tuples_pruned += pruned;
+    }
     if (round_stats != nullptr) {
+      ++round_stats->index_probes;
       round_stats->tuples_scanned += scanned;
       round_stats->tuples_pruned += pruned;
     }
@@ -249,7 +290,15 @@ class TupleStore {
   size_t delta_lo_ = 0;
   size_t delta_hi_ = 0;
   bool index_enabled_ = true;
-  mutable StoreStats stats_;
+
+  // Serializes concurrent const readers against the fill-on-first-use
+  // residue cache. Writers (Append) also hold it while growing the deque.
+  mutable std::mutex pieces_mu_;
+  mutable std::deque<PiecesCache> pieces_cache_ LRPDB_GUARDED_BY(pieces_mu_);
+
+  // Guards the lifetime counters, which advance on the const probe path.
+  mutable std::mutex stats_mu_ LRPDB_ACQUIRED_AFTER(pieces_mu_);
+  mutable StoreStats stats_ LRPDB_GUARDED_BY(stats_mu_);
 };
 
 // --- Ground-fact storage (shared delta-generation machinery) ---

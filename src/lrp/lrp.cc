@@ -10,7 +10,7 @@ Lrp::Lrp(int64_t period, int64_t offset) {
   offset_ = FloorMod(offset, period_);
 }
 
-StatusOr<Lrp> Lrp::Create(int64_t period, int64_t offset) {
+[[nodiscard]] StatusOr<Lrp> Lrp::Create(int64_t period, int64_t offset) {
   if (period == 0) {
     return InvalidArgumentError(
         "lrp period must be non-zero; represent the constant c as the lrp n "

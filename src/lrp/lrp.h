@@ -29,7 +29,7 @@ class Lrp {
   Lrp(int64_t period, int64_t offset);
 
   // Validating factory for untrusted input (rejects period == 0).
-  static StatusOr<Lrp> Create(int64_t period, int64_t offset);
+  [[nodiscard]] static StatusOr<Lrp> Create(int64_t period, int64_t offset);
 
   int64_t period() const { return period_; }
   int64_t offset() const { return offset_; }

@@ -35,7 +35,7 @@ EventuallyPeriodicSet::EventuallyPeriodicSet(std::vector<bool> prefix,
   Canonicalize();
 }
 
-StatusOr<EventuallyPeriodicSet> EventuallyPeriodicSet::Create(
+[[nodiscard]] StatusOr<EventuallyPeriodicSet> EventuallyPeriodicSet::Create(
     std::vector<bool> prefix, std::vector<bool> tail) {
   if (tail.empty()) {
     return InvalidArgumentError("periodic tail must be non-empty");

@@ -27,7 +27,7 @@ class EventuallyPeriodicSet {
   // `prefix[t]` gives membership of t for t in [0, prefix.size());
   // `tail[r]` gives membership of prefix.size() + k*tail.size() + r for all
   // k >= 0, r in [0, tail.size()). `tail` must be non-empty.
-  static StatusOr<EventuallyPeriodicSet> Create(std::vector<bool> prefix,
+  [[nodiscard]] static StatusOr<EventuallyPeriodicSet> Create(std::vector<bool> prefix,
                                                 std::vector<bool> tail);
 
   // The set {first, first+period, first+2*period, ...}; period >= 1.

@@ -65,7 +65,7 @@ class LtlParser {
   LtlParser(std::vector<Token> tokens, LtlQuery* query)
       : tokens_(std::move(tokens)), query_(query) {}
 
-  Status Run() {
+  [[nodiscard]] Status Run() {
     auto formula = ParseImplies();
     if (!formula.ok()) return formula.status();
     if (Peek().kind != TokenKind::kEnd) return Error("trailing input");
@@ -89,7 +89,7 @@ class LtlParser {
     }
     return false;
   }
-  Status Error(const std::string& message) const {
+  [[nodiscard]] Status Error(const std::string& message) const {
     const Token& t = Peek();
     return ParseError("line " + std::to_string(t.line) + ":" +
                       std::to_string(t.column) + ": " + message);
@@ -97,7 +97,7 @@ class LtlParser {
 
   // implies := or ('->' or)*, right associative. '->' arrives from the
   // lexer as kMinus kGreater.
-  StatusOr<LtlFormulaPtr> ParseImplies() {
+  [[nodiscard]] StatusOr<LtlFormulaPtr> ParseImplies() {
     LRPDB_ASSIGN_OR_RETURN(LtlFormulaPtr left, ParseOr());
     if (Peek().kind == TokenKind::kMinus &&
         pos_ + 1 < tokens_.size() &&
@@ -109,7 +109,7 @@ class LtlParser {
     return left;
   }
 
-  StatusOr<LtlFormulaPtr> ParseOr() {
+  [[nodiscard]] StatusOr<LtlFormulaPtr> ParseOr() {
     LRPDB_ASSIGN_OR_RETURN(LtlFormulaPtr left, ParseAnd());
     while (Match(TokenKind::kPipe)) {
       LRPDB_ASSIGN_OR_RETURN(LtlFormulaPtr right, ParseAnd());
@@ -118,7 +118,7 @@ class LtlParser {
     return left;
   }
 
-  StatusOr<LtlFormulaPtr> ParseAnd() {
+  [[nodiscard]] StatusOr<LtlFormulaPtr> ParseAnd() {
     LRPDB_ASSIGN_OR_RETURN(LtlFormulaPtr left, ParseUntil());
     while (Match(TokenKind::kAmp)) {
       LRPDB_ASSIGN_OR_RETURN(LtlFormulaPtr right, ParseUntil());
@@ -127,7 +127,7 @@ class LtlParser {
     return left;
   }
 
-  StatusOr<LtlFormulaPtr> ParseUntil() {
+  [[nodiscard]] StatusOr<LtlFormulaPtr> ParseUntil() {
     LRPDB_ASSIGN_OR_RETURN(LtlFormulaPtr left, ParseUnary());
     if (MatchWord("U")) {
       LRPDB_ASSIGN_OR_RETURN(LtlFormulaPtr right, ParseUntil());
@@ -136,7 +136,7 @@ class LtlParser {
     return left;
   }
 
-  StatusOr<LtlFormulaPtr> ParseUnary() {
+  [[nodiscard]] StatusOr<LtlFormulaPtr> ParseUnary() {
     if (Match(TokenKind::kTilde)) {
       LRPDB_ASSIGN_OR_RETURN(LtlFormulaPtr child, ParseUnary());
       return Not(std::move(child));
@@ -270,7 +270,7 @@ class LassoEvaluator {
 
 }  // namespace
 
-StatusOr<LtlQuery> ParseLtl(std::string_view source) {
+[[nodiscard]] StatusOr<LtlQuery> ParseLtl(std::string_view source) {
   LRPDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
   LtlQuery query;
   LtlParser parser(std::move(tokens), &query);

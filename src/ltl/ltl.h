@@ -68,7 +68,7 @@ struct LtlQuery {
 // then &, then |, then -> (right associative). `true` and `false` are
 // literals; other identifiers are propositions (bit indices in order of
 // first appearance).
-StatusOr<LtlQuery> ParseLtl(std::string_view source);
+[[nodiscard]] StatusOr<LtlQuery> ParseLtl(std::string_view source);
 
 // Exact satisfaction of `formula` by the word at position `position`
 // (default: the initial instant). Until is evaluated as a least fixpoint on

@@ -75,6 +75,9 @@ std::string MetricsSnapshot::ToJson() const {
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
+  // Intentionally leaked process-lifetime singleton (no destruction-order
+  // races at exit).
+  // lint: allow(naked-new)
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }
@@ -182,7 +185,8 @@ bool MetricsRegistry::WriteEnvSink() const {
 OperatorMetrics* OperatorMetrics::Get(const std::string& op) {
   static std::mutex mu;
   static std::map<std::string, std::unique_ptr<OperatorMetrics>>* interned =
-      new std::map<std::string, std::unique_ptr<OperatorMetrics>>();
+      new std::map<std::string,  // lint: allow(naked-new) -- leaked singleton
+                   std::unique_ptr<OperatorMetrics>>();
   std::lock_guard<std::mutex> lock(mu);
   auto it = interned->find(op);
   if (it == interned->end()) {

@@ -29,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
+
 namespace lrpdb::obs {
 
 // Monotonically increasing event count.
@@ -141,18 +143,18 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
-  Histogram* GetHistogram(const std::string& name);
+  Counter* GetCounter(const std::string& name) LRPDB_LOCKS_EXCLUDED(mu_);
+  Gauge* GetGauge(const std::string& name) LRPDB_LOCKS_EXCLUDED(mu_);
+  Histogram* GetHistogram(const std::string& name) LRPDB_LOCKS_EXCLUDED(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const LRPDB_LOCKS_EXCLUDED(mu_);
   std::string ToJson() const { return Snapshot().ToJson(); }
 
   // Zeroes every value, keeping the registered handles valid (benches call
   // this between phases; tests call it for determinism).
-  void Reset();
+  void Reset() LRPDB_LOCKS_EXCLUDED(mu_);
 
-  size_t size() const;
+  size_t size() const LRPDB_LOCKS_EXCLUDED(mu_);
 
   // Writes ToJson() to `path`; returns false (with a stderr note) on I/O
   // failure. WriteEnvSink consults LRPDB_METRICS and is a no-op without it.
@@ -160,10 +162,16 @@ class MetricsRegistry {
   bool WriteEnvSink() const;
 
  private:
+  // Serializes registration and snapshotting. The handles themselves are
+  // lock-free: once a Get* call returns, the pointer is stable and every
+  // mutation through it is a relaxed atomic, so mu_ never sits on the
+  // metric-update fast path.
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      LRPDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ LRPDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      LRPDB_GUARDED_BY(mu_);
 };
 
 // Per-operator handle bundle for the gdb algebra: invocation count, input
@@ -224,6 +232,27 @@ class ScopedTimer {
   Histogram* h_;
   std::chrono::steady_clock::time_point start_;
 };
+
+// Monotonic timestamps for engine-side profiling (per-round / per-rule
+// timings in EvalProfile). All wall-clock reads in the engine go through
+// these two functions: the obs layer is the only library allowed to touch
+// the clock (ci/lint/run_lint.py, rule wall-clock), and under
+// LRPDB_NO_METRICS both collapse to constants so the uninstrumented build
+// performs no clock reads at all.
+using MonotonicTime = std::chrono::steady_clock::time_point;
+#if !defined(LRPDB_NO_METRICS)
+inline MonotonicTime MonotonicNow() {
+  return std::chrono::steady_clock::now();
+}
+inline int64_t UsSince(MonotonicTime start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(MonotonicNow() -
+                                                               start)
+      .count();
+}
+#else
+inline MonotonicTime MonotonicNow() { return MonotonicTime(); }
+inline int64_t UsSince(MonotonicTime) { return 0; }
+#endif
 
 namespace internal {
 // No-op stand-ins the LRPDB_NO_METRICS macros expand to; every method the

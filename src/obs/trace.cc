@@ -62,6 +62,8 @@ Tracer& Tracer::Global() {
   static Tracer* tracer = [] {
     const char* path = std::getenv("LRPDB_TRACE");
     std::string sink = path == nullptr ? "" : path;
+    // Intentionally leaked process-lifetime singleton.
+    // lint: allow(naked-new)
     auto* t = new Tracer(sink, /*enabled=*/!sink.empty());
     if (t->enabled()) std::atexit([] { Tracer::Global().Flush(); });
     return t;
@@ -95,21 +97,24 @@ void Tracer::Record(TraceEvent event) {
   events_.push_back(std::move(event));
 }
 
+std::vector<TraceEvent> Tracer::DrainForFlush() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> snapshot = events_;
+  if (dropped_ > 0) {
+    TraceEvent marker;
+    marker.name = "obs.dropped_events";
+    marker.category = "obs";
+    marker.ts_us = NowUs();
+    marker.args.emplace_back("dropped", static_cast<int64_t>(dropped_));
+    marker.args.emplace_back("limit", static_cast<int64_t>(limit_));
+    snapshot.push_back(std::move(marker));
+  }
+  return snapshot;
+}
+
 bool Tracer::Flush() {
   if (path_.empty()) return true;
-  std::vector<TraceEvent> snapshot = events();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (dropped_ > 0) {
-      TraceEvent marker;
-      marker.name = "obs.dropped_events";
-      marker.category = "obs";
-      marker.ts_us = NowUs();
-      marker.args.emplace_back("dropped", static_cast<int64_t>(dropped_));
-      marker.args.emplace_back("limit", static_cast<int64_t>(limit_));
-      snapshot.push_back(std::move(marker));
-    }
-  }
+  std::vector<TraceEvent> snapshot = DrainForFlush();
   std::FILE* f = std::fopen(path_.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "obs: cannot write trace to %s\n", path_.c_str());

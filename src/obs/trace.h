@@ -26,6 +26,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
+
 namespace lrpdb::obs {
 
 // One captured complete event.
@@ -56,7 +58,7 @@ class Tracer {
   const std::string& path() const { return path_; }
 
   // Appends one complete event (no-op when disabled).
-  void Record(TraceEvent event);
+  void Record(TraceEvent event) LRPDB_LOCKS_EXCLUDED(mu_);
 
   // Microseconds since tracer creation (span start/end stamps).
   int64_t NowUs() const {
@@ -68,18 +70,18 @@ class Tracer {
   // Rewrites the sink with everything captured so far (Chrome JSON for any
   // path, JSONL when the path ends in ".jsonl"). No-op without a sink path;
   // returns false on I/O failure.
-  bool Flush();
+  bool Flush() LRPDB_LOCKS_EXCLUDED(mu_);
 
   // Test introspection: a stable copy of the captured events.
-  std::vector<TraceEvent> events() const;
-  size_t event_count() const;
+  std::vector<TraceEvent> events() const LRPDB_LOCKS_EXCLUDED(mu_);
+  size_t event_count() const LRPDB_LOCKS_EXCLUDED(mu_);
 
   // Events rejected because the capture buffer was full. Bounded capture
   // keeps hot loops (benchmark harnesses re-run the evaluator thousands of
   // times) from growing the buffer and the sink without limit; the default
   // cap is kDefaultEventLimit, overridable via LRPDB_TRACE_LIMIT. A flush
   // with drops appends one "obs.dropped_events" marker event.
-  size_t dropped_count() const;
+  size_t dropped_count() const LRPDB_LOCKS_EXCLUDED(mu_);
   size_t event_limit() const { return limit_; }
 
   static constexpr size_t kDefaultEventLimit = size_t{1} << 18;  // 262144
@@ -87,13 +89,21 @@ class Tracer {
  private:
   Tracer(std::string path, bool enabled);
 
+  // One critical section producing everything Flush() serializes: a copy of
+  // the captured events plus (when events were dropped) the overflow marker.
+  // Flush() itself then writes the sink with no lock held, so tracing
+  // threads never block on file I/O.
+  std::vector<TraceEvent> DrainForFlush() const LRPDB_LOCKS_EXCLUDED(mu_);
+
+  // Immutable after construction; readable without mu_.
   bool enabled_ = false;
   std::string path_;
   size_t limit_ = kDefaultEventLimit;
   std::chrono::steady_clock::time_point epoch_;
+
   mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
-  size_t dropped_ = 0;
+  std::vector<TraceEvent> events_ LRPDB_GUARDED_BY(mu_);
+  size_t dropped_ LRPDB_GUARDED_BY(mu_) = 0;
 };
 
 // RAII span against a tracer (the global one by default).

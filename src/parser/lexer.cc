@@ -14,7 +14,24 @@ bool IsIdentifierChar(char c) {
 
 }  // namespace
 
-StatusOr<std::vector<Token>> Tokenize(std::string_view input) {
+[[nodiscard]] StatusOr<int64_t> ParseDecimalInt64(std::string_view digits) {
+  if (digits.empty()) return ParseError("expected digits");
+  int64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      return ParseError("expected digit in integer literal");
+    }
+    int d = c - '0';
+    if (value > (INT64_MAX - d) / 10) {
+      return ParseError("integer literal '" + std::string(digits) +
+                        "' overflows int64");
+    }
+    value = value * 10 + d;
+  }
+  return value;
+}
+
+[[nodiscard]] StatusOr<std::vector<Token>> Tokenize(std::string_view input) {
   std::vector<Token> tokens;
   size_t i = 0;
   int line = 1;
@@ -73,7 +90,9 @@ StatusOr<std::vector<Token>> Tokenize(std::string_view input) {
         advance(1);
       }
       std::string text(input.substr(start, i - start));
-      push(TokenKind::kNumber, text, std::stoll(text));
+      StatusOr<int64_t> number = ParseDecimalInt64(text);
+      if (!number.ok()) return error(number.status().message());
+      push(TokenKind::kNumber, text, *number);
       continue;
     }
     switch (c) {

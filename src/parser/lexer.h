@@ -49,7 +49,14 @@ struct Token {
 };
 
 // Tokenizes `input`. Comments run from "//" or "%" to end of line.
-StatusOr<std::vector<Token>> Tokenize(std::string_view input);
+[[nodiscard]] StatusOr<std::vector<Token>> Tokenize(std::string_view input);
+
+// Parses a run of decimal digits into an int64, rejecting overflow with
+// kParseError. The std::stoll family throws on overflow, which in this
+// exception-free codebase means malformed input could terminate the
+// process; every digit run in the lexer and parser goes through here
+// instead (regression: parser_test.cc OverlongLiterals).
+[[nodiscard]] StatusOr<int64_t> ParseDecimalInt64(std::string_view digits);
 
 }  // namespace lrpdb
 

@@ -15,7 +15,7 @@ class Parser {
   Parser(std::vector<Token> tokens, Database* db, ParsedUnit* unit)
       : tokens_(std::move(tokens)), db_(db), unit_(unit) {}
 
-  Status Run() {
+  [[nodiscard]] Status Run() {
     while (!AtEnd()) {
       LRPDB_RETURN_IF_ERROR(ParseStatement());
     }
@@ -34,18 +34,18 @@ class Parser {
     ++pos_;
     return true;
   }
-  Status Error(const std::string& message) const {
+  [[nodiscard]] Status Error(const std::string& message) const {
     const Token& t = Peek();
     return ParseError("line " + std::to_string(t.line) + ":" +
                       std::to_string(t.column) + ": " + message +
                       (t.text.empty() ? "" : " (at '" + t.text + "')"));
   }
-  Status Expect(TokenKind kind, const std::string& what) {
+  [[nodiscard]] Status Expect(TokenKind kind, const std::string& what) {
     if (Match(kind)) return OkStatus();
     return Error("expected " + what);
   }
 
-  Status ParseStatement() {
+  [[nodiscard]] Status ParseStatement() {
     if (Peek().kind == TokenKind::kDirective) {
       const Token& directive = Advance();
       if (directive.text == "decl") return ParseDecl();
@@ -62,7 +62,7 @@ class Parser {
   }
 
   // .decl name(time, time, data)
-  Status ParseDecl() {
+  [[nodiscard]] Status ParseDecl() {
     if (Peek().kind != TokenKind::kIdentifier) {
       return Error("expected predicate name after .decl");
     }
@@ -95,7 +95,7 @@ class Parser {
     return unit_->program.Declare(name, schema);
   }
 
-  StatusOr<RelationSchema> SchemaOf(const std::string& name) {
+  [[nodiscard]] StatusOr<RelationSchema> SchemaOf(const std::string& name) {
     SymbolId id = unit_->program.predicates().Find(name);
     std::optional<RelationSchema> schema;
     if (id >= 0) schema = unit_->program.SchemaOf(id);
@@ -107,7 +107,7 @@ class Parser {
   }
 
   // A signed integer literal.
-  StatusOr<int64_t> ParseSignedNumber() {
+  [[nodiscard]] StatusOr<int64_t> ParseSignedNumber() {
     bool negative = Match(TokenKind::kMinus);
     if (Peek().kind != TokenKind::kNumber) {
       return Status(StatusCode::kParseError, "expected integer");
@@ -122,7 +122,7 @@ class Parser {
     Lrp lrp;
     std::optional<int64_t> pinned;
   };
-  StatusOr<FactTemporalArg> ParseFactTemporalArg() {
+  [[nodiscard]] StatusOr<FactTemporalArg> ParseFactTemporalArg() {
     // Forms: [INT] n [± INT]  |  ±INT.
     bool negative = false;
     std::optional<int64_t> coefficient;
@@ -163,7 +163,7 @@ class Parser {
   }
 
   // .fact name(args) [with constraints] .
-  Status ParseFact() {
+  [[nodiscard]] Status ParseFact() {
     if (Peek().kind != TokenKind::kIdentifier) {
       return Error("expected predicate name after .fact");
     }
@@ -217,7 +217,7 @@ class Parser {
 
   // One side of a fact constraint: Tk [± INT] or a signed integer.
   // Returns (column index or 0 for the zero variable, offset).
-  StatusOr<std::pair<int, int64_t>> ParseConstraintSide(int temporal_arity) {
+  [[nodiscard]] StatusOr<std::pair<int, int64_t>> ParseConstraintSide(int temporal_arity) {
     if (Peek().kind == TokenKind::kIdentifier) {
       const std::string& text = Peek().text;
       if (text.size() >= 2 && text[0] == 'T') {
@@ -226,7 +226,12 @@ class Parser {
           digits = digits && std::isdigit(static_cast<unsigned char>(text[k]));
         }
         if (digits) {
-          int column = std::stoi(text.substr(1));
+          // Overflow-safe: "T99999999999999999999" must be a parse error,
+          // not a std::out_of_range crash from std::stoi.
+          StatusOr<int64_t> parsed = ParseDecimalInt64(
+              std::string_view(text).substr(1));
+          if (!parsed.ok()) return parsed.status();
+          int64_t column = *parsed;
           if (column < 1 || column > temporal_arity) {
             return Status(StatusCode::kParseError,
                           "constraint references column " + text +
@@ -242,7 +247,7 @@ class Parser {
             LRPDB_ASSIGN_OR_RETURN(offset, ParseSignedNumber());
             offset = -offset;
           }
-          return std::make_pair(column, offset);
+          return std::make_pair(static_cast<int>(column), offset);
         }
       }
       return Status(StatusCode::kParseError,
@@ -252,7 +257,7 @@ class Parser {
     return std::make_pair(0, value);
   }
 
-  Status ParseColumnConstraint(int temporal_arity, Dbm* constraint) {
+  [[nodiscard]] Status ParseColumnConstraint(int temporal_arity, Dbm* constraint) {
     auto lhs = ParseConstraintSide(temporal_arity);
     if (!lhs.ok()) return Error(lhs.status().message());
     TokenKind op = Peek().kind;
@@ -294,7 +299,7 @@ class Parser {
   enum class VarKind { kTemporal, kData };
   using ClauseVars = std::map<std::string, VarKind>;
 
-  Status NoteVar(ClauseVars* vars, const std::string& name, VarKind kind) {
+  [[nodiscard]] Status NoteVar(ClauseVars* vars, const std::string& name, VarKind kind) {
     if (vars == nullptr) return OkStatus();
     auto [it, inserted] = vars->emplace(name, kind);
     if (!inserted && it->second != kind) {
@@ -305,7 +310,7 @@ class Parser {
   }
 
   // Temporal term in a rule: IDENT [± INT] or signed INT.
-  StatusOr<TemporalTerm> ParseTemporalTerm(ClauseVars* vars) {
+  [[nodiscard]] StatusOr<TemporalTerm> ParseTemporalTerm(ClauseVars* vars) {
     if (Peek().kind == TokenKind::kIdentifier) {
       std::string name = Advance().text;
       LRPDB_RETURN_IF_ERROR(NoteVar(vars, name, VarKind::kTemporal));
@@ -326,7 +331,7 @@ class Parser {
     return TemporalTerm::Constant(*value);
   }
 
-  StatusOr<DataTerm> ParseDataTerm(ClauseVars* vars) {
+  [[nodiscard]] StatusOr<DataTerm> ParseDataTerm(ClauseVars* vars) {
     if (Peek().kind == TokenKind::kString) {
       return DataTerm::Constant(db_->Constant(Advance().text));
     }
@@ -343,7 +348,7 @@ class Parser {
     return Error("expected data term");
   }
 
-  Status ParsePredicateAtom(PredicateAtom* atom, ClauseVars* vars) {
+  [[nodiscard]] Status ParsePredicateAtom(PredicateAtom* atom, ClauseVars* vars) {
     if (Peek().kind != TokenKind::kIdentifier) {
       return Error("expected predicate name");
     }
@@ -372,7 +377,7 @@ class Parser {
     return Expect(TokenKind::kRightParen, "')'");
   }
 
-  StatusOr<ConstraintAtom> ParseConstraintAtom(ClauseVars* vars) {
+  [[nodiscard]] StatusOr<ConstraintAtom> ParseConstraintAtom(ClauseVars* vars) {
     ConstraintAtom atom;
     LRPDB_ASSIGN_OR_RETURN(atom.lhs, ParseTemporalTerm(vars));
     switch (Peek().kind) {
@@ -399,7 +404,7 @@ class Parser {
     return atom;
   }
 
-  Status ParseRule() {
+  [[nodiscard]] Status ParseRule() {
     Clause clause;
     ClauseVars vars;
     LRPDB_RETURN_IF_ERROR(ParsePredicateAtom(&clause.head, &vars));
@@ -450,7 +455,7 @@ class Parser {
 
 }  // namespace
 
-StatusOr<ParsedUnit> Parse(std::string_view source, Database* db) {
+[[nodiscard]] StatusOr<ParsedUnit> Parse(std::string_view source, Database* db) {
   LRPDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
   ParsedUnit unit(&db->interner());
   Parser parser(std::move(tokens), db, &unit);

@@ -43,7 +43,7 @@ struct ParsedUnit {
 
 // Parses `source`, adding extensional facts to `db` (whose interner the
 // returned Program shares). `db` must outlive the returned unit.
-StatusOr<ParsedUnit> Parse(std::string_view source, Database* db);
+[[nodiscard]] StatusOr<ParsedUnit> Parse(std::string_view source, Database* db);
 
 }  // namespace lrpdb
 

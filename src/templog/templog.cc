@@ -21,7 +21,7 @@ class TemplogParser {
   explicit TemplogParser(std::vector<Token> tokens)
       : tokens_(std::move(tokens)) {}
 
-  StatusOr<TemplogProgram> Run() {
+  [[nodiscard]] StatusOr<TemplogProgram> Run() {
     TemplogProgram program;
     while (Peek().kind != TokenKind::kEnd) {
       TemplogClause clause;
@@ -48,14 +48,14 @@ class TemplogParser {
     }
     return false;
   }
-  Status Error(const std::string& message) const {
+  [[nodiscard]] Status Error(const std::string& message) const {
     const Token& t = Peek();
     return ParseError("line " + std::to_string(t.line) + ":" +
                       std::to_string(t.column) + ": " + message);
   }
 
   // next^k | next  (returns accumulated count; zero or more occurrences).
-  StatusOr<int> ParseNexts() {
+  [[nodiscard]] StatusOr<int> ParseNexts() {
     int count = 0;
     while (MatchKeyword("next")) {
       if (Match(TokenKind::kCaret)) {
@@ -70,7 +70,7 @@ class TemplogParser {
     return count;
   }
 
-  Status ParseAtom(TemplogAtom* atom) {
+  [[nodiscard]] Status ParseAtom(TemplogAtom* atom) {
     LRPDB_ASSIGN_OR_RETURN(atom->next_count, ParseNexts());
     if (Peek().kind != TokenKind::kIdentifier) {
       return Error("expected predicate name");
@@ -92,7 +92,7 @@ class TemplogParser {
     return OkStatus();
   }
 
-  Status ParseClause(TemplogClause* clause) {
+  [[nodiscard]] Status ParseClause(TemplogClause* clause) {
     clause->always = MatchKeyword("always");
     clause->box_head = MatchKeyword("box");
     LRPDB_RETURN_IF_ERROR(ParseAtom(&clause->head));
@@ -114,7 +114,7 @@ class TemplogParser {
 };
 
 // Collects predicate arities; errors on inconsistency.
-Status CollectArity(const TemplogAtom& atom, std::map<std::string, int>* out) {
+[[nodiscard]] Status CollectArity(const TemplogAtom& atom, std::map<std::string, int>* out) {
   int arity = static_cast<int>(atom.args.size());
   auto [it, inserted] = out->emplace(atom.predicate, arity);
   if (!inserted && it->second != arity) {
@@ -148,13 +148,13 @@ std::vector<DataTerm> AtomData(Program* program, Database* db,
 
 }  // namespace
 
-StatusOr<TemplogProgram> ParseTemplog(std::string_view source) {
+[[nodiscard]] StatusOr<TemplogProgram> ParseTemplog(std::string_view source) {
   LRPDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
   TemplogParser parser(std::move(tokens));
   return parser.Run();
 }
 
-StatusOr<Program> TranslateToDatalog1S(const TemplogProgram& templog,
+[[nodiscard]] StatusOr<Program> TranslateToDatalog1S(const TemplogProgram& templog,
                                        Database* db) {
   LRPDB_TRACE_SPAN(span, "templog.translate");
   LRPDB_COUNTER_ADD("templog.clauses_translated",

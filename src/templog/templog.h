@@ -72,12 +72,12 @@ struct TemplogProgram {
 //
 // Operators: `next^k` / `next` (k=1), `always` (outer box, before the
 // head), `box` (head box), `eventually` (body diamond).
-StatusOr<TemplogProgram> ParseTemplog(std::string_view source);
+[[nodiscard]] StatusOr<TemplogProgram> ParseTemplog(std::string_view source);
 
 // Translates to a Datalog1S program over `db`'s interner. Every Templog
 // predicate becomes a predicate with one temporal and N data parameters;
 // auxiliary predicates get reserved names ("__ev_p", "__box<i>_p").
-StatusOr<Program> TranslateToDatalog1S(const TemplogProgram& templog,
+[[nodiscard]] StatusOr<Program> TranslateToDatalog1S(const TemplogProgram& templog,
                                        Database* db);
 
 }  // namespace lrpdb

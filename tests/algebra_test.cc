@@ -216,12 +216,31 @@ TEST(AlgebraOpsTest, SelectData) {
       r.InsertIfNew(GeneralizedTuple::Unconstrained({}, {a, b})).ok());
   ASSERT_TRUE(
       r.InsertIfNew(GeneralizedTuple::Unconstrained({}, {b, b})).ok());
-  GeneralizedRelation eq = SelectDataColumnsEqual(r, 0, 1);
-  EXPECT_EQ(eq.size(), 2u);
-  GeneralizedRelation only_a = SelectDataEquals(r, 0, a);
-  EXPECT_EQ(only_a.size(), 2u);
-  GeneralizedRelation only_ab = SelectDataEquals(only_a, 1, b);
-  EXPECT_EQ(only_ab.size(), 1u);
+  StatusOr<GeneralizedRelation> eq = SelectDataColumnsEqual(r, 0, 1);
+  ASSERT_TRUE(eq.ok()) << eq.status();
+  EXPECT_EQ(eq->size(), 2u);
+  StatusOr<GeneralizedRelation> only_a = SelectDataEquals(r, 0, a);
+  ASSERT_TRUE(only_a.ok()) << only_a.status();
+  EXPECT_EQ(only_a->size(), 2u);
+  StatusOr<GeneralizedRelation> only_ab = SelectDataEquals(*only_a, 1, b);
+  ASSERT_TRUE(only_ab.ok()) << only_ab.status();
+  EXPECT_EQ(only_ab->size(), 1u);
+}
+
+// Regression: the data selections used to crash through LRPDB_CHECK_OK on
+// any insertion error and indexed data columns unchecked; errors now come
+// back as Status values.
+TEST(AlgebraOpsTest, SelectDataPropagatesErrors) {
+  Interner interner;
+  DataValue a = interner.Intern("a");
+  GeneralizedRelation r({0, 1});
+  ASSERT_TRUE(r.InsertIfNew(GeneralizedTuple::Unconstrained({}, {a})).ok());
+  EXPECT_EQ(SelectDataEquals(r, 1, a).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SelectDataEquals(r, -1, a).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SelectDataColumnsEqual(r, 0, 1).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(AlgebraOpsTest, CartesianProductColumnLayout) {

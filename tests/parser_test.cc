@@ -163,6 +163,42 @@ TEST(ParserTest, Errors) {
   EXPECT_FALSE(Parse(".decl p(time)\n.fact p(3n)", &db).ok());
 }
 
+// Regression: overlong numeric input must surface as kParseError, never as
+// an uncaught std::out_of_range from the std::stoi/stoll family (this is an
+// exception-free codebase; a throw is a process abort). Both crash sites —
+// the lexer's literal scan and the parser's T<k> constraint columns — went
+// through throwing std helpers before ParseDecimalInt64.
+TEST(ParserTest, OverlongLiterals) {
+  // 9223372036854775807 is INT64_MAX; one digit more must be rejected.
+  auto max_ok = Tokenize("9223372036854775807");
+  ASSERT_TRUE(max_ok.ok()) << max_ok.status();
+  EXPECT_EQ((*max_ok)[0].number, INT64_MAX);
+
+  auto overflow = Tokenize("99999999999999999999");
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kParseError);
+
+  Database db;
+  auto fact = Parse(".decl p(time)\n.fact p(99999999999999999999n).", &db);
+  ASSERT_FALSE(fact.ok());
+  EXPECT_EQ(fact.status().code(), StatusCode::kParseError);
+
+  // A constraint column reference too large for int64 (parser-side stoi).
+  auto column = Parse(
+      ".decl p(time)\n.fact p(3n) with T99999999999999999999 = 0.", &db);
+  ASSERT_FALSE(column.ok());
+  EXPECT_EQ(column.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, ParseDecimalInt64Bounds) {
+  auto v = ParseDecimalInt64("0");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 0);
+  EXPECT_FALSE(ParseDecimalInt64("").ok());
+  EXPECT_FALSE(ParseDecimalInt64("12a").ok());
+  EXPECT_FALSE(ParseDecimalInt64("9223372036854775808").ok());  // MAX + 1.
+}
+
 TEST(ParserTest, ZeroAryPredicates) {
   Database db;
   auto unit = Parse(R"(
