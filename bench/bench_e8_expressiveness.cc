@@ -37,38 +37,41 @@ std::string TemplogFor(int64_t first, int64_t period) {
          std::to_string(period) + " s :- s.\n";
 }
 
-// One full round trip; returns true if every representation agreed.
-bool RoundTrip(int64_t first, int64_t period) {
+// One full round trip. Returns true iff every representation agreed; an
+// engine failure (parse error, blown budget, governance trip) propagates as
+// its Status instead of masquerading as disagreement.
+lrpdb::StatusOr<bool> RoundTrip(int64_t first, int64_t period) {
   lrpdb::EventuallyPeriodicSet reference =
       lrpdb::EventuallyPeriodicSet::ArithmeticProgression(first, period);
 
   // lrp database.
   lrpdb::Database gdb;
-  auto unit = lrpdb::Parse(
-      ".decl s(time)\n.fact s(" + std::to_string(period) + "n+" +
-          std::to_string(first) + ") with T1 >= " + std::to_string(first) +
-          ".",
-      &gdb);
-  if (!unit.ok()) return false;
+  LRPDB_ASSIGN_OR_RETURN(
+      lrpdb::ParsedUnit unit,
+      lrpdb::Parse(".decl s(time)\n.fact s(" + std::to_string(period) + "n+" +
+                       std::to_string(first) +
+                       ") with T1 >= " + std::to_string(first) + ".",
+                   &gdb));
+  (void)unit;
   auto relation = gdb.Relation("s");
 
   // Datalog1S.
   lrpdb::Database db1;
-  auto ci = lrpdb::Parse(Datalog1SFor(first, period), &db1);
-  if (!ci.ok()) return false;
-  auto ci_model = lrpdb::EvaluateDatalog1S(ci->program, db1);
-  if (!ci_model.ok()) return false;
-  const lrpdb::EventuallyPeriodicSet& ci_set = ci_model->model.at("s").at({});
+  LRPDB_ASSIGN_OR_RETURN(lrpdb::ParsedUnit ci,
+                         lrpdb::Parse(Datalog1SFor(first, period), &db1));
+  LRPDB_ASSIGN_OR_RETURN(lrpdb::Datalog1SResult ci_model,
+                         lrpdb::EvaluateDatalog1S(ci.program, db1));
+  const lrpdb::EventuallyPeriodicSet& ci_set = ci_model.model.at("s").at({});
 
   // Templog.
-  auto templog = lrpdb::ParseTemplog(TemplogFor(first, period));
-  if (!templog.ok()) return false;
+  LRPDB_ASSIGN_OR_RETURN(auto templog,
+                         lrpdb::ParseTemplog(TemplogFor(first, period)));
   lrpdb::Database db2;
-  auto translated = lrpdb::TranslateToDatalog1S(*templog, &db2);
-  if (!translated.ok()) return false;
-  auto tl_model = lrpdb::EvaluateDatalog1S(*translated, db2);
-  if (!tl_model.ok()) return false;
-  const lrpdb::EventuallyPeriodicSet& tl_set = tl_model->model.at("s").at({});
+  LRPDB_ASSIGN_OR_RETURN(lrpdb::Program translated,
+                         lrpdb::TranslateToDatalog1S(templog, &db2));
+  LRPDB_ASSIGN_OR_RETURN(lrpdb::Datalog1SResult tl_model,
+                         lrpdb::EvaluateDatalog1S(translated, db2));
+  const lrpdb::EventuallyPeriodicSet& tl_set = tl_model.model.at("s").at({});
 
   // Pairwise equality, three different ways.
   if (ci_set != reference || tl_set != reference) return false;
@@ -98,10 +101,11 @@ void PrintRoundTripTable() {
   for (int i = 0; i < 12; ++i) {
     int64_t first = first_dist(rng);
     int64_t period = period_dist(rng);
-    bool equal = RoundTrip(first, period);
+    auto equal = RoundTrip(first, period);
+    if (!equal.ok()) lrpdb_bench::FailBench("e8", "round trip", equal.status());
     std::printf("%-10ld %-10ld %s\n", static_cast<long>(first),
-                static_cast<long>(period), equal ? "yes" : "NO");
-    passed += equal;
+                static_cast<long>(period), *equal ? "yes" : "NO");
+    passed += *equal;
     ++total;
   }
   std::printf("round trips verified: %d/%d\n\n", passed, total);
@@ -115,9 +119,10 @@ void PrintRoundTripTable() {
     even(t + 2) :- even(t).
   )",
                              &db);
-  LRPDB_CHECK(parity.ok());
+  lrpdb_bench::CheckBenchOk("e8", "parity parse", parity.status());
   auto model = lrpdb::EvaluateDatalog1S(parity->program, db);
-  LRPDB_CHECK(model.ok());
+  lrpdb_bench::CheckBenchOk("e8", "parity Datalog1S evaluation",
+                            model.status());
   std::printf("  parity (recursive, finitely regular, NOT star-free/FO): "
               "%s\n",
               model->model.at("even").at({}).ToString().c_str());
@@ -141,9 +146,10 @@ void PrintRoundTripTable() {
 void BM_RoundTrip(benchmark::State& state) {
   int64_t period = state.range(0);
   for (auto _ : state) {
-    bool equal = RoundTrip(5, period);
-    LRPDB_CHECK(equal);
-    benchmark::DoNotOptimize(equal);
+    auto equal = RoundTrip(5, period);
+    if (!equal.ok()) lrpdb_bench::FailBench("e8", "round trip", equal.status());
+    LRPDB_CHECK(*equal);
+    benchmark::DoNotOptimize(*equal);
   }
 }
 BENCHMARK(BM_RoundTrip)->Arg(5)->Arg(20)->Arg(40)->Arg(80);
@@ -158,7 +164,11 @@ void WriteReport() {
   report.Time("wall_ms_round_trips", [&] {
     LRPDB_TRACE_SPAN(span, "bench.e8.round_trips");
     for (int i = 0; i < kTotal; ++i) {
-      passed += RoundTrip(first_dist(rng), period_dist(rng));
+      auto equal = RoundTrip(first_dist(rng), period_dist(rng));
+      if (!equal.ok()) {
+        lrpdb_bench::FailBench("e8", "round trip", equal.status());
+      }
+      passed += *equal;
     }
   });
   report.Set("round_trips_passed", static_cast<int64_t>(passed));

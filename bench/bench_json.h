@@ -17,10 +17,12 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -29,6 +31,27 @@ namespace lrpdb_bench {
 // Bumped whenever the report shape changes incompatibly. Version 1 had no
 // schema_version field and no "metrics" object.
 inline constexpr int kBenchSchemaVersion = 2;
+
+// Aborts the bench with a diagnostic that names the failing step, the full
+// Status (governance codes -- DEADLINE_EXCEEDED / RESOURCE_EXHAUSTED /
+// CANCELLED -- surface by name, not as a bare `false`), and which
+// BENCH_<id>.json the failure poisons. Benches route every fallible step
+// through this instead of collapsing Status into bool, so a tripped budget
+// or an engine error is attributable from CI logs alone.
+[[noreturn]] inline void FailBench(const std::string& id,
+                                   const std::string& step,
+                                   const lrpdb::Status& status) {
+  std::fprintf(stderr, "bench %s: %s failed: %s\n  offending report: BENCH_%s.json\n",
+               id.c_str(), step.c_str(), status.ToString().c_str(),
+               id.c_str());
+  std::exit(1);
+}
+
+// FailBench unless `status` is OK.
+inline void CheckBenchOk(const std::string& id, const std::string& step,
+                         const lrpdb::Status& status) {
+  if (!status.ok()) FailBench(id, step, status);
+}
 
 class BenchReport {
  public:

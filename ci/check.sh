@@ -14,6 +14,11 @@
 #   ci/check.sh --format     additionally run clang-format --dry-run --Werror
 #                            over src/, tests/, and bench/ (skipped with a
 #                            note when clang-format is not installed)
+#   ci/check.sh --faults     fault-injection pass: build ASan and TSan trees
+#                            and run the governance + fault-injection suites
+#                            (exec_context/governance/fault_injection) under
+#                            both, with leak detection on. Standalone mode:
+#                            skips the plain build/ctest above.
 #
 # Flags compose; exit status is nonzero on any failure.
 set -euo pipefail
@@ -25,6 +30,7 @@ tsan=0
 bench=0
 lint=0
 format=0
+faults=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) sanitize=1 ;;
@@ -32,12 +38,39 @@ for arg in "$@"; do
     --bench) bench=1 ;;
     --lint) lint=1 ;;
     --format) format=1 ;;
+    --faults) faults=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
 if [[ "$sanitize" == 1 && "$tsan" == 1 ]]; then
   echo "--sanitize and --tsan are mutually exclusive" >&2
   exit 2
+fi
+
+if [[ "$faults" == 1 ]]; then
+  # The fault-injection pass owns its own sanitized trees; it does not
+  # compose with --sanitize/--tsan (those rerun the *full* suite instead).
+  if [[ "$sanitize" == 1 || "$tsan" == 1 ]]; then
+    echo "--faults already builds ASan and TSan trees; drop --sanitize/--tsan" >&2
+    exit 2
+  fi
+  # gtest_discover_tests registers suite-qualified names, so filter on the
+  # governance/fault suites themselves.
+  fault_filter='^(ExecContextTest|GovernanceTest|FailpointTest|FaultInjectionWalkTest)\.'
+  echo "== fault injection: ASan"
+  cmake -B build-asan -S . -DLRPDB_SANITIZE=ON
+  cmake --build build-asan -j"$(nproc)" --target \
+    exec_context_test governance_test fault_injection_test
+  ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="print_stacktrace=1" \
+    ctest --test-dir build-asan --output-on-failure -R "$fault_filter"
+  echo "== fault injection: TSan"
+  cmake -B build-tsan -S . -DLRPDB_SANITIZE=thread
+  cmake --build build-tsan -j"$(nproc)" --target \
+    exec_context_test governance_test fault_injection_test
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan --output-on-failure -R "$fault_filter"
+  echo "ci/check.sh --faults: fault-injection pass passed"
+  exit 0
 fi
 
 build_dir=build

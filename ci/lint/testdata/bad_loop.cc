@@ -1,0 +1,71 @@
+// lint-fixture-path: src/core/bad_loop.cc
+// Fixture: the loop-without-poll rule (governed dirs: src/core/,
+// src/datalog1s/). Unbounded loops must poll execution governance.
+#include "src/common/exec_context.h"
+#include "src/common/status.h"
+
+namespace lrpdb {
+
+int Step();
+
+void SpinsForever() {
+  while (true) {  // expect-lint: loop-without-poll
+    Step();
+  }
+}
+
+void ForEverForm() {
+  for (;;) {  // expect-lint: loop-without-poll
+    if (Step() == 0) break;
+  }
+}
+
+void RoundForm() {
+  for (int round = 1;; ++round) {  // expect-lint: loop-without-poll
+    if (Step() < round) break;
+  }
+}
+
+[[nodiscard]] Status GovernedWhile(ExecContext* exec) {
+  while (true) {
+    LRPDB_RETURN_IF_ERROR(exec->Poll());
+    if (Step() == 0) break;
+  }
+  return OkStatus();
+}
+
+[[nodiscard]] Status GovernedFor(ExecContext* exec) {
+  for (int round = 1;; ++round) {
+    LRPDB_RETURN_IF_ERROR(PollExec(exec));
+    if (Step() < round) break;
+  }
+  return OkStatus();
+}
+
+[[nodiscard]] Status NestedPollCoversOuter(ExecContext* exec) {
+  while (true) {
+    while (true) {
+      LRPDB_RETURN_IF_ERROR(exec->CheckNow());
+      if (Step() == 0) break;
+    }
+    if (Step() < 0) break;
+  }
+  return OkStatus();
+}
+
+void BoundedByConstruction() {
+  // Terminates after at most one orbit by construction (see caller).
+  // lint: allow(loop-without-poll)
+  while (true) {
+    if (Step() == 0) break;
+  }
+}
+
+void PlainBoundedLoopsAreFine() {
+  for (int i = 0; i < 10; ++i) Step();
+  while (Step() > 0) {
+    Step();
+  }
+}
+
+}  // namespace lrpdb

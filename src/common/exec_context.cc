@@ -1,0 +1,124 @@
+#include "src/common/exec_context.h"
+
+#include <string>
+
+namespace lrpdb {
+namespace {
+
+thread_local ExecContext* g_current_exec_context = nullptr;
+
+}  // namespace
+
+void ExecContext::set_deadline_after_us(int64_t micros) {
+  has_deadline_ = true;
+  deadline_ = std::chrono::steady_clock::now() +
+              std::chrono::microseconds(micros);
+}
+
+[[nodiscard]] Status ExecContext::TripStatus() const {
+  StatusCode code = trip_code();
+  std::string reason;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    reason = trip_reason_;
+  }
+  return Status(code, std::move(reason));
+}
+
+[[nodiscard]] Status ExecContext::Trip(StatusCode code, const std::string& reason) {
+  // First trip wins. Reason and code are published together under the
+  // mutex (the code store is release, and readers fetch the reason under
+  // the same mutex), so no reader can pair a code with a later reason.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (trip_code_.load(std::memory_order_relaxed) ==
+        static_cast<int>(StatusCode::kOk)) {
+      trip_reason_ = reason;
+      trip_code_.store(static_cast<int>(code), std::memory_order_release);
+    }
+  }
+  return TripStatus();
+}
+
+[[nodiscard]] Status ExecContext::CheckNow() {
+  if (tripped()) return TripStatus();
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    return Trip(StatusCode::kCancelled, "evaluation cancelled by caller");
+  }
+  if (step_quota_ > 0 && steps() > step_quota_) {
+    return Trip(StatusCode::kResourceExhausted,
+                "step quota exceeded (" + std::to_string(step_quota_) +
+                    " steps)");
+  }
+  if (tuple_budget_ > 0 &&
+      tuples_.load(std::memory_order_relaxed) > tuple_budget_) {
+    return Trip(StatusCode::kResourceExhausted,
+                "tuple budget exceeded (" + std::to_string(tuple_budget_) +
+                    " tuples)");
+  }
+  if (byte_budget_ > 0 &&
+      bytes_.load(std::memory_order_relaxed) > byte_budget_) {
+    return Trip(StatusCode::kResourceExhausted,
+                "byte budget exceeded (" + std::to_string(byte_budget_) +
+                    " bytes)");
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    return Trip(StatusCode::kDeadlineExceeded, "evaluation deadline exceeded");
+  }
+  return OkStatus();
+}
+
+[[nodiscard]] Status ExecContext::Poll() {
+  const int64_t calls = poll_calls_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (cancel_after_polls_ >= 0 && calls > cancel_after_polls_) Cancel();
+  if (calls % poll_stride_ == 0) return CheckNow();
+  // Between strides: still observe a recorded trip and cancellation — both
+  // are single relaxed loads — so unwinding and Cancel() stay prompt.
+  if (tripped()) return TripStatus();
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    return Trip(StatusCode::kCancelled, "evaluation cancelled by caller");
+  }
+  return OkStatus();
+}
+
+PartialResult ExecContext::partial() const {
+  PartialResult partial;
+  partial.trip = trip_code();
+  if (partial.tripped()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    partial.reason = trip_reason_;
+  }
+  partial.last_completed_round =
+      last_completed_round_.load(std::memory_order_relaxed);
+  partial.horizon_lower_bound =
+      horizon_lower_bound_.load(std::memory_order_relaxed);
+  partial.tuples_charged = tuples_charged();
+  partial.bytes_charged = bytes_charged();
+  partial.steps = steps();
+  partial.polls = polls();
+  return partial;
+}
+
+ExecContext* ExecContext::Current() { return g_current_exec_context; }
+
+void ExecContext::ChargeCurrentSteps(int64_t n) {
+  if (g_current_exec_context != nullptr) {
+    g_current_exec_context->ChargeSteps(n);
+  }
+}
+
+ExecContext::ScopedCurrent::ScopedCurrent(ExecContext* context)
+    : previous_(g_current_exec_context) {
+  g_current_exec_context = context;
+}
+
+ExecContext::ScopedCurrent::~ScopedCurrent() {
+  g_current_exec_context = previous_;
+}
+
+bool IsGovernanceTrip(const ExecContext* exec, const Status& status) {
+  return exec != nullptr && !status.ok() && exec->tripped() &&
+         status.code() == exec->trip_code();
+}
+
+}  // namespace lrpdb

@@ -1,0 +1,239 @@
+#include "src/common/failpoint.h"
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "src/common/exec_context.h"
+#include "src/common/thread_annotations.h"
+
+namespace lrpdb {
+namespace failpoint {
+namespace {
+
+struct PendingSpec {
+  Mode mode = Mode::kOff;
+  int64_t every_n = 1;
+};
+
+bool ParseEntry(const std::string& entry, std::string* name, Mode* mode,
+                int64_t* every_n) {
+  size_t eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  *name = entry.substr(0, eq);
+  std::string mode_str = entry.substr(eq + 1);
+  if (mode_str == "error-once") {
+    *mode = Mode::kErrorOnce;
+  } else if (mode_str == "error") {
+    *mode = Mode::kErrorAlways;
+  } else if (mode_str == "trip-budget") {
+    *mode = Mode::kTripBudget;
+  } else if (mode_str.rfind("error-every-", 0) == 0) {
+    std::string count = mode_str.substr(12);
+    if (count.empty()) return false;
+    int64_t n = 0;
+    for (char c : count) {
+      if (c < '0' || c > '9') return false;
+      n = n * 10 + (c - '0');
+      if (n > (int64_t{1} << 40)) return false;
+    }
+    if (n <= 0) return false;
+    *mode = Mode::kErrorEveryN;
+    *every_n = n;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// Process-wide registry. Function-local static so registration from other
+// translation units' static initializers is safe.
+class Registry {
+ public:
+  static Registry& Get() {
+    static Registry* registry = new Registry();  // lint: allow(naked-new)
+    return *registry;
+  }
+
+  Site* Register(const char* name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ApplyEnvLocked();
+    auto [it, inserted] =
+        sites_.try_emplace(name, std::make_unique<Site>(name));
+    Site* site = it->second.get();
+    if (inserted) {
+      auto pending = pending_.find(site->name);
+      if (pending != pending_.end()) {
+        ArmSite(site, pending->second.mode, pending->second.every_n);
+        pending_.erase(pending);
+      }
+    }
+    return site;
+  }
+
+  void Arm(const std::string& name, Mode mode, int64_t every_n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ApplyEnvLocked();
+    auto it = sites_.find(name);
+    if (it != sites_.end()) {
+      ArmSite(it->second.get(), mode, every_n);
+    } else {
+      pending_[name] = PendingSpec{mode, every_n};
+    }
+  }
+
+  void Disarm(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.erase(name);
+    auto it = sites_.find(name);
+    if (it != sites_.end()) {
+      it->second->armed.store(false, std::memory_order_relaxed);
+      it->second->mode.store(static_cast<int>(Mode::kOff),
+                             std::memory_order_relaxed);
+    }
+  }
+
+  void DisarmAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    env_applied_ = true;  // Explicit DisarmAll also cancels env arming.
+    pending_.clear();
+    for (auto& [unused, site] : sites_) {
+      site->armed.store(false, std::memory_order_relaxed);
+      site->mode.store(static_cast<int>(Mode::kOff),
+                       std::memory_order_relaxed);
+    }
+  }
+
+  std::vector<std::string> Names() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> names;
+    names.reserve(sites_.size());
+    for (const auto& [name, unused] : sites_) names.push_back(name);
+    return names;  // std::map iterates sorted.
+  }
+
+  int64_t Fires(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(name);
+    return it == sites_.end()
+               ? 0
+               : it->second->fires.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Registry() = default;
+
+  static void ArmSite(Site* site, Mode mode, int64_t every_n) {
+    site->mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+    site->every_n.store(every_n > 0 ? every_n : 1, std::memory_order_relaxed);
+    site->armed_hits.store(0, std::memory_order_relaxed);
+    site->fires.store(0, std::memory_order_relaxed);
+    site->armed.store(mode != Mode::kOff, std::memory_order_release);
+  }
+
+  void ApplyEnvLocked() LRPDB_EXCLUSIVE_LOCKS_REQUIRED(mu_) {
+    if (env_applied_) return;
+    env_applied_ = true;
+    const char* env = std::getenv("LRPDB_FAILPOINTS");
+    if (env == nullptr || env[0] == '\0') return;
+    // Malformed entries are skipped: fault injection must never make the
+    // process fail to start. Tests use ArmFromSpec for strict parsing.
+    std::string spec(env);
+    size_t pos = 0;
+    while (pos < spec.size()) {
+      size_t end = spec.find_first_of(";,", pos);
+      if (end == std::string::npos) end = spec.size();
+      std::string entry = spec.substr(pos, end - pos);
+      pos = end + 1;
+      Mode mode = Mode::kOff;
+      int64_t every_n = 1;
+      std::string name;
+      if (ParseEntry(entry, &name, &mode, &every_n)) {
+        pending_[name] = PendingSpec{mode, every_n};
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Site>> sites_ LRPDB_GUARDED_BY(mu_);
+  std::map<std::string, PendingSpec> pending_ LRPDB_GUARDED_BY(mu_);
+  bool env_applied_ LRPDB_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace
+
+Site* RegisterSite(const char* name) { return Registry::Get().Register(name); }
+
+[[nodiscard]] Status Hit(Site* site) {
+  const Mode mode =
+      static_cast<Mode>(site->mode.load(std::memory_order_relaxed));
+  const int64_t hit =
+      site->armed_hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  switch (mode) {
+    case Mode::kErrorOnce:
+      if (hit != 1) return OkStatus();
+      site->armed.store(false, std::memory_order_relaxed);
+      site->fires.fetch_add(1, std::memory_order_relaxed);
+      return InternalError("failpoint '" + site->name +
+                           "' injected error (error-once)");
+    case Mode::kErrorEveryN:
+      if (hit % site->every_n.load(std::memory_order_relaxed) != 0) {
+        return OkStatus();
+      }
+      site->fires.fetch_add(1, std::memory_order_relaxed);
+      return InternalError("failpoint '" + site->name +
+                           "' injected error (every-N)");
+    case Mode::kErrorAlways:
+      site->fires.fetch_add(1, std::memory_order_relaxed);
+      return InternalError("failpoint '" + site->name + "' injected error");
+    case Mode::kTripBudget: {
+      site->fires.fetch_add(1, std::memory_order_relaxed);
+      std::string reason =
+          "failpoint '" + site->name + "' tripped the budget";
+      if (ExecContext* exec = ExecContext::Current()) {
+        return exec->Trip(StatusCode::kResourceExhausted, reason);
+      }
+      return ResourceExhaustedError(std::move(reason));
+    }
+    case Mode::kOff:
+      return OkStatus();
+  }
+  return OkStatus();
+}
+
+void Arm(const std::string& name, Mode mode, int64_t every_n) {
+  Registry::Get().Arm(name, mode, every_n);
+}
+
+void Disarm(const std::string& name) { Registry::Get().Disarm(name); }
+
+void DisarmAll() { Registry::Get().DisarmAll(); }
+
+[[nodiscard]] Status ArmFromSpec(const std::string& spec) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find_first_of(";,", pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    std::string name;
+    Mode mode = Mode::kOff;
+    int64_t every_n = 1;
+    if (!ParseEntry(entry, &name, &mode, &every_n)) {
+      return InvalidArgumentError("bad failpoint spec entry: '" + entry +
+                                  "'");
+    }
+    Registry::Get().Arm(name, mode, every_n);
+  }
+  return OkStatus();
+}
+
+std::vector<std::string> RegisteredNames() { return Registry::Get().Names(); }
+
+int64_t Fires(const std::string& name) { return Registry::Get().Fires(name); }
+
+}  // namespace failpoint
+}  // namespace lrpdb

@@ -18,6 +18,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kParseError:
       return "PARSE_ERROR";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }
@@ -54,6 +58,12 @@ std::ostream& operator<<(std::ostream& os, const Status& status) {
 }
 [[nodiscard]] Status ParseError(std::string message) {
   return Status(StatusCode::kParseError, std::move(message));
+}
+[[nodiscard]] Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+[[nodiscard]] Status CancelledError(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
 }
 
 }  // namespace lrpdb

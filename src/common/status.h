@@ -30,6 +30,13 @@ enum class StatusCode {
   kUnimplemented,
   // Input text failed to parse.
   kParseError,
+  // The evaluation's ExecContext deadline elapsed before a fixpoint was
+  // reached. The evaluator surfaces a PartialResult alongside this code
+  // (exec_context.h).
+  kDeadlineExceeded,
+  // The caller cancelled the evaluation via ExecContext::Cancel(); like
+  // kDeadlineExceeded, a PartialResult accompanies it.
+  kCancelled,
 };
 
 // Returns the canonical spelling of `code` ("OK", "INVALID_ARGUMENT", ...).
@@ -76,6 +83,8 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 [[nodiscard]] Status ResourceExhaustedError(std::string message);
 [[nodiscard]] Status UnimplementedError(std::string message);
 [[nodiscard]] Status ParseError(std::string message);
+[[nodiscard]] Status DeadlineExceededError(std::string message);
+[[nodiscard]] Status CancelledError(std::string message);
 
 }  // namespace lrpdb
 

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "src/common/exec_context.h"
+
 namespace lrpdb {
 
 std::string Bound::ToString() const {
@@ -56,6 +58,10 @@ void Dbm::ShiftVariable(int i, int64_t c) {
 void Dbm::EnsureClosed() const {
   if (closed_) return;
   int n = num_vars_ + 1;
+  // Closure cannot unwind through Status (memoized, const-called). Charge
+  // its n^3 work to the ambient ExecContext so a step quota still sees it;
+  // the trip surfaces at the caller's next poll site.
+  ExecContext::ChargeCurrentSteps(static_cast<int64_t>(n) * n * n);
   for (int k = 0; k < n; ++k) {
     for (int i = 0; i < n; ++i) {
       Bound ik = bounds_[i * n + k];

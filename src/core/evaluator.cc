@@ -6,6 +6,7 @@
 #include <set>
 #include <utility>
 
+#include "src/common/failpoint.h"
 #include "src/gdb/algebra.h"
 
 #include "src/gdb/normalized_tuple.h"
@@ -132,6 +133,8 @@ struct AtomSource {
                    const NormalizeLimits& limits, StoreStats* stats,
                    std::vector<GeneralizedTuple>* candidates) {
   if (clause.always_false) return OkStatus();
+  LRPDB_FAILPOINT("evaluator.apply_clause");
+  ExecContext* exec = limits.exec;
   std::vector<Binding> frontier;
   frontier.emplace_back(clause.num_temporal_vars, clause.num_data_vars,
                         clause.constraint);
@@ -149,7 +152,11 @@ struct AtomSource {
     }
     std::vector<Binding> next;
     std::vector<TupleStore::DataRequirement> requirements;
+    // ForEachCandidate's callback cannot return a Status; a poll failure is
+    // parked here and short-circuits the remaining candidates.
+    Status poll_status = OkStatus();
     for (const Binding& binding : frontier) {
+      LRPDB_RETURN_IF_ERROR(PollExec(exec));
       requirements = base_requirements;
       for (size_t k = 0; k < atom.data_args.size(); ++k) {
         const NormalizedDataArg& arg = atom.data_args[k];
@@ -160,17 +167,22 @@ struct AtomSource {
       }
       store.ForEachCandidate(
           requirements, sources[a].generation, stats, [&](EntryId id) {
+            if (!poll_status.ok()) return;
+            poll_status = PollExec(exec);
+            if (!poll_status.ok()) return;
             Binding extended = binding;
             if (UnifyTuple(atom, store.tuple(id), &extended)) {
               next.push_back(std::move(extended));
             }
           });
+      LRPDB_RETURN_IF_ERROR(poll_status);
     }
     frontier = std::move(next);
     if (frontier.empty()) return OkStatus();
   }
   // Project each surviving binding onto the head.
   for (const Binding& binding : frontier) {
+    LRPDB_RETURN_IF_ERROR(PollExec(exec));
     // Full binding tuple over all clause temporal variables; unset lrps
     // default to Z (period 1).
     std::vector<Lrp> lrps(clause.num_temporal_vars);
@@ -235,8 +247,9 @@ class RelationResolver {
     if (it != complements_.end()) return &it->second;
     LRPDB_ASSIGN_OR_RETURN(const GeneralizedRelation* relation,
                            Resolve(predicate, is_intensional));
-    LRPDB_ASSIGN_OR_RETURN(std::vector<std::vector<DataValue>> universe,
-                           DataUniverse(relation->schema().data_arity));
+    LRPDB_ASSIGN_OR_RETURN(
+        std::vector<std::vector<DataValue>> universe,
+        DataUniverse(relation->schema().data_arity, limits));
     LRPDB_ASSIGN_OR_RETURN(GeneralizedRelation complement,
                            Complement(*relation, universe, limits));
     auto [inserted, unused] =
@@ -251,7 +264,8 @@ class RelationResolver {
   }
 
  private:
-  [[nodiscard]] StatusOr<std::vector<std::vector<DataValue>>> DataUniverse(int arity) const {
+  [[nodiscard]] StatusOr<std::vector<std::vector<DataValue>>> DataUniverse(
+      int arity, const NormalizeLimits& limits) const {
     constexpr int64_t kMaxRows = 65536;
     std::vector<std::vector<DataValue>> rows;
     if (arity == 0) {
@@ -269,6 +283,7 @@ class RelationResolver {
     std::vector<size_t> index(arity, 0);
     if (active_domain_.empty()) return rows;
     while (true) {
+      LRPDB_RETURN_IF_ERROR(PollExec(limits.exec));
       std::vector<DataValue> row(arity);
       for (int i = 0; i < arity; ++i) row[i] = active_domain_[index[i]];
       rows.push_back(std::move(row));
@@ -398,6 +413,14 @@ std::string EvaluationResult::Explain() const {
                                     const EvaluationOptions& options) {
   const SteadyTime eval_start = Now();
   LRPDB_TRACE_SPAN(eval_span, "eval.run");
+  LRPDB_FAILPOINT("evaluator.evaluate");
+  ExecContext* exec =
+      options.exec != nullptr ? options.exec : options.limits.exec;
+  NormalizeLimits limits = options.limits;
+  limits.exec = exec;
+  // Layers whose signatures cannot carry the context (DBM closure inside
+  // const queries) charge the ambient thread-local context instead.
+  ExecContext::ScopedCurrent scoped_exec(exec);
   EvaluationResult result;
   const SteadyTime normalize_start = Now();
   LRPDB_ASSIGN_OR_RETURN(NormalizedProgram normalized, Normalize(program));
@@ -456,6 +479,29 @@ std::string EvaluationResult::Explain() const {
 
   int last_new_fe_round = 0;
   int total_rounds = 0;
+  // Graceful degradation: `trip` is this context's sticky governance status
+  // (deadline / budget / cancellation). The result keeps the sound model of
+  // the rounds completed so far, annotated with the trip snapshot; callers
+  // return `result` immediately after. The in-band shape matches the
+  // existing max_iterations/fes_patience give-ups; Evaluator::Run()
+  // converts it into an error Status.
+  auto degrade = [&](const Status& trip) {
+    result.free_extension_safe_at = last_new_fe_round;
+    result.gave_up_reason = trip.ToString();
+    result.partial = exec->partial();
+    switch (trip.code()) {
+      case StatusCode::kCancelled:
+        LRPDB_COUNTER_INC("exec.cancelled");
+        break;
+      case StatusCode::kDeadlineExceeded:
+        LRPDB_COUNTER_INC("exec.deadline_exceeded");
+        break;
+      default:
+        LRPDB_COUNTER_INC("exec.resource_exhausted");
+        break;
+    }
+    finalize();
+  };
   for (int stratum = 0; stratum <= max_stratum; ++stratum) {
     const int stratum_start = total_rounds;
     for (int round = 1;; ++round) {
@@ -465,6 +511,20 @@ std::string EvaluationResult::Explain() const {
         result.free_extension_safe_at = last_new_fe_round;
         finalize();
         return result;
+      }
+      if (exec != nullptr) {
+        if (total_rounds + 1 > exec->max_rounds()) {
+          degrade(exec->Trip(StatusCode::kResourceExhausted,
+                             "ExecContext max_rounds (" +
+                                 std::to_string(exec->max_rounds()) +
+                                 ") reached"));
+          return result;
+        }
+        Status round_check = exec->CheckNow();
+        if (!round_check.ok()) {
+          degrade(round_check);
+          return result;
+        }
       }
       ++total_rounds;
       // Collect candidates against the state at round start. The stores'
@@ -502,10 +562,17 @@ std::string EvaluationResult::Explain() const {
         for (size_t a = 0; a < clause.body.size(); ++a) {
           const NormalizedBodyAtom& atom = clause.body[a];
           if (atom.negated) {
-            LRPDB_ASSIGN_OR_RETURN(
-                sources[a].relation,
+            StatusOr<const GeneralizedRelation*> negated =
                 resolver.ResolveNegated(atom.predicate, atom.is_intensional,
-                                        options.limits));
+                                        limits);
+            if (!negated.ok()) {
+              if (!IsGovernanceTrip(exec, negated.status())) {
+                return negated.status();
+              }
+              degrade(negated.status());
+              return result;
+            }
+            sources[a].relation = *negated;
           } else {
             LRPDB_ASSIGN_OR_RETURN(
                 sources[a].relation,
@@ -520,9 +587,13 @@ std::string EvaluationResult::Explain() const {
         std::vector<GeneralizedTuple> clause_candidates;
         if (!options.semi_naive || round == 1 || recursive == 0) {
           ++rule_profile.applications;
-          LRPDB_RETURN_IF_ERROR(ApplyClause(clause, sources, options.limits,
-                                            &stats.store,
-                                            &clause_candidates));
+          Status applied = ApplyClause(clause, sources, limits, &stats.store,
+                                       &clause_candidates);
+          if (!applied.ok()) {
+            if (!IsGovernanceTrip(exec, applied)) return applied;
+            degrade(applied);
+            return result;
+          }
         } else {
           for (size_t pivot = 0; pivot < clause.body.size(); ++pivot) {
             const NormalizedBodyAtom& atom = clause.body[pivot];
@@ -534,9 +605,13 @@ std::string EvaluationResult::Explain() const {
             std::vector<AtomSource> pivot_sources = sources;
             pivot_sources[pivot].generation = TupleStore::Generation::kDelta;
             ++rule_profile.applications;
-            LRPDB_RETURN_IF_ERROR(ApplyClause(clause, pivot_sources,
-                                              options.limits, &stats.store,
-                                              &clause_candidates));
+            Status applied = ApplyClause(clause, pivot_sources, limits,
+                                         &stats.store, &clause_candidates);
+            if (!applied.ok()) {
+              if (!IsGovernanceTrip(exec, applied)) return applied;
+              degrade(applied);
+              return result;
+            }
           }
         }
         rule_profile.derivations +=
@@ -562,18 +637,26 @@ std::string EvaluationResult::Explain() const {
         GeneralizedRelation& relation = result.idb.at(name);
         RuleProfile& rule_profile = result.profile.rules[clause_index];
         InsertOutcome outcome;
+        {
+          StatusOr<InsertOutcome> outcome_or =
+              options.record_trace
+                  ? relation.mutable_store().Insert(tuple, limits,
+                                                    &stats.store)
+                  : relation.mutable_store().Insert(std::move(tuple), limits,
+                                                    &stats.store);
+          if (!outcome_or.ok()) {
+            if (!IsGovernanceTrip(exec, outcome_or.status())) {
+              return outcome_or.status();
+            }
+            degrade(outcome_or.status());
+            return result;
+          }
+          outcome = *std::move(outcome_or);
+        }
         if (options.record_trace) {
-          LRPDB_ASSIGN_OR_RETURN(
-              outcome, relation.mutable_store().Insert(tuple, options.limits,
-                                                       &stats.store));
           result.trace.push_back(TraceEntry{total_rounds, clause_index, name,
                                             std::move(tuple),
                                             outcome.inserted});
-        } else {
-          LRPDB_ASSIGN_OR_RETURN(
-              outcome, relation.mutable_store().Insert(std::move(tuple),
-                                                       options.limits,
-                                                       &stats.store));
         }
         if (outcome.inserted) {
           grew = true;
@@ -606,6 +689,7 @@ std::string EvaluationResult::Explain() const {
       round_span.AddArg("inserted", stats.inserted);
       round_span.AddArg("delta_tuples", stats.delta_tuples);
       result.rounds.push_back(stats);
+      if (exec != nullptr) exec->ReportCompletedRound(total_rounds);
       if (!grew) break;  // This stratum reached its fixpoint.
       if (total_rounds - std::max(last_new_fe_round, stratum_start) >=
           options.fes_patience) {
@@ -622,21 +706,32 @@ std::string EvaluationResult::Explain() const {
   result.reached_fixpoint = true;
   result.free_extension_safe_at = last_new_fe_round;
   if (options.compact_results) {
-    for (auto& [name, relation] : result.idb) {
-      std::vector<GeneralizedTuple> tuples;
-      tuples.reserve(relation.size());
-      for (size_t i = 0; i < relation.size(); ++i) {
-        tuples.push_back(relation.tuple(i));
+    auto compact = [&]() -> Status {
+      LRPDB_FAILPOINT("evaluator.compact");
+      for (auto& [name, relation] : result.idb) {
+        std::vector<GeneralizedTuple> tuples;
+        tuples.reserve(relation.size());
+        for (size_t i = 0; i < relation.size(); ++i) {
+          tuples.push_back(relation.tuple(i));
+        }
+        LRPDB_ASSIGN_OR_RETURN(tuples,
+                               CoalesceTuples(std::move(tuples), limits));
+        GeneralizedRelation compacted(relation.schema());
+        for (GeneralizedTuple& t : tuples) {
+          LRPDB_RETURN_IF_ERROR(
+              compacted.InsertIfNew(std::move(t), limits).status());
+        }
+        relation = std::move(compacted);
       }
-      LRPDB_ASSIGN_OR_RETURN(tuples,
-                             CoalesceTuples(std::move(tuples),
-                                            options.limits));
-      GeneralizedRelation compacted(relation.schema());
-      for (GeneralizedTuple& t : tuples) {
-        LRPDB_RETURN_IF_ERROR(
-            compacted.InsertIfNew(std::move(t), options.limits).status());
-      }
-      relation = std::move(compacted);
+      return OkStatus();
+    };
+    Status compacted = compact();
+    if (!compacted.ok()) {
+      if (!IsGovernanceTrip(exec, compacted)) return compacted;
+      // The model itself is already exact; only its compaction was cut
+      // short, so reached_fixpoint deliberately stays true.
+      degrade(compacted);
+      return result;
     }
   }
   finalize();
@@ -647,6 +742,11 @@ std::string EvaluationResult::Explain() const {
   if (result_.has_value()) return OkStatus();
   LRPDB_ASSIGN_OR_RETURN(EvaluationResult result,
                          Evaluate(program_, db_, options_));
+  if (result.partial.tripped()) {
+    Status trip = Status(result.partial.trip, result.partial.reason);
+    partial_ = std::move(result);
+    return trip;
+  }
   result_ = std::move(result);
   return OkStatus();
 }
@@ -656,11 +756,23 @@ const EvaluationResult& Evaluator::Result() const {
   return *result_;
 }
 
+const EvaluationResult& Evaluator::Partial() const {
+  LRPDB_CHECK(partial_.has_value())
+      << "Evaluator::Run() did not trip a governance limit";
+  return *partial_;
+}
+
 [[nodiscard]] StatusOr<GeneralizedRelation> QueryAtom(const Program& program,
                                         const Database& db,
                                         const EvaluationResult& result,
                                         const PredicateAtom& query,
                                         const EvaluationOptions& options) {
+  LRPDB_FAILPOINT("evaluator.query_atom");
+  ExecContext* exec =
+      options.exec != nullptr ? options.exec : options.limits.exec;
+  NormalizeLimits limits = options.limits;
+  limits.exec = exec;
+  ExecContext::ScopedCurrent scoped_exec(exec);
   // Build a one-atom synthetic clause whose head lists the query's distinct
   // variables, then reuse ApplyClause.
   NormalizedClause clause;
@@ -719,13 +831,13 @@ const EvaluationResult& Evaluator::Result() const {
 
   std::vector<GeneralizedTuple> candidates;
   LRPDB_RETURN_IF_ERROR(
-      ApplyClause(clause, sources, options.limits, nullptr, &candidates));
+      ApplyClause(clause, sources, limits, nullptr, &candidates));
   GeneralizedRelation answers(
       {static_cast<int>(clause.head_temporal_vars.size()),
        static_cast<int>(clause.head_data.size())});
   for (GeneralizedTuple& t : candidates) {
     LRPDB_RETURN_IF_ERROR(
-        answers.InsertIfNew(std::move(t), options.limits).status());
+        answers.InsertIfNew(std::move(t), limits).status());
   }
   return answers;
 }

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "src/ast/ast.h"
+#include "src/common/exec_context.h"
 #include "src/common/statusor.h"
 #include "src/core/normalizer.h"
 #include "src/gdb/database.h"
@@ -63,6 +64,17 @@ struct EvaluationOptions {
   // back to the brute-force linear-scan reference path (identical results;
   // exists for differential testing and ablation).
   bool indexed_storage = true;
+  // Optional execution governance: deadline, tuple/byte budgets, step
+  // quota, cooperative cancellation (src/common/exec_context.h). Not
+  // owned; must outlive the evaluation. When a limit trips, Evaluate()
+  // degrades gracefully: it returns OK with reached_fixpoint == false and
+  // EvaluationResult::partial describing the trip, while Evaluator::Run()
+  // converts the trip into its Status (kDeadlineExceeded / kCancelled /
+  // kResourceExhausted) and exposes the partial model via Partial(). The
+  // context also caps rounds at ExecContext::max_rounds() (default
+  // kDefaultMaxRounds) on top of max_iterations above. Setting
+  // limits.exec directly is equivalent; this field wins if both are set.
+  ExecContext* exec = nullptr;
 };
 
 // One candidate head tuple derivation.
@@ -149,6 +161,12 @@ struct EvaluationResult {
   // integer adds per round, independent of the obs layer); the *_us timings
   // follow LRPDB_NO_METRICS and read as 0 in uninstrumented builds.
   EvalProfile profile;
+  // Governance trip report (partial.tripped() is false on ungoverned runs
+  // and on runs that finished within their limits). When set, `idb` holds
+  // the sound partial model of the last completed rounds: every tuple in it
+  // is in the least fixpoint, and rounds/profile explain where the budget
+  // went.
+  PartialResult partial;
 
   // Convenience lookup; CHECK-fails on unknown predicate.
   const GeneralizedRelation& Relation(const std::string& name) const;
@@ -165,8 +183,10 @@ struct EvaluationResult {
 
 // Evaluates `program` bottom-up over the extensional database `db`.
 // Exceeding max_iterations/fes_patience is reported in-band
-// (reached_fixpoint == false); a Status error indicates an invalid program
-// or a blown normalization budget.
+// (reached_fixpoint == false); so is a governance trip from options.exec
+// (reached_fixpoint == false and result.partial.tripped()), preserving the
+// sound partial model. A Status error indicates an invalid program or a
+// blown normalization budget.
 [[nodiscard]] StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
                                     const EvaluationOptions& options =
                                         EvaluationOptions());
@@ -180,7 +200,10 @@ class Evaluator {
             EvaluationOptions options = EvaluationOptions())
       : program_(program), db_(db), options_(std::move(options)) {}
 
-  // Evaluates the program (idempotent: later calls are no-ops).
+  // Evaluates the program (idempotent: later calls are no-ops). When the
+  // options carry an ExecContext and a governance limit trips, returns that
+  // trip's code (kDeadlineExceeded / kCancelled / kResourceExhausted) and
+  // stores the degraded result under Partial() instead of Result().
   [[nodiscard]] Status Run();
 
   bool has_run() const { return result_.has_value(); }
@@ -189,11 +212,19 @@ class Evaluator {
   const EvalProfile& Profile() const { return Result().profile; }
   std::string Explain() const { return Result().Explain(); }
 
+  // Graceful-degradation accessors: the partial model saved when Run()
+  // returned a governance error. partial().partial carries the trip code,
+  // the last completed round, and the resource accounting.
+  bool has_partial() const { return partial_.has_value(); }
+  // CHECK-fail unless has_partial().
+  const EvaluationResult& Partial() const;
+
  private:
   const Program& program_;
   const Database& db_;
   EvaluationOptions options_;
   std::optional<EvaluationResult> result_;
+  std::optional<EvaluationResult> partial_;
 };
 
 // Evaluates a single query atom against the computed model (IDB) plus the

@@ -3,6 +3,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/failpoint.h"
 #include "src/core/normalizer.h"
 
 namespace lrpdb {
@@ -68,6 +69,9 @@ bool UnifyGround(const NormalizedBodyAtom& atom, const GroundTuple& fact,
 [[nodiscard]] StatusOr<GroundEvaluationResult> EvaluateGround(
     const Program& program, const Database& db,
     const GroundEvaluationOptions& options) {
+  LRPDB_FAILPOINT("ground.evaluate");
+  ExecContext* exec = options.exec;
+  ExecContext::ScopedCurrent scoped_exec(exec);
   LRPDB_ASSIGN_OR_RETURN(NormalizedProgram normalized, Normalize(program));
   using StrataMap = std::map<SymbolId, int>;
   LRPDB_ASSIGN_OR_RETURN(StrataMap strata, program.Stratify());
@@ -108,6 +112,15 @@ bool UnifyGround(const NormalizedBodyAtom& atom, const GroundTuple& fact,
   // stores' delta generations (facts inserted in the previous round).
   for (int stratum = 0; stratum <= max_stratum; ++stratum) {
   for (int round = 1;; ++round) {
+    if (exec != nullptr) {
+      LRPDB_RETURN_IF_ERROR(exec->CheckNow());
+      if (result.iterations + 1 > exec->max_rounds()) {
+        return exec->Trip(StatusCode::kResourceExhausted,
+                          "ExecContext max_rounds (" +
+                              std::to_string(exec->max_rounds()) +
+                              ") reached in ground evaluation");
+      }
+    }
     bool grew = false;
     for (const NormalizedClause& clause : normalized.clauses) {
       if (clause.always_false) continue;
@@ -152,6 +165,7 @@ bool UnifyGround(const NormalizedBodyAtom& atom, const GroundTuple& fact,
           size_t hi = delta_only ? facts->delta_hi() : facts->size();
           std::vector<GroundBinding> next;
           for (const GroundBinding& binding : frontier) {
+            LRPDB_RETURN_IF_ERROR(PollExec(exec));
             for (size_t fi = lo; fi < hi; ++fi) {
               const GroundTuple& fact = facts->fact(fi);
               GroundBinding extended = binding;
@@ -200,6 +214,7 @@ bool UnifyGround(const NormalizedBodyAtom& atom, const GroundTuple& fact,
         // Heads. Head variables not bound by the body range over the whole
         // window (they are only DBM-constrained); enumerate them.
         for (GroundBinding& binding : frontier) {
+          LRPDB_RETURN_IF_ERROR(PollExec(exec));
           std::vector<int> free_vars;
           for (int v : clause.head_temporal_vars) {
             // Head vars are always fresh; they are pinned by equalities in
@@ -258,9 +273,16 @@ bool UnifyGround(const NormalizedBodyAtom& atom, const GroundTuple& fact,
               fact.data.push_back(*binding.data[arg.variable]);
             }
           }
+          const int64_t fact_bytes =
+              static_cast<int64_t>(fact.times.size() + fact.data.size()) * 8 +
+              48;
           if (head_facts.Insert(std::move(fact))) {
             grew = true;
             ++result.facts_derived;
+            if (exec != nullptr) {
+              exec->ChargeTuples(1);
+              exec->ChargeBytes(fact_bytes);
+            }
             if (result.facts_derived > options.max_facts) {
               return ResourceExhaustedError(
                   "ground evaluation exceeded max_facts");
@@ -270,6 +292,7 @@ bool UnifyGround(const NormalizedBodyAtom& atom, const GroundTuple& fact,
       }
     }
     result.iterations += 1;
+    if (exec != nullptr) exec->ReportCompletedRound(result.iterations);
     // This round's inserts become the next round's delta generations.
     for (auto& [unused, store] : result.idb) store.AdvanceGeneration();
     if (!grew) break;  // Stratum fixpoint.

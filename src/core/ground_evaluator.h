@@ -18,6 +18,7 @@
 #include <string>
 
 #include "src/ast/ast.h"
+#include "src/common/exec_context.h"
 #include "src/common/statusor.h"
 #include "src/gdb/database.h"
 
@@ -28,6 +29,12 @@ struct GroundEvaluationOptions {
   int64_t window_hi = 1000;
   // Safety valve on total derived facts.
   int64_t max_facts = 10'000'000;
+  // Optional execution governance (deadline / budgets / cancellation); not
+  // owned, must outlive the evaluation. The join and head loops poll it,
+  // and derived facts charge its tuple/byte budgets; a trip unwinds as that
+  // context's governance Status (the window model is discarded — callers
+  // needing degradation read ExecContext::partial() for the accounting).
+  ExecContext* exec = nullptr;
 };
 
 struct GroundEvaluationResult {

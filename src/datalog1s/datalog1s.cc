@@ -4,6 +4,8 @@
 #include <optional>
 #include <set>
 
+#include "src/common/exec_context.h"
+#include "src/common/failpoint.h"
 #include "src/core/ground_evaluator.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -215,7 +217,8 @@ struct WindowModel {
 
 [[nodiscard]] StatusOr<WindowModel> EvaluateWindow(const Program& program,
                                      const Database& db, int64_t horizon,
-                                     int64_t max_facts) {
+                                     int64_t max_facts, ExecContext* exec) {
+  LRPDB_FAILPOINT("datalog1s.window");
   LRPDB_COUNTER_INC("datalog1s.window_evals");
   LRPDB_TRACE_SPAN(span, "datalog1s.window");
   span.AddArg("horizon", horizon);
@@ -224,6 +227,7 @@ struct WindowModel {
   options.window_lo = 0;
   options.window_hi = horizon;
   options.max_facts = max_facts;
+  options.exec = exec;
   LRPDB_ASSIGN_OR_RETURN(GroundEvaluationResult ground,
                          EvaluateGround(program, db, options));
   WindowModel window;
@@ -283,10 +287,15 @@ Datalog1SResult BuildCandidate(const WindowModel& window, int64_t offset,
 }
 
 // Exact closure check of the candidate under every clause (certification
-// step (b); step (a) -- facts -- is the empty-body special case).
-bool IsClosed(const Program& program, const Database& db,
-              const Datalog1SResult& candidate, int64_t offset,
-              int64_t period) {
+// step (b); step (a) -- facts -- is the empty-body special case). Polls
+// `exec` once per checked time instant, so deadlines and cancellation cut
+// into long certification sweeps, not just window evaluation.
+[[nodiscard]] StatusOr<bool> IsClosed(const Program& program,
+                                      const Database& db,
+                                      const Datalog1SResult& candidate,
+                                      int64_t offset, int64_t period,
+                                      ExecContext* exec) {
+  LRPDB_FAILPOINT("datalog1s.closure");
   LRPDB_COUNTER_INC("datalog1s.closure_checks");
   LRPDB_TRACE_SPAN(span, "datalog1s.closure_check");
   span.AddArg("offset", offset);
@@ -334,6 +343,7 @@ bool IsClosed(const Program& program, const Database& db,
     }
     int64_t instants = has_variable ? t_max : 1;
     for (int64_t t = 0; t < instants; ++t) {
+      LRPDB_RETURN_IF_ERROR(PollExec(exec));
       if (!ClosedAt(oracle, program, clause, t, candidate)) return false;
     }
   }
@@ -377,12 +387,29 @@ bool MatchesWindow(const Datalog1SResult& candidate,
                                             const Database& db,
                                             const Datalog1SOptions& options) {
   LRPDB_RETURN_IF_ERROR(ValidateDatalog1S(program));
+  LRPDB_FAILPOINT("datalog1s.evaluate");
   LRPDB_TRACE_SPAN(eval_span, "datalog1s.evaluate");
+  ExecContext* exec = options.exec;
+  ExecContext::ScopedCurrent scoped_exec(exec);
   int64_t horizon = options.initial_horizon;
   LRPDB_ASSIGN_OR_RETURN(
       WindowModel window,
-      EvaluateWindow(program, db, horizon, options.max_facts));
+      EvaluateWindow(program, db, horizon, options.max_facts, exec));
+  if (exec != nullptr) exec->ReportHorizonLowerBound(horizon);
+  int64_t doublings = 0;
   while (true) {
+    if (exec != nullptr) {
+      // One governance check per doubling round: cheap against the window
+      // evaluations, and the per-binding polls inside EvaluateGround cover
+      // the expensive inner work.
+      LRPDB_RETURN_IF_ERROR(exec->CheckNow());
+      if (doublings >= exec->max_rounds()) {
+        return exec->Trip(StatusCode::kResourceExhausted,
+                          "ExecContext max_rounds (" +
+                              std::to_string(exec->max_rounds()) +
+                              ") reached in Datalog1S horizon doubling");
+      }
+    }
     if (horizon * 2 > options.max_horizon) {
       return ResourceExhaustedError(
           "Datalog1S evaluation exceeded max_horizon without certifying a "
@@ -390,15 +417,18 @@ bool MatchesWindow(const Datalog1SResult& candidate,
     }
     LRPDB_ASSIGN_OR_RETURN(
         WindowModel confirm,
-        EvaluateWindow(program, db, horizon * 2, options.max_facts));
+        EvaluateWindow(program, db, horizon * 2, options.max_facts, exec));
+    if (exec != nullptr) exec->ReportHorizonLowerBound(horizon * 2);
     std::optional<std::pair<int64_t, int64_t>> detected =
         DetectPeriodicity(window);
     if (detected.has_value()) {
       LRPDB_COUNTER_INC("datalog1s.periods_detected");
       auto [offset, period] = *detected;
       Datalog1SResult candidate = BuildCandidate(window, offset, period);
-      if (IsClosed(program, db, candidate, offset, period) &&
-          MatchesWindow(candidate, confirm)) {
+      LRPDB_ASSIGN_OR_RETURN(
+          bool closed,
+          IsClosed(program, db, candidate, offset, period, exec));
+      if (closed && MatchesWindow(candidate, confirm)) {
         candidate.horizon = horizon;
         LRPDB_GAUGE_SET("datalog1s.certified_horizon", horizon);
         eval_span.AddArg("horizon", horizon);
@@ -408,6 +438,7 @@ bool MatchesWindow(const Datalog1SResult& candidate,
     }
     window = std::move(confirm);
     horizon *= 2;
+    ++doublings;
     LRPDB_COUNTER_INC("datalog1s.horizon_doublings");
   }
 }

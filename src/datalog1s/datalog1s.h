@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "src/ast/ast.h"
+#include "src/common/exec_context.h"
 #include "src/common/statusor.h"
 #include "src/gdb/database.h"
 #include "src/lrp/periodic_set.h"
@@ -45,6 +46,13 @@ struct Datalog1SOptions {
   int64_t initial_horizon = 256;
   int64_t max_horizon = int64_t{1} << 22;
   int64_t max_facts = 50'000'000;
+  // Optional execution governance (src/common/exec_context.h). Not owned;
+  // must outlive the evaluation. A trip unwinds EvaluateDatalog1S as an
+  // error Status; the context's partial() then reports the largest horizon
+  // whose ground model was fully evaluated (horizon_lower_bound) -- a
+  // certified lower bound on the explicit form even though no periodic
+  // candidate was accepted. max_rounds() caps horizon doublings.
+  ExecContext* exec = nullptr;
 };
 
 // The explicit form of the minimal model.

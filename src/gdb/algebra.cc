@@ -5,6 +5,8 @@
 #include <set>
 #include <string>
 
+#include "src/common/exec_context.h"
+#include "src/common/failpoint.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -52,9 +54,11 @@ std::optional<GeneralizedTuple> IntersectTuples(const GeneralizedTuple& a,
     return InvalidArgumentError("gdb.intersect: schema mismatch");
   }
   LRPDB_OPERATOR_SCOPE(op, "gdb.intersect", a.size() + b.size());
+  LRPDB_FAILPOINT("algebra.intersect");
   GeneralizedRelation out(a.schema());
   for (size_t i = 0; i < a.size(); ++i) {
     for (size_t j = 0; j < b.size(); ++j) {
+      LRPDB_RETURN_IF_ERROR(PollExec(limits.exec));
       std::optional<GeneralizedTuple> t = IntersectTuples(a.tuple(i),
                                                           b.tuple(j));
       if (!t.has_value()) continue;
@@ -72,11 +76,14 @@ std::optional<GeneralizedTuple> IntersectTuples(const GeneralizedTuple& a,
     return InvalidArgumentError("gdb.union: schema mismatch");
   }
   LRPDB_OPERATOR_SCOPE(op, "gdb.union", a.size() + b.size());
+  LRPDB_FAILPOINT("algebra.union");
   GeneralizedRelation out(a.schema());
   for (size_t i = 0; i < a.size(); ++i) {
+    LRPDB_RETURN_IF_ERROR(PollExec(limits.exec));
     LRPDB_RETURN_IF_ERROR(out.InsertIfNew(a.tuple(i), limits).status());
   }
   for (size_t i = 0; i < b.size(); ++i) {
+    LRPDB_RETURN_IF_ERROR(PollExec(limits.exec));
     LRPDB_RETURN_IF_ERROR(out.InsertIfNew(b.tuple(i), limits).status());
   }
   op.set_output(static_cast<int64_t>(out.size()));
@@ -90,8 +97,10 @@ std::optional<GeneralizedTuple> IntersectTuples(const GeneralizedTuple& a,
     return InvalidArgumentError("gdb.difference: schema mismatch");
   }
   LRPDB_OPERATOR_SCOPE(op, "gdb.difference", a.size() + b.size());
+  LRPDB_FAILPOINT("algebra.difference");
   GeneralizedRelation out(a.schema());
   for (size_t i = 0; i < a.size(); ++i) {
+    LRPDB_RETURN_IF_ERROR(PollExec(limits.exec));
     // Subtract only b-tuples with matching data constants.
     std::vector<NormalizedTuple> subtrahend;
     for (size_t j = 0; j < b.size(); ++j) {
@@ -122,12 +131,14 @@ std::optional<GeneralizedTuple> IntersectTuples(const GeneralizedTuple& a,
                                                const GeneralizedRelation& b,
                                                const NormalizeLimits& limits) {
   LRPDB_OPERATOR_SCOPE(op, "gdb.product", a.size() + b.size());
+  LRPDB_FAILPOINT("algebra.product");
   RelationSchema schema{
       a.schema().temporal_arity + b.schema().temporal_arity,
       a.schema().data_arity + b.schema().data_arity};
   GeneralizedRelation out(schema);
   for (size_t i = 0; i < a.size(); ++i) {
     for (size_t j = 0; j < b.size(); ++j) {
+      LRPDB_RETURN_IF_ERROR(PollExec(limits.exec));
       const GeneralizedTuple& ta = a.tuple(i);
       const GeneralizedTuple& tb = b.tuple(j);
       std::vector<Lrp> lrps = ta.lrps();
@@ -162,6 +173,7 @@ std::optional<GeneralizedTuple> IntersectTuples(const GeneralizedTuple& a,
     const NormalizeLimits& limits) {
   LRPDB_OPERATOR_SCOPE(op, "gdb.join", a.size() + b.size());
   LRPDB_TRACE_SPAN(span, "gdb.join");
+  LRPDB_FAILPOINT("algebra.join");
   LRPDB_ASSIGN_OR_RETURN(GeneralizedRelation product,
                          CartesianProduct(a, b, limits));
   // Build the join condition as a DBM over the product's temporal columns.
@@ -178,6 +190,7 @@ std::optional<GeneralizedTuple> IntersectTuples(const GeneralizedTuple& a,
   }
   GeneralizedRelation out(product.schema());
   for (size_t i = 0; i < product.size(); ++i) {
+    LRPDB_RETURN_IF_ERROR(PollExec(limits.exec));
     const GeneralizedTuple& t = product.tuple(i);
     bool data_ok = true;
     for (const auto& [da, db] : data_eqs) {
@@ -204,8 +217,10 @@ std::optional<GeneralizedTuple> IntersectTuples(const GeneralizedTuple& a,
         "gdb.select: constraint arity does not match schema");
   }
   LRPDB_OPERATOR_SCOPE(op, "gdb.select", r.size());
+  LRPDB_FAILPOINT("algebra.select");
   GeneralizedRelation out(r.schema());
   for (size_t i = 0; i < r.size(); ++i) {
+    LRPDB_RETURN_IF_ERROR(PollExec(limits.exec));
     GeneralizedTuple t = r.tuple(i);
     t.mutable_constraint().And(constraint);
     LRPDB_RETURN_IF_ERROR(out.InsertUnlessEmpty(std::move(t), limits).status());
@@ -220,6 +235,7 @@ std::optional<GeneralizedTuple> IntersectTuples(const GeneralizedTuple& a,
                                       const NormalizeLimits& limits) {
   LRPDB_OPERATOR_SCOPE(op, "gdb.project", r.size());
   LRPDB_TRACE_SPAN(span, "gdb.project");
+  LRPDB_FAILPOINT("algebra.project");
   RelationSchema schema{static_cast<int>(temporal_columns.size()),
                         static_cast<int>(data_columns.size())};
   GeneralizedRelation out(schema);
@@ -232,6 +248,7 @@ std::optional<GeneralizedTuple> IntersectTuples(const GeneralizedTuple& a,
     kept[c] = true;
   }
   for (size_t i = 0; i < r.size(); ++i) {
+    LRPDB_RETURN_IF_ERROR(PollExec(limits.exec));
     const GeneralizedTuple& tuple = r.tuple(i);
     std::vector<DataValue> data;
     data.reserve(data_columns.size());
@@ -373,8 +390,10 @@ std::optional<GeneralizedTuple> IntersectTuples(const GeneralizedTuple& a,
                                           int column, int64_t c,
                                           const NormalizeLimits& limits) {
   LRPDB_OPERATOR_SCOPE(op, "gdb.shift", r.size());
+  LRPDB_FAILPOINT("algebra.shift");
   GeneralizedRelation out(r.schema());
   for (size_t i = 0; i < r.size(); ++i) {
+    LRPDB_RETURN_IF_ERROR(PollExec(limits.exec));
     LRPDB_RETURN_IF_ERROR(
         out.InsertUnlessEmpty(r.tuple(i).WithColumnShifted(column, c), limits)
             .status());
@@ -390,9 +409,11 @@ std::optional<GeneralizedTuple> IntersectTuples(const GeneralizedTuple& a,
   LRPDB_OPERATOR_SCOPE(op, "gdb.complement",
                        r.size() + data_universe.size());
   LRPDB_TRACE_SPAN(span, "gdb.complement");
+  LRPDB_FAILPOINT("algebra.complement");
   GeneralizedRelation out(r.schema());
   int m = r.schema().temporal_arity;
   for (const std::vector<DataValue>& data : data_universe) {
+    LRPDB_RETURN_IF_ERROR(PollExec(limits.exec));
     if (static_cast<int>(data.size()) != r.schema().data_arity) {
       return InvalidArgumentError(
           "gdb.complement: universe row arity does not match schema");
@@ -553,6 +574,7 @@ Dbm LoosestDbm(const std::vector<const GeneralizedTuple*>& tuples) {
     std::vector<GeneralizedTuple> tuples, const NormalizeLimits& limits) {
   if (tuples.empty() || !limits.coalesce_outputs) return tuples;
   LRPDB_OPERATOR_SCOPE(op, "gdb.coalesce", tuples.size());
+  LRPDB_FAILPOINT("algebra.coalesce");
   int m = tuples.front().temporal_arity();
   bool changed = true;
   while (changed) {
@@ -564,6 +586,7 @@ Dbm LoosestDbm(const std::vector<const GeneralizedTuple*>& tuples) {
       }
       std::vector<GeneralizedTuple> next;
       for (auto& [key, group] : groups) {
+        LRPDB_RETURN_IF_ERROR(PollExec(limits.exec));
         if (group.size() < 2 || group.front().lrp(j).period() == 1) {
           next.insert(next.end(), group.begin(), group.end());
           continue;
@@ -586,6 +609,7 @@ Dbm LoosestDbm(const std::vector<const GeneralizedTuple*>& tuples) {
     return InvalidArgumentError("gdb.same_ground_set: schema mismatch");
   }
   LRPDB_OPERATOR_SCOPE(op, "gdb.same_ground_set", a.size() + b.size());
+  LRPDB_FAILPOINT("algebra.same_ground_set");
   // Compare per data vector: pieces grouped by data inside SubtractPieces
   // already, so a direct two-way containment suffices.
   LRPDB_ASSIGN_OR_RETURN(std::vector<NormalizedTuple> pa, a.AllPieces(limits));

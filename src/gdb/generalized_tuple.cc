@@ -35,6 +35,14 @@ GeneralizedTuple GeneralizedTuple::WithColumnShifted(int i, int64_t c) const {
   return result;
 }
 
+int64_t GeneralizedTuple::ApproxBytes() const {
+  const int64_t dbm_side = constraint_.num_vars() + 1;
+  return static_cast<int64_t>(sizeof(GeneralizedTuple)) +
+         static_cast<int64_t>(lrps_.size()) * sizeof(Lrp) +
+         static_cast<int64_t>(data_.size()) * sizeof(DataValue) +
+         dbm_side * dbm_side * static_cast<int64_t>(sizeof(Bound));
+}
+
 std::string GeneralizedTuple::ToString(const Interner* interner) const {
   std::string s = "(";
   for (size_t i = 0; i < lrps_.size(); ++i) {

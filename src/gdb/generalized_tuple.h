@@ -85,6 +85,11 @@ class GeneralizedTuple {
   // e.g. "(168n+8, 168n+10, database) with T2 = T1+2".
   std::string ToString(const Interner* interner = nullptr) const;
 
+  // Approximate resident size of this tuple (lrps + data + DBM matrix),
+  // used for ExecContext byte-budget accounting. An estimate, not
+  // sizeof-exact: governance needs proportionality, not precision.
+  int64_t ApproxBytes() const;
+
  private:
   std::vector<Lrp> lrps_;
   std::vector<DataValue> data_;

@@ -4,6 +4,8 @@
 #include <map>
 #include <optional>
 
+#include "src/common/exec_context.h"
+#include "src/common/failpoint.h"
 #include "src/common/math_util.h"
 
 namespace lrpdb {
@@ -110,6 +112,9 @@ std::vector<std::optional<ResidueAnchor>> AnchorsOf(const Dbm& closed, int m) {
   std::vector<int64_t> residues(m, 0);
   std::vector<int> index(m, 0);
   while (true) {
+    // CRT enumeration is the engine's densest loop (up to max_pieces
+    // iterations per tuple); poll so a deadline lands mid-normalization.
+    LRPDB_RETURN_IF_ERROR(PollExec(limits.exec));
     bool feasible = true;
     for (int i = 0; i < m; ++i) {
       if (!anchors[i].has_value()) {
@@ -161,6 +166,7 @@ NormalizedTuple::NormalizedTuple(int64_t common_period,
 
 [[nodiscard]] StatusOr<std::vector<NormalizedTuple>> NormalizedTuple::Normalize(
     const GeneralizedTuple& tuple, const NormalizeLimits& limits) {
+  LRPDB_FAILPOINT("normalize.tuple");
   int m = tuple.temporal_arity();
   int64_t period = 1;
   for (const Lrp& lrp : tuple.lrps()) {
@@ -183,6 +189,7 @@ NormalizedTuple::NormalizedTuple(int64_t common_period,
 
 [[nodiscard]] StatusOr<std::vector<NormalizedTuple>> NormalizedTuple::AlignTo(
     int64_t target, const NormalizeLimits& limits) const {
+  LRPDB_FAILPOINT("normalize.align");
   if (target <= 0 || target % common_period_ != 0) {
     return InvalidArgumentError(
         "AlignTo: target period must be a positive multiple of the common "

@@ -24,6 +24,8 @@
 
 namespace lrpdb {
 
+class ExecContext;  // src/common/exec_context.h
+
 // Budgets for normalization. Aligning columns with many distinct coprime
 // periods multiplies both the common period and the number of residue
 // pieces; callers get kResourceExhausted instead of a blow-up.
@@ -35,6 +37,11 @@ struct NormalizeLimits {
   // only useful for the ablation benchmark: outputs stay correct but can be
   // one tuple per residue class.
   bool coalesce_outputs = true;
+  // Optional execution governance (deadline / budgets / cancellation; see
+  // src/common/exec_context.h). Limits travel through every algebra
+  // operator, TupleStore::Insert, and Normalize, so a non-null context here
+  // is polled from all of them. Not owned; must outlive the evaluation.
+  ExecContext* exec = nullptr;
 };
 
 // One residue piece: data constants, common period L, residue vector, and

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/exec_context.h"
+#include "src/common/failpoint.h"
 #include "src/obs/metrics.h"
 
 namespace lrpdb {
@@ -106,6 +108,7 @@ void TupleStore::BumpStat(int64_t StoreStats::*field, int64_t amount,
 
 [[nodiscard]] StatusOr<const std::vector<NormalizedTuple>*> TupleStore::pieces(
     EntryId id, const NormalizeLimits& limits) const {
+  LRPDB_FAILPOINT("tuple_store.pieces");
   std::lock_guard<std::mutex> lock(pieces_mu_);
   PiecesCache& cache = pieces_cache_[id];
   if (!cache.normalized) {
@@ -122,10 +125,12 @@ void TupleStore::BumpStat(int64_t StoreStats::*field, int64_t amount,
 [[nodiscard]] StatusOr<InsertOutcome> TupleStore::Insert(GeneralizedTuple tuple,
                                            const NormalizeLimits& limits,
                                            StoreStats* round_stats) {
+  LRPDB_FAILPOINT("tuple_store.insert");
   if (tuple.temporal_arity() != schema_.temporal_arity ||
       tuple.data_arity() != schema_.data_arity) {
     return InvalidArgumentError("tuple arity does not match store schema");
   }
+  LRPDB_RETURN_IF_ERROR(PollExec(limits.exec));
   LRPDB_ASSIGN_OR_RETURN(std::vector<NormalizedTuple> candidate,
                          NormalizedTuple::Normalize(tuple, limits));
   auto bump = [&](int64_t StoreStats::*field, int64_t amount) {
@@ -166,6 +171,15 @@ void TupleStore::BumpStat(int64_t StoreStats::*field, int64_t amount,
       bump(&StoreStats::subsumed, 1);
       return InsertOutcome{false, false};
     }
+  }
+  if (limits.exec != nullptr) {
+    // Budget accounting charges what the store retains: the entry plus its
+    // normalized pieces (the dominant allocation on CRT-heavy workloads).
+    limits.exec->ChargeTuples(1);
+    limits.exec->ChargeBytes(tuple.ApproxBytes() +
+                             static_cast<int64_t>(candidate.size()) *
+                                 (schema_.temporal_arity + 2) * 8);
+    LRPDB_GAUGE_SET("exec.budget_bytes", limits.exec->bytes_charged());
   }
   bool new_signature = Append(std::move(tuple), std::move(candidate), true);
   bump(&StoreStats::inserts, 1);

@@ -1,0 +1,216 @@
+#include "src/common/exec_context.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lrpdb {
+namespace {
+
+TEST(ExecContextTest, UnlimitedContextNeverTrips) {
+  ExecContext exec;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(exec.Poll().ok());
+  }
+  EXPECT_TRUE(exec.CheckNow().ok());
+  EXPECT_FALSE(exec.tripped());
+  EXPECT_EQ(exec.polls(), 1000);
+  EXPECT_EQ(exec.steps(), 1000);  // Polls count as steps.
+}
+
+TEST(ExecContextTest, PollExecOnNullIsOk) {
+  EXPECT_TRUE(PollExec(nullptr).ok());
+}
+
+TEST(ExecContextTest, CancelObservedOnNextPollEvenBetweenStrides) {
+  ExecContext exec;
+  // Default stride is 64; a poll right after Cancel() must still trip.
+  EXPECT_TRUE(exec.Poll().ok());
+  exec.Cancel();
+  Status status = exec.Poll();
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(exec.tripped());
+  EXPECT_EQ(exec.trip_code(), StatusCode::kCancelled);
+}
+
+TEST(ExecContextTest, DeadlineCheckedAtStrideBoundary) {
+  ExecContext exec;
+  exec.set_deadline_after_us(0);  // Already expired.
+  // The full check (which reads the clock) only runs every stride polls.
+  for (int i = 1; i < ExecContext::kPollStride; ++i) {
+    EXPECT_TRUE(exec.Poll().ok()) << "poll " << i;
+  }
+  Status status = exec.Poll();  // Poll number kPollStride.
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecContextTest, PollStrideOneChecksEveryPoll) {
+  ExecContext exec;
+  exec.set_poll_stride(1);
+  exec.set_deadline_after_us(0);
+  EXPECT_EQ(exec.Poll().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecContextTest, CheckNowTripsExpiredDeadlineImmediately) {
+  ExecContext exec;
+  exec.set_deadline_after_us(0);
+  Status status = exec.CheckNow();
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  // Sticky: still tripped even though budgets are fine.
+  EXPECT_EQ(exec.CheckNow().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(exec.Poll().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecContextTest, TupleBudgetTrips) {
+  ExecContext exec;
+  exec.set_tuple_budget(10);
+  exec.ChargeTuples(10);
+  EXPECT_TRUE(exec.CheckNow().ok());  // At the budget is still fine.
+  exec.ChargeTuples(1);
+  Status status = exec.CheckNow();
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(status.ToString().find("tuple budget"), std::string::npos);
+}
+
+TEST(ExecContextTest, ByteBudgetTrips) {
+  ExecContext exec;
+  exec.set_byte_budget(1024);
+  exec.ChargeBytes(2048);
+  Status status = exec.CheckNow();
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(status.ToString().find("byte budget"), std::string::npos);
+  EXPECT_EQ(exec.bytes_charged(), 2048);
+}
+
+TEST(ExecContextTest, StepQuotaCountsPollsAndChargedSteps) {
+  ExecContext exec;
+  exec.set_step_quota(100);
+  exec.ChargeSteps(99);
+  EXPECT_TRUE(exec.CheckNow().ok());
+  // Two polls push steps() to 101 > 100; the second poll is past the
+  // stride so force the full check directly.
+  (void)exec.Poll();
+  (void)exec.Poll();
+  Status status = exec.CheckNow();
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(status.ToString().find("step quota"), std::string::npos);
+}
+
+TEST(ExecContextTest, FirstTripWinsAndKeepsItsReason) {
+  ExecContext exec;
+  Status first = exec.Trip(StatusCode::kCancelled, "first");
+  EXPECT_EQ(first.code(), StatusCode::kCancelled);
+  Status second = exec.Trip(StatusCode::kResourceExhausted, "second");
+  EXPECT_EQ(second.code(), StatusCode::kCancelled);
+  EXPECT_NE(second.ToString().find("first"), std::string::npos);
+  EXPECT_EQ(second.ToString().find("second"), std::string::npos);
+}
+
+TEST(ExecContextTest, CancelAfterPollsHook) {
+  ExecContext exec;
+  exec.set_poll_stride(1);
+  exec.set_cancel_after_polls(3);
+  EXPECT_TRUE(exec.Poll().ok());
+  EXPECT_TRUE(exec.Poll().ok());
+  EXPECT_TRUE(exec.Poll().ok());
+  EXPECT_EQ(exec.Poll().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecContextTest, PartialSnapshotCarriesAccounting) {
+  ExecContext exec;
+  exec.ChargeTuples(7);
+  exec.ChargeBytes(512);
+  exec.ChargeSteps(3);
+  exec.ReportCompletedRound(4);
+  exec.ReportHorizonLowerBound(256);
+  PartialResult before = exec.partial();
+  EXPECT_FALSE(before.tripped());
+  EXPECT_EQ(before.trip, StatusCode::kOk);
+  EXPECT_EQ(before.last_completed_round, 4);
+  EXPECT_EQ(before.horizon_lower_bound, 256);
+  EXPECT_EQ(before.tuples_charged, 7);
+  EXPECT_EQ(before.bytes_charged, 512);
+
+  (void)exec.Trip(StatusCode::kDeadlineExceeded, "late");
+  PartialResult after = exec.partial();
+  EXPECT_TRUE(after.tripped());
+  EXPECT_EQ(after.trip, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(after.reason, "late");
+}
+
+TEST(ExecContextTest, DefaultMaxRounds) {
+  ExecContext exec;
+  EXPECT_EQ(exec.max_rounds(), ExecContext::kDefaultMaxRounds);
+  exec.set_max_rounds(3);
+  EXPECT_EQ(exec.max_rounds(), 3);
+}
+
+TEST(ExecContextTest, IsGovernanceTripDistinguishesForeignErrors) {
+  ExecContext exec;
+  Status foreign = ResourceExhaustedError("normalization budget");
+  EXPECT_FALSE(IsGovernanceTrip(&exec, foreign));    // Not tripped.
+  EXPECT_FALSE(IsGovernanceTrip(nullptr, foreign));  // No context.
+  Status trip = exec.Trip(StatusCode::kResourceExhausted, "budget");
+  EXPECT_TRUE(IsGovernanceTrip(&exec, trip));
+  // Same code from elsewhere also matches: the code is the contract.
+  EXPECT_TRUE(IsGovernanceTrip(&exec, foreign));
+  Status other = CancelledError("cancelled");
+  EXPECT_FALSE(IsGovernanceTrip(&exec, other));  // Code mismatch.
+  EXPECT_FALSE(IsGovernanceTrip(&exec, OkStatus()));
+}
+
+TEST(ExecContextTest, CurrentIsScopedAndNests) {
+  EXPECT_EQ(ExecContext::Current(), nullptr);
+  ExecContext::ChargeCurrentSteps(10);  // No context: must be a no-op.
+  ExecContext outer;
+  {
+    ExecContext::ScopedCurrent scope_outer(&outer);
+    EXPECT_EQ(ExecContext::Current(), &outer);
+    ExecContext::ChargeCurrentSteps(5);
+    ExecContext inner;
+    {
+      ExecContext::ScopedCurrent scope_inner(&inner);
+      EXPECT_EQ(ExecContext::Current(), &inner);
+      ExecContext::ChargeCurrentSteps(2);
+    }
+    EXPECT_EQ(ExecContext::Current(), &outer);
+  }
+  EXPECT_EQ(ExecContext::Current(), nullptr);
+  EXPECT_EQ(outer.steps(), 5);
+  EXPECT_EQ(outer.partial().steps, 5);
+}
+
+TEST(ExecContextTest, ConcurrentCancelAndPollAgreeOnOneTrip) {
+  ExecContext exec;
+  exec.set_poll_stride(1);
+  std::vector<std::thread> pollers;
+  std::vector<Status> last(4, OkStatus());
+  for (int t = 0; t < 4; ++t) {
+    pollers.emplace_back([&exec, &last, t] {
+      for (int i = 0; i < 10000; ++i) {
+        Status s = exec.Poll();
+        if (!s.ok()) {
+          last[t] = s;
+          return;
+        }
+      }
+    });
+  }
+  exec.Cancel();
+  for (auto& thread : pollers) thread.join();
+  // The pollers may all have drained their iterations before Cancel()
+  // landed; one more poll deterministically observes the flag. Whoever
+  // trips first, everyone must agree on the single kCancelled trip.
+  EXPECT_EQ(exec.Poll().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(exec.tripped());
+  EXPECT_EQ(exec.trip_code(), StatusCode::kCancelled);
+  for (const Status& s : last) {
+    if (!s.ok()) {
+      EXPECT_EQ(s.code(), StatusCode::kCancelled);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lrpdb
