@@ -84,16 +84,27 @@ void WriteReport() {
   LRPDB_CHECK(unit.ok()) << unit.status();
   lrpdb_bench::BenchReport report("e2");
   report.Set("largest_sweep_period", kPeriod);
+  // Repeated so wall_ms lands well clear of scheduler noise: a single
+  // evaluation is sub-millisecond in Release builds, and the perf gate
+  // (ci/compare_bench.py) only gates fields above its --min-ms floor.
+  constexpr int kRepetitions = 25;
   std::optional<lrpdb::EvaluationResult> result;
   double ms = report.Time("wall_ms", [&] {
     LRPDB_TRACE_SPAN(span, "bench.e2.report_eval");
-    auto r = lrpdb::Evaluate(unit->program, db);
-    LRPDB_CHECK(r.ok()) << r.status();
-    result = std::move(*r);
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      auto r = lrpdb::Evaluate(unit->program, db);
+      LRPDB_CHECK(r.ok()) << r.status();
+      result = std::move(*r);
+    }
   });
+  report.Set("repetitions", kRepetitions);
   report.SetEvaluation(*result);
   report.SetProfile(result->profile);
-  report.Set("per_round_us", ms * 1000.0 / result->iterations);
+  report.Set("per_round_us",
+             ms * 1000.0 / kRepetitions / result->iterations);
+  // Resolved worker count (LRPDB_THREADS): ci/compare_bench.py gates on the
+  // threads=1 run, so the report must say which mode produced it.
+  report.Set("threads", result->threads);
   report.Write();
 }
 

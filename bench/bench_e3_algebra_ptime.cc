@@ -10,6 +10,7 @@
 #include <random>
 
 #include "bench/bench_json.h"
+#include "src/common/thread_pool.h"
 #include "src/gdb/algebra.h"
 
 namespace {
@@ -124,6 +125,10 @@ void WriteReport() {
     out = result->size();
   });
   report.Set("project_tuples", out);
+  // The algebra itself is single-threaded; the resolved LRPDB_THREADS value
+  // is recorded so ci/compare_bench.py can tell gate runs apart anyway.
+  report.Set("threads",
+             static_cast<int64_t>(lrpdb::ThreadPool::DefaultThreads()));
   report.Write();
 }
 

@@ -15,13 +15,34 @@
 #                            over src/, tests/, and bench/ (skipped with a
 #                            note when clang-format is not installed)
 #   ci/check.sh --faults     fault-injection pass: build ASan and TSan trees
-#                            and run the governance + fault-injection suites
-#                            (exec_context/governance/fault_injection) under
-#                            both, with leak detection on. Standalone mode:
+#                            and run the governance + fault-injection +
+#                            parallel-evaluator suites (exec_context/
+#                            governance/fault_injection/parallel_evaluator)
+#                            under both, with leak detection on. Includes the
+#                            determinism differential: the parallel suites
+#                            assert bit-identical Explain() dumps and tuple
+#                            sets across 1, 2, and 8 worker threads, and the
+#                            TSan leg repeats them with LRPDB_THREADS=8
+#                            forced into the environment. Standalone mode:
 #                            skips the plain build/ctest above.
+#   ci/check.sh --help       print this text
+#
+# Perf-regression gate (separate entry point): ci/bench_gate.sh builds a
+# Release tree with the instrumentation compiled out, runs the gated benches
+# at LRPDB_THREADS=1 and =max, and fails on any wall_ms* field more than 25%
+# over bench/baseline/. After an *intentional* perf change, refresh the
+# committed baselines with `ci/bench_gate.sh --update` on the runner class
+# CI gates on and commit the diff under bench/baseline/ with a short
+# justification (see ci/compare_bench.py --help for the full procedure).
 #
 # Flags compose; exit status is nonzero on any failure.
 set -euo pipefail
+
+if [[ "${1:-}" == "--help" || "${1:-}" == "-h" ]]; then
+  # Print the comment block above (minus shebang) as the usage text.
+  awk 'NR > 1 && /^#/ { sub(/^# ?/, ""); print; next } NR > 1 { exit }' "$0"
+  exit 0
+fi
 
 cd "$(dirname "$0")/.."
 
@@ -55,20 +76,33 @@ if [[ "$faults" == 1 ]]; then
     exit 2
   fi
   # gtest_discover_tests registers suite-qualified names, so filter on the
-  # governance/fault suites themselves.
-  fault_filter='^(ExecContextTest|GovernanceTest|FailpointTest|FaultInjectionWalkTest)\.'
+  # governance/fault suites themselves. The parallel suites ride along: they
+  # carry the determinism differential (ParallelDeterminismTest asserts
+  # bit-identical timing-free Explain() dumps and relation dumps across
+  # 1, 2, and 8 worker threads) plus worker-side governance unwinding.
+  fault_filter='^(ExecContextTest|GovernanceTest|FailpointTest|FaultInjectionWalkTest|ThreadPoolTest|ParallelEvaluatorTest)\.|ParallelDeterminismTest\.'
+  parallel_filter='(ThreadPoolTest|ParallelEvaluatorTest|ParallelDeterminismTest)\.'
   echo "== fault injection: ASan"
   cmake -B build-asan -S . -DLRPDB_SANITIZE=ON
   cmake --build build-asan -j"$(nproc)" --target \
-    exec_context_test governance_test fault_injection_test
+    exec_context_test governance_test fault_injection_test \
+    parallel_evaluator_test
   ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="print_stacktrace=1" \
     ctest --test-dir build-asan --output-on-failure -R "$fault_filter"
   echo "== fault injection: TSan"
   cmake -B build-tsan -S . -DLRPDB_SANITIZE=thread
   cmake --build build-tsan -j"$(nproc)" --target \
-    exec_context_test governance_test fault_injection_test
+    exec_context_test governance_test fault_injection_test \
+    parallel_evaluator_test
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -R "$fault_filter"
+  echo "== determinism differential under TSan with LRPDB_THREADS=8 forced"
+  # Same parallel suites again with 8 workers forced into the environment:
+  # every evaluation that does not pin num_threads now runs 8-wide, so TSan
+  # watches the worker pool under the widest supported contention while the
+  # determinism assertions re-check the merged results.
+  TSAN_OPTIONS="halt_on_error=1" LRPDB_THREADS=8 \
+    ctest --test-dir build-tsan --output-on-failure -R "$parallel_filter"
   echo "ci/check.sh --faults: fault-injection pass passed"
   exit 0
 fi
@@ -101,6 +135,11 @@ if [[ "$tsan" == 1 ]]; then
   # TSan needs to see contended.
   LRPDB_TRACE="$PWD/$build_dir/ctest-trace.json" \
     ctest --test-dir "$build_dir" --output-on-failure
+  # Second pass over the parallel-evaluator suites with 8 worker threads
+  # forced: maximal pool contention under TSan, with the determinism
+  # assertions re-checking the merged results.
+  LRPDB_THREADS=8 ctest --test-dir "$build_dir" --output-on-failure \
+    -R '(ThreadPoolTest|ParallelEvaluatorTest|ParallelDeterminismTest)\.'
 else
   ctest --test-dir "$build_dir" --output-on-failure
 fi

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_<id>.json wall-time fields.
+
+Usage:
+  ci/compare_bench.py [--threshold PCT] [--min-ms MS] \\
+      [--baseline-dir DIR] CANDIDATE.json...
+  ci/compare_bench.py --update [--baseline-dir DIR] CANDIDATE.json...
+
+Compares every top-level numeric field whose key starts with "wall_ms" in
+each candidate report against the committed baseline of the same filename
+(default baseline dir: bench/baseline/). A field is a REGRESSION when
+
+    candidate > baseline * (1 + threshold/100)      [default threshold: 25]
+
+and the baseline is at least --min-ms milliseconds (default 1.0): sub-ms
+fields are printed but never gated, because at that scale scheduler noise
+dwarfs any real change. Improvements and in-threshold drift are reported
+and pass. Exit status: 0 clean, 1 on any regression or missing baseline
+field, 2 on usage/IO errors.
+
+Candidates must come from like-for-like builds: the baselines are produced
+by ci/bench_gate.sh's Release + LRPDB_NO_METRICS + LRPDB_NO_FAILPOINTS tree
+at LRPDB_THREADS=1 (the deterministic single-thread mode). Comparing an
+instrumented or multi-threaded run against them is meaningless; the gate
+checks the report's "threads" field and refuses candidates that ran with
+more than one thread.
+
+Updating baselines (after an intentional perf change, on the CI runner
+class the gate runs on):
+
+    ci/bench_gate.sh                 # writes build-bench-gate/gate-reports/
+    ci/compare_bench.py --update build-bench-gate/gate-reports/t1/BENCH_*.json
+
+then commit the changed files under bench/baseline/ with a note justifying
+the movement. --update refuses to overwrite when the candidate is missing a
+wall_ms field the baseline has (a silently shrinking gate is how
+regressions sneak in).
+
+Self-check (what "the gate actually fails" means): double a wall_ms field
+in a scratch copy of a candidate and watch exit 1 —
+
+    python3 - <<'EOF'
+    import json; p = "BENCH_e2.json"; r = json.load(open(p))
+    r["wall_ms"] *= 2; json.dump(r, open("/tmp/slow.json", "w"))
+    EOF
+    ci/compare_bench.py --baseline-dir bench/baseline /tmp/slow.json \\
+        ; test $? -eq 1   # (rename /tmp/slow.json BENCH_e2.json first)
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+DEFAULT_BASELINE_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "bench", "baseline")
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def wall_fields(report):
+    return {k: v for k, v in report.items()
+            if k.startswith("wall_ms") and is_number(v)}
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"compare_bench: {path}: not readable as JSON: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(report, dict) or not isinstance(report.get("bench"), str):
+        print(f"compare_bench: {path}: not a bench report", file=sys.stderr)
+        sys.exit(2)
+    return report
+
+
+def update_baselines(args):
+    os.makedirs(args.baseline_dir, exist_ok=True)
+    for candidate_path in args.candidates:
+        candidate = load(candidate_path)
+        baseline_path = os.path.join(args.baseline_dir,
+                                     os.path.basename(candidate_path))
+        if os.path.exists(baseline_path):
+            missing = set(wall_fields(load(baseline_path))) - \
+                set(wall_fields(candidate))
+            if missing:
+                print(f"compare_bench: refusing to shrink the gate: "
+                      f"{candidate_path} lacks {sorted(missing)} present in "
+                      f"{baseline_path}", file=sys.stderr)
+                return 2
+        if not wall_fields(candidate):
+            print(f"compare_bench: {candidate_path} has no wall_ms* fields; "
+                  "not a gateable report", file=sys.stderr)
+            return 2
+        shutil.copyfile(candidate_path, baseline_path)
+        print(f"baseline updated: {baseline_path} "
+              f"({len(wall_fields(candidate))} gated field(s))")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("candidates", nargs="+", metavar="CANDIDATE.json")
+    ap.add_argument("--baseline-dir", default=DEFAULT_BASELINE_DIR)
+    ap.add_argument("--threshold", type=float, default=25.0,
+                    help="allowed slowdown in percent (default: 25)")
+    ap.add_argument("--min-ms", type=float, default=1.0,
+                    help="baseline fields below this many ms are reported "
+                         "but not gated (default: 1.0)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baselines from the candidates instead "
+                         "of comparing")
+    args = ap.parse_args()
+
+    if args.update:
+        return update_baselines(args)
+
+    regressions = []
+    for candidate_path in args.candidates:
+        candidate = load(candidate_path)
+        name = os.path.basename(candidate_path)
+        baseline_path = os.path.join(args.baseline_dir, name)
+        if not os.path.exists(baseline_path):
+            print(f"compare_bench: no baseline {baseline_path}; seed it with "
+                  "--update", file=sys.stderr)
+            regressions.append(f"{name}: missing baseline")
+            continue
+        baseline = load(baseline_path)
+        threads = candidate.get("threads")
+        if is_number(threads) and threads > 1:
+            print(f"compare_bench: {candidate_path} ran with threads="
+                  f"{threads}; the gate compares single-thread runs only",
+                  file=sys.stderr)
+            regressions.append(f"{name}: not a threads=1 run")
+            continue
+        base_fields = wall_fields(baseline)
+        if not base_fields:
+            print(f"compare_bench: {baseline_path} has no wall_ms* fields",
+                  file=sys.stderr)
+            regressions.append(f"{name}: ungateable baseline")
+            continue
+        cand_fields = wall_fields(candidate)
+        for key in sorted(base_fields):
+            base = base_fields[key]
+            if key not in cand_fields:
+                print(f"FAIL  {name} {key}: present in baseline, missing "
+                      "from candidate")
+                regressions.append(f"{name}: {key} disappeared")
+                continue
+            cand = cand_fields[key]
+            delta_pct = (cand / base - 1.0) * 100.0 if base > 0 else 0.0
+            gated = base >= args.min_ms
+            over = gated and cand > base * (1.0 + args.threshold / 100.0)
+            verdict = ("REGRESSION" if over
+                       else "ok" if gated else "ok (sub-min-ms, ungated)")
+            print(f"{'FAIL' if over else 'pass':4.4s}  {name} {key}: "
+                  f"baseline={base:.3f}ms candidate={cand:.3f}ms "
+                  f"({delta_pct:+.1f}%)  {verdict}")
+            if over:
+                regressions.append(
+                    f"{name}: {key} {delta_pct:+.1f}% "
+                    f"(limit +{args.threshold:.0f}%)")
+        for key in sorted(set(cand_fields) - set(base_fields)):
+            print(f"note  {name} {key}: new field, no baseline yet "
+                  "(run --update to start gating it)")
+
+    if regressions:
+        print(f"\ncompare_bench: {len(regressions)} regression(s):",
+              file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    print("compare_bench: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,12 @@ want to rely on every local compiler flag for):
                        must be interruptible by a deadline or cancellation;
                        genuinely bounded loops that merely look unbounded take
                        `// lint: allow(loop-without-poll)` with a reason.
+  raw-thread           No std::thread / std::jthread / std::async in src/
+                       outside src/common/thread_pool.*: all parallelism
+                       flows through ThreadPool::ParallelFor so ExecContext
+                       propagation, cancellation, and the deterministic-merge
+                       guarantees hold. (tests/ and bench/ are outside the
+                       lint scope and may spawn threads freely.)
 
 Suppression: append `// lint: allow(<rule-id>[, <rule-id>...])` to the
 offending line, or put it alone on the line directly above. Suppressions are
@@ -74,6 +80,7 @@ RULE_IDS = [
     "status-nodiscard",
     "status-discarded",
     "loop-without-poll",
+    "raw-thread",
 ]
 
 HOT_PATH_DIRS = ("src/gdb/", "src/core/")
@@ -83,6 +90,8 @@ HOT_PATH_DIRS = ("src/gdb/", "src/core/")
 CLOCK_EXEMPT_DIRS = ("src/obs/", "src/common/exec_context")
 # Dirs whose unbounded loops must poll execution governance.
 GOVERNED_LOOP_DIRS = ("src/core/", "src/datalog1s/")
+# The one place allowed to spawn threads (prefix covers .h and .cc).
+THREAD_EXEMPT_PREFIXES = ("src/common/thread_pool.",)
 
 
 class Finding:
@@ -224,6 +233,11 @@ UNBOUNDED_LOOP_RE = re.compile(
 # A governance poll: exec->Poll()/CheckNow(), PollExec(exec), or any helper
 # following the Poll* naming convention.
 POLL_RE = re.compile(r"\bPoll\w*\s*\(|\bCheckNow\s*\(")
+# Word-bounded, so `std::this_thread` (legitimate in yield/sleep helpers)
+# never matches; the `(?!\s*::)` carve-out keeps nested-member uses such as
+# `std::thread::id` / `std::thread::hardware_concurrency()` legal — they
+# observe threads, they do not create them.
+RAW_THREAD_RE = re.compile(r"\bstd::(thread|jthread)\b(?!\s*::)|\bstd::(async)\b")
 EXCEPTION_RE = re.compile(r"\b(throw|try|catch)\b")
 NEW_RE = re.compile(r"\bnew\b")
 DELETE_RE = re.compile(r"\bdelete\b(?:\s*\[\s*\])?")
@@ -262,6 +276,8 @@ def scan_file(path, raw_text, status_fn_names=None):
     hot_path = in_dirs(path, HOT_PATH_DIRS) and path.endswith(".cc")
     clock_exempt = in_dirs(path, CLOCK_EXEMPT_DIRS)
     governed = in_dirs(path, GOVERNED_LOOP_DIRS) and path.endswith(".cc")
+    thread_exempt = (not path.startswith("src/")
+                     or in_dirs(path, THREAD_EXEMPT_PREFIXES))
     is_annotations_header = path.endswith("src/common/thread_annotations.h")
 
     # Function tracking for check-in-status-fn: a Status/StatusOr signature
@@ -317,6 +333,17 @@ def scan_file(path, raw_text, status_fn_names=None):
                 report(idx, "naked-new",
                        "naked 'delete': owning pointers must be smart "
                        "pointers")
+
+        # --- raw-thread ---
+        if not thread_exempt:
+            m = RAW_THREAD_RE.search(line)
+            if m:
+                report(idx, "raw-thread",
+                       f"'std::{m.group(1) or m.group(2)}' outside "
+                       "src/common/thread_pool: "
+                       "route parallelism through ThreadPool::ParallelFor so "
+                       "ExecContext propagation and deterministic merging "
+                       "hold")
 
         # --- wall-clock ---
         if not clock_exempt and CLOCK_RE.search(line):

@@ -1,0 +1,15 @@
+// lint-fixture-path: src/common/thread_pool.cc
+// Fixture: src/common/thread_pool.* is the one library allowed to create
+// threads — it IS the pool the raw-thread rule funnels everyone through.
+#include <thread>
+#include <vector>
+
+namespace lrpdb {
+
+unsigned Hardware() { return std::thread::hardware_concurrency(); }
+
+void JoinAll(std::vector<std::thread>& workers) {
+  for (std::thread& t : workers) t.join();
+}
+
+}  // namespace lrpdb

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/common/failpoint.h"
+#include "src/common/thread_pool.h"
 #include "src/gdb/algebra.h"
 
 #include "src/gdb/normalized_tuple.h"
@@ -120,6 +121,13 @@ bool UnifyTuple(const NormalizedBodyAtom& atom, const GeneralizedTuple& tuple,
 struct AtomSource {
   const GeneralizedRelation* relation = nullptr;
   TupleStore::Generation generation = TupleStore::Generation::kAll;
+  // Optional entry-id sub-range restriction, honored for body atom 0 only:
+  // the parallel evaluator shards a clause application by splitting atom
+  // 0's enumeration range into contiguous pieces (DESIGN.md §8). Already
+  // clipped to the generation's range when set.
+  bool has_range = false;
+  size_t range_lo = 0;
+  size_t range_hi = 0;
 };
 
 // Applies `clause` over the given per-atom relations, collecting candidate
@@ -142,6 +150,18 @@ struct AtomSource {
   for (size_t a = 0; a < clause.body.size(); ++a) {
     const NormalizedBodyAtom& atom = clause.body[a];
     const TupleStore& store = sources[a].relation->store();
+    // Entry-id range this atom enumerates: the generation's range, narrowed
+    // to the shard's slice for atom 0.
+    size_t range_lo = sources[a].generation == TupleStore::Generation::kDelta
+                          ? store.delta_lo()
+                          : 0;
+    size_t range_hi = sources[a].generation == TupleStore::Generation::kDelta
+                          ? store.delta_hi()
+                          : store.size();
+    if (a == 0 && sources[0].has_range) {
+      range_lo = sources[0].range_lo;
+      range_hi = sources[0].range_hi;
+    }
     // Data columns fixed by the atom itself, independent of the binding.
     std::vector<TupleStore::DataRequirement> base_requirements;
     for (size_t k = 0; k < atom.data_args.size(); ++k) {
@@ -165,8 +185,8 @@ struct AtomSource {
               {static_cast<int>(k), *binding.data[arg.variable]});
         }
       }
-      store.ForEachCandidate(
-          requirements, sources[a].generation, stats, [&](EntryId id) {
+      store.ForEachCandidateInRange(
+          requirements, range_lo, range_hi, stats, [&](EntryId id) {
             if (!poll_status.ok()) return;
             poll_status = PollExec(exec);
             if (!poll_status.ok()) return;
@@ -368,43 +388,69 @@ int64_t EvalProfile::TotalInserted() const {
   return total;
 }
 
-std::string EvaluationResult::Explain() const {
+std::string EvaluationResult::Explain(bool include_timings) const {
+  // Everything below except the *_us fields is a pure function of the
+  // computed model: Explain(false) is what the determinism differential
+  // compares across thread counts, so timing-free lines must stay free of
+  // any run-dependent value (wall clocks, thread counts, pointers).
   char line[256];
   std::string out;
-  std::snprintf(line, sizeof(line),
-                "EXPLAIN: %d rounds, %s, %lld derivations, %lld kept "
-                "(total %lld us, normalize %lld us)\n",
-                iterations,
-                reached_fixpoint ? "fixpoint reached"
-                                 : ("gave up: " + gave_up_reason).c_str(),
-                static_cast<long long>(profile.TotalDerivations()),
-                static_cast<long long>(profile.TotalInserted()),
-                static_cast<long long>(profile.total_us),
-                static_cast<long long>(profile.normalize_us));
+  if (include_timings) {
+    std::snprintf(line, sizeof(line),
+                  "EXPLAIN: %d rounds, %s, %lld derivations, %lld kept "
+                  "(total %lld us, normalize %lld us)\n",
+                  iterations,
+                  reached_fixpoint ? "fixpoint reached"
+                                   : ("gave up: " + gave_up_reason).c_str(),
+                  static_cast<long long>(profile.TotalDerivations()),
+                  static_cast<long long>(profile.TotalInserted()),
+                  static_cast<long long>(profile.total_us),
+                  static_cast<long long>(profile.normalize_us));
+  } else {
+    std::snprintf(line, sizeof(line),
+                  "EXPLAIN: %d rounds, %s, %lld derivations, %lld kept\n",
+                  iterations,
+                  reached_fixpoint ? "fixpoint reached"
+                                   : ("gave up: " + gave_up_reason).c_str(),
+                  static_cast<long long>(profile.TotalDerivations()),
+                  static_cast<long long>(profile.TotalInserted()));
+  }
   out += line;
   for (const RuleProfile& rule : profile.rules) {
     std::snprintf(line, sizeof(line),
                   "  rule %-3d %-40s apps=%-5lld derived=%-6lld kept=%-6lld "
-                  "subsumed=%-6lld new_fe=%-5lld apply_us=%lld\n",
+                  "subsumed=%-6lld new_fe=%-5lld",
                   rule.clause_index, rule.rule.c_str(),
                   static_cast<long long>(rule.applications),
                   static_cast<long long>(rule.derivations),
                   static_cast<long long>(rule.inserted),
                   static_cast<long long>(rule.subsumed),
-                  static_cast<long long>(rule.new_free_extensions),
-                  static_cast<long long>(rule.apply_us));
+                  static_cast<long long>(rule.new_free_extensions));
     out += line;
+    if (include_timings) {
+      std::snprintf(line, sizeof(line), " apply_us=%lld",
+                    static_cast<long long>(rule.apply_us));
+      out += line;
+    }
+    out += "\n";
   }
-  out += "  round  stratum  delta  cand  ins  new_fe  apply_us  insert_us\n";
+  out += include_timings
+             ? "  round  stratum  delta  cand  ins  new_fe  apply_us  "
+               "insert_us\n"
+             : "  round  stratum  delta  cand  ins  new_fe\n";
   for (const RoundStats& round : rounds) {
-    std::snprintf(line, sizeof(line),
-                  "  %-6d %-8d %-6lld %-5d %-4d %-7d %-9lld %lld\n",
+    std::snprintf(line, sizeof(line), "  %-6d %-8d %-6lld %-5d %-4d %-7d",
                   round.round, round.stratum,
                   static_cast<long long>(round.delta_tuples),
-                  round.candidates, round.inserted, round.new_free_extensions,
-                  static_cast<long long>(round.apply_us),
-                  static_cast<long long>(round.insert_us));
+                  round.candidates, round.inserted, round.new_free_extensions);
     out += line;
+    if (include_timings) {
+      std::snprintf(line, sizeof(line), " %-9lld %lld",
+                    static_cast<long long>(round.apply_us),
+                    static_cast<long long>(round.insert_us));
+      out += line;
+    }
+    out += "\n";
   }
   return out;
 }
@@ -477,6 +523,17 @@ std::string EvaluationResult::Explain() const {
     relation.mutable_store().set_index_enabled(options.indexed_storage);
   }
 
+  // Worker threads for the clause-application phase. The resolved count
+  // affects wall time only: candidate deltas are merged in fixed task
+  // order, so the stored model, insertion order, and all Explain() counts
+  // are identical for any value (DESIGN.md §8).
+  const int threads =
+      options.num_threads > 0
+          ? std::min(options.num_threads, ThreadPool::kMaxThreads)
+          : ThreadPool::DefaultThreads();
+  result.threads = threads;
+  LRPDB_GAUGE_SET("eval.parallel.threads", threads);
+
   int last_new_fe_round = 0;
   int total_rounds = 0;
   // Graceful degradation: `trip` is this context's sticky governance status
@@ -544,6 +601,54 @@ std::string EvaluationResult::Explain() const {
       LRPDB_COUNTER_INC("eval.rounds");
       LRPDB_COUNTER_ADD("eval.round.delta_tuples", stats.delta_tuples);
       std::vector<std::pair<int, GeneralizedTuple>> candidates;
+      // Build the round's task list sequentially, in clause order then
+      // pivot order — exactly the ApplyClause call order of the
+      // single-threaded engine. Each (clause, pivot) unit is further split
+      // into shards over body atom 0's enumeration range: ApplyClause
+      // yields candidates in lexicographic entry-id order (the frontier
+      // join extends bindings breadth-first over ascending probes), so
+      // concatenating shard outputs in shard order reproduces the
+      // unsharded candidate sequence for any shard boundaries.
+      struct RoundTask {
+        int clause_index = 0;
+        std::vector<AtomSource> sources;
+        bool counts_application = false;  // First shard of its unit.
+        // Worker outputs, merged sequentially after the round barrier.
+        std::vector<GeneralizedTuple> candidates;
+        StoreStats store;
+        int64_t apply_us = 0;
+      };
+      std::vector<RoundTask> tasks;
+      auto add_tasks = [&](size_t ci, const std::vector<AtomSource>& sources) {
+        const NormalizedClause& clause = normalized.clauses[ci];
+        size_t shard_lo = 0;
+        size_t shard_hi = 0;
+        if (!clause.body.empty() && !clause.always_false) {
+          const TupleStore& s0 = sources[0].relation->store();
+          const bool delta =
+              sources[0].generation == TupleStore::Generation::kDelta;
+          shard_lo = delta ? s0.delta_lo() : 0;
+          shard_hi = delta ? s0.delta_hi() : s0.size();
+        }
+        const size_t range = shard_hi - shard_lo;
+        size_t num_shards = 1;
+        if (threads > 1 && range > 1) {
+          // A few shards per worker so an uneven split still balances.
+          num_shards = std::min(range, static_cast<size_t>(threads) * 4);
+        }
+        for (size_t s = 0; s < num_shards; ++s) {
+          RoundTask task;
+          task.clause_index = static_cast<int>(ci);
+          task.sources = sources;
+          task.counts_application = s == 0;
+          if (num_shards > 1) {
+            task.sources[0].has_range = true;
+            task.sources[0].range_lo = shard_lo + range * s / num_shards;
+            task.sources[0].range_hi = shard_lo + range * (s + 1) / num_shards;
+          }
+          tasks.push_back(std::move(task));
+        }
+      };
       for (size_t ci = 0; ci < normalized.clauses.size(); ++ci) {
         const NormalizedClause& clause = normalized.clauses[ci];
         if (strata.at(clause.head_predicate) != stratum) continue;
@@ -558,6 +663,9 @@ std::string EvaluationResult::Explain() const {
         }
         if (options.semi_naive && round > 1 && recursive == 0) continue;
 
+        // Resolving sources stays sequential: complements of negated
+        // relations materialize lazily here, before any worker runs, so
+        // every task reads frozen relations only.
         std::vector<AtomSource> sources(clause.body.size());
         for (size_t a = 0; a < clause.body.size(); ++a) {
           const NormalizedBodyAtom& atom = clause.body[a];
@@ -579,21 +687,8 @@ std::string EvaluationResult::Explain() const {
                 resolver.Resolve(atom.predicate, atom.is_intensional));
           }
         }
-        RuleProfile& rule_profile = result.profile.rules[ci];
-        const SteadyTime apply_start = Now();
-        LRPDB_TRACE_SPAN(rule_span, "eval.rule");
-        rule_span.AddArg("clause", static_cast<int64_t>(ci));
-        rule_span.AddArg("round", total_rounds);
-        std::vector<GeneralizedTuple> clause_candidates;
         if (!options.semi_naive || round == 1 || recursive == 0) {
-          ++rule_profile.applications;
-          Status applied = ApplyClause(clause, sources, limits, &stats.store,
-                                       &clause_candidates);
-          if (!applied.ok()) {
-            if (!IsGovernanceTrip(exec, applied)) return applied;
-            degrade(applied);
-            return result;
-          }
+          add_tasks(ci, sources);
         } else {
           for (size_t pivot = 0; pivot < clause.body.size(); ++pivot) {
             const NormalizedBodyAtom& atom = clause.body[pivot];
@@ -604,27 +699,61 @@ std::string EvaluationResult::Explain() const {
             if (sources[pivot].relation->store().delta_size() == 0) continue;
             std::vector<AtomSource> pivot_sources = sources;
             pivot_sources[pivot].generation = TupleStore::Generation::kDelta;
-            ++rule_profile.applications;
-            Status applied = ApplyClause(clause, pivot_sources, limits,
-                                         &stats.store, &clause_candidates);
-            if (!applied.ok()) {
-              if (!IsGovernanceTrip(exec, applied)) return applied;
-              degrade(applied);
-              return result;
-            }
+            add_tasks(ci, pivot_sources);
           }
         }
+      }
+
+      // Apply phase: workers claim tasks in index order and fill each
+      // task's private outputs. All shared state a worker touches is
+      // frozen for the round (stores mutate only in the insert phase
+      // below); ParallelFor reports the lowest-indexed failure, matching
+      // the error the sequential loop would have hit first.
+      const SteadyTime apply_start = Now();
+      Status applied = ThreadPool::Global().ParallelFor(
+          static_cast<int64_t>(tasks.size()), /*grain=*/1, threads, exec,
+          [&](int64_t begin, int64_t end) -> Status {
+            for (int64_t t = begin; t < end; ++t) {
+              RoundTask& task = tasks[static_cast<size_t>(t)];
+              LRPDB_TRACE_SPAN(task_span, "eval.task");
+              task_span.AddArg("clause",
+                               static_cast<int64_t>(task.clause_index));
+              task_span.AddArg("round", total_rounds);
+              const SteadyTime task_start = Now();
+              LRPDB_RETURN_IF_ERROR(
+                  ApplyClause(normalized.clauses[task.clause_index],
+                              task.sources, limits, &task.store,
+                              &task.candidates));
+              task.apply_us = UsSince(task_start);
+              LRPDB_COUNTER_INC("eval.parallel.tasks");
+            }
+            return OkStatus();
+          });
+      if (!applied.ok()) {
+        if (!IsGovernanceTrip(exec, applied)) return applied;
+        degrade(applied);
+        return result;
+      }
+      LRPDB_HISTOGRAM_RECORD("eval.parallel.apply_wall_us",
+                             UsSince(apply_start));
+
+      // Merge phase, sequential and in fixed task order: candidate order —
+      // hence insertion order, hence the stored model and every profile
+      // count — is independent of the thread count.
+      const SteadyTime merge_start = Now();
+      for (RoundTask& task : tasks) {
+        RuleProfile& rule_profile = result.profile.rules[task.clause_index];
+        if (task.counts_application) ++rule_profile.applications;
         rule_profile.derivations +=
-            static_cast<int64_t>(clause_candidates.size());
-        rule_span.AddArg("derivations",
-                         static_cast<int64_t>(clause_candidates.size()));
-        const int64_t apply_us = UsSince(apply_start);
-        rule_profile.apply_us += apply_us;
-        stats.apply_us += apply_us;
-        for (GeneralizedTuple& t : clause_candidates) {
-          candidates.emplace_back(static_cast<int>(ci), std::move(t));
+            static_cast<int64_t>(task.candidates.size());
+        rule_profile.apply_us += task.apply_us;
+        stats.apply_us += task.apply_us;
+        stats.store.Accumulate(task.store);
+        for (GeneralizedTuple& t : task.candidates) {
+          candidates.emplace_back(task.clause_index, std::move(t));
         }
       }
+      LRPDB_HISTOGRAM_RECORD("eval.parallel.merge_us", UsSince(merge_start));
 
       // Insert candidates; the store reports growth and new signatures
       // (free extensions) directly from its interning probe.

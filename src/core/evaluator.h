@@ -75,6 +75,14 @@ struct EvaluationOptions {
   // kDefaultMaxRounds) on top of max_iterations above. Setting
   // limits.exec directly is equivalent; this field wins if both are set.
   ExecContext* exec = nullptr;
+  // Worker threads for the clause-application phase of each round
+  // (DESIGN.md §8). 0 (the default) resolves through
+  // ThreadPool::DefaultThreads(), i.e. the LRPDB_THREADS environment
+  // variable ("4", or "max" for the hardware concurrency; absent = 1).
+  // Any value yields the bit-identical result — tuple sets, normalized
+  // forms, insertion order, and Explain() counts — because each round's
+  // candidate deltas are merged sequentially in a fixed task order.
+  int num_threads = 0;
 };
 
 // One candidate head tuple derivation.
@@ -167,6 +175,8 @@ struct EvaluationResult {
   // is in the least fixpoint, and rounds/profile explain where the budget
   // went.
   PartialResult partial;
+  // Resolved worker-thread count the evaluation ran with (>= 1).
+  int threads = 1;
 
   // Convenience lookup; CHECK-fails on unknown predicate.
   const GeneralizedRelation& Relation(const std::string& name) const;
@@ -178,7 +188,12 @@ struct EvaluationResult {
 
   // Human-readable EXPLAIN dump: one line per rule (derivations attempted /
   // kept / subsumed, time) and one per round (delta sizes, phase split).
-  std::string Explain() const;
+  // With include_timings == false every wall-clock field is omitted; the
+  // remaining dump is a pure function of the computed model and therefore
+  // identical across thread counts and runs — the determinism differential
+  // (ci/check.sh --faults) compares exactly this form.
+  std::string Explain(bool include_timings) const;
+  std::string Explain() const { return Explain(/*include_timings=*/true); }
 };
 
 // Evaluates `program` bottom-up over the extensional database `db`.

@@ -65,6 +65,8 @@ TupleStore::TupleStore(TupleStore&& other) noexcept
       delta_lo_(other.delta_lo_),
       delta_hi_(other.delta_hi_),
       index_enabled_(other.index_enabled_) {
+  approx_bytes_.store(other.approx_bytes_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
   std::lock_guard<std::mutex> pieces_lock(other.pieces_mu_);
   std::lock_guard<std::mutex> stats_lock(other.stats_mu_);
   pieces_cache_ = std::move(other.pieces_cache_);
@@ -80,6 +82,8 @@ TupleStore& TupleStore::operator=(TupleStore&& other) noexcept {
   delta_lo_ = other.delta_lo_;
   delta_hi_ = other.delta_hi_;
   index_enabled_ = other.index_enabled_;
+  approx_bytes_.store(other.approx_bytes_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
   // std::scoped_lock would deadlock-order these for us, but the acquisition
   // order here matches LRPDB_ACQUIRED_AFTER(pieces_mu_) everywhere else.
   std::lock_guard<std::mutex> other_pieces(other.pieces_mu_);
@@ -197,6 +201,12 @@ bool TupleStore::InsertUnlessEmpty(GeneralizedTuple tuple) {
 
 bool TupleStore::Append(GeneralizedTuple tuple,
                         std::vector<NormalizedTuple> pieces, bool normalized) {
+  // Same estimate Insert charges to the ExecContext byte budget: the entry
+  // plus its normalized pieces.
+  approx_bytes_.fetch_add(
+      tuple.ApproxBytes() + static_cast<int64_t>(pieces.size()) *
+                                (schema_.temporal_arity + 2) * 8,
+      std::memory_order_relaxed);
   EntryId id = static_cast<EntryId>(entries_.size());
   auto [it, created] = signature_index_.try_emplace(tuple.free_extension());
   if (created) {

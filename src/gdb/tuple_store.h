@@ -32,6 +32,7 @@
 #define LRPDB_GDB_TUPLE_STORE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <mutex>
@@ -99,7 +100,11 @@ struct InsertOutcome {
 // two pieces of const-path mutable state (the lazy residue-piece cache and
 // the probe counters) are guarded by internal mutexes, annotated below for
 // Clang's -Wthread-safety and exercised from 8 threads under TSan in
-// tests/tuple_store_test.cc.
+// tests/tuple_store_test.cc. Exception to the "between mutations" rule:
+// approx_bytes() and stats() are safe to call concurrently *with* a
+// mutation (a monitoring thread sampling memory while an evaluation
+// inserts) — the byte counter is a single atomic, the stats a mutex-held
+// copy; neither touches the entry array.
 class TupleStore {
  public:
   // Which generation a probe ranges over.
@@ -134,6 +139,13 @@ class TupleStore {
   // A consistent copy of the lifetime counters (they advance concurrently
   // with const probes, so a reference would be a torn read).
   StoreStats stats() const LRPDB_LOCKS_EXCLUDED(stats_mu_);
+  // Approximate retained bytes: every appended entry plus its normalized
+  // pieces, using the same estimate Insert charges to the ExecContext byte
+  // budget. A single atomic, so a monitoring thread may sample it while
+  // another thread inserts — no torn reads, no lock.
+  int64_t approx_bytes() const {
+    return approx_bytes_.load(std::memory_order_relaxed);
+  }
 
   // The residue pieces of entry `id`, computed on first use and cached.
   // The returned pointer stays valid until the next mutation; the pointee
@@ -184,6 +196,20 @@ class TupleStore {
                         Fn&& fn) const {
     size_t lo = generation == Generation::kDelta ? delta_lo_ : 0;
     size_t hi = generation == Generation::kDelta ? delta_hi_ : entries_.size();
+    ForEachCandidateInRange(requirements, lo, hi, round_stats,
+                            std::forward<Fn>(fn));
+  }
+
+  // Same probe restricted to the entry-id range [lo, hi). The parallel
+  // evaluator shards a clause by splitting an enumeration range into
+  // contiguous sub-ranges: because every candidate source (posting list or
+  // direct scan) yields ascending ids, concatenating the sub-ranges' yields
+  // in range order reproduces the unsharded sequence exactly — the
+  // determinism argument of DESIGN.md §8 rests on this.
+  template <typename Fn>
+  void ForEachCandidateInRange(const std::vector<DataRequirement>& requirements,
+                               size_t lo, size_t hi, StoreStats* round_stats,
+                               Fn&& fn) const {
     LRPDB_COUNTER_INC("store.index_probes");
     int64_t scanned = 0;
     const std::vector<EntryId>* posting = nullptr;
@@ -299,6 +325,11 @@ class TupleStore {
   // Guards the lifetime counters, which advance on the const probe path.
   mutable std::mutex stats_mu_ LRPDB_ACQUIRED_AFTER(pieces_mu_);
   mutable StoreStats stats_ LRPDB_GUARDED_BY(stats_mu_);
+
+  // Retained-bytes estimate, advanced by Append. Atomic (not folded into
+  // stats_ under stats_mu_) so approx_bytes() stays safe and lock-free for
+  // readers concurrent with an insert.
+  std::atomic<int64_t> approx_bytes_{0};
 };
 
 // --- Ground-fact storage (shared delta-generation machinery) ---

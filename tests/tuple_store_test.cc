@@ -349,5 +349,75 @@ TEST(TupleStoreTest, ConcurrentConstReadsShareCachesSafely) {
   EXPECT_GE(store.stats().index_probes, int64_t{kThreads} * kIterations);
 }
 
+TEST(TupleStoreTest, ApproxBytesGrowsWithEveryInsertAndSurvivesMoves) {
+  TupleStore store({1, 1});
+  EXPECT_EQ(store.approx_bytes(), 0);
+  int64_t previous = 0;
+  for (int64_t offset = 0; offset < 6; ++offset) {
+    ASSERT_TRUE(store.Insert(Banded(11, offset, 0, 20, offset))->inserted);
+    EXPECT_GT(store.approx_bytes(), previous);
+    previous = store.approx_bytes();
+  }
+  // Subsumed candidates retain nothing and charge nothing.
+  ASSERT_FALSE(store.Insert(Banded(11, 0, 5, 10, 0))->inserted);
+  EXPECT_EQ(store.approx_bytes(), previous);
+  // The counter rides along with the store through moves.
+  TupleStore moved(std::move(store));
+  EXPECT_EQ(moved.approx_bytes(), previous);
+  TupleStore assigned({1, 1});
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.approx_bytes(), previous);
+}
+
+// One writer inserts while seven readers hammer the two accessors that are
+// documented safe concurrently *with* mutation: approx_bytes() and stats().
+// Each reader checks its sampled byte count is monotone non-decreasing and
+// never ahead of the lifetime insert count's plausible ceiling -- a torn or
+// non-atomic counter would trip both this and TSan (ci/check.sh --tsan).
+TEST(TupleStoreTest, ApproxBytesIsReadableWhileAnotherThreadInserts) {
+  TupleStore store({1, 1});
+  constexpr int kReaders = 7;
+  constexpr int kInserts = 400;
+  std::atomic<int> started{0};
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      started.fetch_add(1);
+      while (started.load() < kReaders + 1) {
+      }
+      int64_t last_bytes = 0;
+      int64_t last_inserts = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        int64_t bytes = store.approx_bytes();
+        int64_t inserts = store.stats().inserts;
+        if (bytes < last_bytes || inserts < last_inserts) {
+          failures.fetch_add(1);
+        }
+        if (bytes < 0) failures.fetch_add(1);
+        last_bytes = bytes;
+        last_inserts = inserts;
+      }
+    });
+  }
+  started.fetch_add(1);
+  while (started.load() < kReaders + 1) {
+  }
+  for (int64_t i = 0; i < kInserts; ++i) {
+    // Distinct offsets (distinct signatures), each with a nonempty ground
+    // set around its own offset: every insert lands, none is subsumed.
+    auto outcome = store.Insert(Banded(100003, i, i, i + 5, i % 5));
+    if (!outcome.ok() || !outcome->inserted) failures.fetch_add(1);
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(store.size(), static_cast<size_t>(kInserts));
+  EXPECT_GT(store.approx_bytes(), 0);
+  EXPECT_EQ(store.stats().inserts, int64_t{kInserts});
+}
+
 }  // namespace
 }  // namespace lrpdb
