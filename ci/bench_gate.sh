@@ -12,7 +12,8 @@
 #  1. Configures build-bench-gate as Release with LRPDB_NO_METRICS and
 #     LRPDB_NO_FAILPOINTS: the gate times the engine, not the
 #     instrumentation, and a disarmed failpoint load is still a load.
-#  2. Runs the two evaluation-shaped benches (bench_e2, bench_e3) twice:
+#  2. Runs the evaluation-shaped benches (bench_e2, bench_e3, bench_e4)
+#     twice:
 #     LRPDB_THREADS=1 (the gated run — deterministic, machine-independent
 #     thread shape) and LRPDB_THREADS=max (informational: the parallel
 #     speedup on this machine, printed but never gated).
@@ -35,7 +36,8 @@ for arg in "$@"; do
 done
 
 build_dir=build-bench-gate
-gate_benches=(bench_e2_termination_sweep bench_e3_algebra_ptime)
+gate_benches=(bench_e2_termination_sweep bench_e3_algebra_ptime
+              bench_e4_closed_form_vs_ground)
 
 echo "== bench gate: Release build (LRPDB_NO_METRICS, LRPDB_NO_FAILPOINTS)"
 cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release \

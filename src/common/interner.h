@@ -25,9 +25,11 @@ class Interner {
   Interner(const Interner&) = default;
   Interner& operator=(const Interner&) = default;
 
-  // Returns the id for `name`, creating one if needed.
+  // Returns the id for `name`, creating one if needed. Lookups are
+  // heterogeneous (C++20 transparent hash): probing with a string_view
+  // allocates nothing; only a genuinely new name copies the bytes.
   SymbolId Intern(std::string_view name) {
-    auto it = ids_.find(std::string(name));
+    auto it = ids_.find(name);
     if (it != ids_.end()) return it->second;
     SymbolId id = static_cast<SymbolId>(names_.size());
     names_.emplace_back(name);
@@ -37,7 +39,7 @@ class Interner {
 
   // Returns the id for `name` or -1 if it was never interned.
   SymbolId Find(std::string_view name) const {
-    auto it = ids_.find(std::string(name));
+    auto it = ids_.find(name);
     return it == ids_.end() ? -1 : it->second;
   }
 
@@ -50,7 +52,16 @@ class Interner {
   size_t size() const { return names_.size(); }
 
  private:
-  std::unordered_map<std::string, SymbolId> ids_;
+  // Transparent hash so find(string_view) never materializes a std::string
+  // (tests/interner_test.cc pins the no-allocation guarantee).
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::unordered_map<std::string, SymbolId, StringHash, std::equal_to<>> ids_;
   std::vector<std::string> names_;
 };
 

@@ -8,6 +8,7 @@
 
 #include "src/common/failpoint.h"
 #include "src/common/thread_pool.h"
+#include "src/core/clause_plan.h"
 #include "src/gdb/algebra.h"
 
 #include "src/gdb/normalized_tuple.h"
@@ -116,19 +117,8 @@ bool UnifyTuple(const NormalizedBodyAtom& atom, const GeneralizedTuple& tuple,
   return binding->constraint.IsSatisfiable();
 }
 
-// Relation sources for one body atom during a round: the relation plus the
-// store generation the join reads (kDelta for the semi-naive pivot).
-struct AtomSource {
-  const GeneralizedRelation* relation = nullptr;
-  TupleStore::Generation generation = TupleStore::Generation::kAll;
-  // Optional entry-id sub-range restriction, honored for body atom 0 only:
-  // the parallel evaluator shards a clause application by splitting atom
-  // 0's enumeration range into contiguous pieces (DESIGN.md §8). Already
-  // clipped to the generation's range when set.
-  bool has_range = false;
-  size_t range_lo = 0;
-  size_t range_hi = 0;
-};
+// AtomSource moved to src/core/clause_plan.h (shared with the batch
+// kernel).
 
 // Applies `clause` over the given per-atom relations, collecting candidate
 // head tuples. The state is read-only; insertion happens at end of round.
@@ -534,6 +524,12 @@ std::string EvaluationResult::Explain(bool include_timings) const {
   result.threads = threads;
   LRPDB_GAUGE_SET("eval.parallel.threads", threads);
 
+  // Compile-once clause plans for the batch kernel, cached across rounds
+  // and strata. Populated from the sequential task-building phase only;
+  // workers see const ClausePlan pointers.
+  ClausePlanCache plan_cache(normalized.clauses.size(),
+                             /*allow_reorder=*/true);
+
   int last_new_fe_round = 0;
   int total_rounds = 0;
   // Graceful degradation: `trip` is this context's sticky governance status
@@ -611,6 +607,8 @@ std::string EvaluationResult::Explain(bool include_timings) const {
       // unsharded candidate sequence for any shard boundaries.
       struct RoundTask {
         int clause_index = 0;
+        // Compiled plan for the batch kernel; nullptr on the legacy path.
+        const ClausePlan* plan = nullptr;
         std::vector<AtomSource> sources;
         bool counts_application = false;  // First shard of its unit.
         // Worker outputs, merged sequentially after the round barrier.
@@ -621,6 +619,8 @@ std::string EvaluationResult::Explain(bool include_timings) const {
       std::vector<RoundTask> tasks;
       auto add_tasks = [&](size_t ci, const std::vector<AtomSource>& sources) {
         const NormalizedClause& clause = normalized.clauses[ci];
+        const ClausePlan* plan =
+            options.use_batch_kernel ? &plan_cache.Get(ci, clause) : nullptr;
         size_t shard_lo = 0;
         size_t shard_hi = 0;
         if (!clause.body.empty() && !clause.always_false) {
@@ -639,6 +639,7 @@ std::string EvaluationResult::Explain(bool include_timings) const {
         for (size_t s = 0; s < num_shards; ++s) {
           RoundTask task;
           task.clause_index = static_cast<int>(ci);
+          task.plan = plan;
           task.sources = sources;
           task.counts_application = s == 0;
           if (num_shards > 1) {
@@ -720,10 +721,15 @@ std::string EvaluationResult::Explain(bool include_timings) const {
                                static_cast<int64_t>(task.clause_index));
               task_span.AddArg("round", total_rounds);
               const SteadyTime task_start = Now();
+              const NormalizedClause& clause =
+                  normalized.clauses[task.clause_index];
               LRPDB_RETURN_IF_ERROR(
-                  ApplyClause(normalized.clauses[task.clause_index],
-                              task.sources, limits, &task.store,
-                              &task.candidates));
+                  task.plan != nullptr
+                      ? ApplyClauseBatch(clause, *task.plan, task.sources,
+                                         limits, &task.store,
+                                         &task.candidates)
+                      : ApplyClause(clause, task.sources, limits, &task.store,
+                                    &task.candidates));
               task.apply_us = UsSince(task_start);
               LRPDB_COUNTER_INC("eval.parallel.tasks");
             }

@@ -75,6 +75,13 @@ struct EvaluationOptions {
   // kDefaultMaxRounds) on top of max_iterations above. Setting
   // limits.exec directly is equivalent; this field wins if both are set.
   ExecContext* exec = nullptr;
+  // Apply clauses through the compiled-plan batch kernel (columnar
+  // TupleBlock scans over cached ClausePlans, DESIGN.md §9) instead of the
+  // tuple-at-a-time legacy join. Both paths produce the bit-identical
+  // model, insertion order, and Explain(false) dump at any thread count;
+  // the legacy path is kept as the differential oracle
+  // (tests/batch_kernel_test.cc) and for ablation.
+  bool use_batch_kernel = true;
   // Worker threads for the clause-application phase of each round
   // (DESIGN.md §8). 0 (the default) resolves through
   // ThreadPool::DefaultThreads(), i.e. the LRPDB_THREADS environment

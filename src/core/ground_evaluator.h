@@ -29,6 +29,14 @@ struct GroundEvaluationOptions {
   int64_t window_hi = 1000;
   // Safety valve on total derived facts.
   int64_t max_facts = 10'000'000;
+  // Run the join/filter/head stages over clause plans compiled once per
+  // clause (src/core/clause_plan.h): flat frontier rows instead of
+  // per-fact optional-vector copies, per-atom incremental bound checks
+  // instead of full DBM rescans, and a hoisted head stage (the per-binding
+  // DBM closure and head-variable pinning analysis run once per clause).
+  // The tuple-at-a-time legacy path is kept as the differential oracle;
+  // both produce the identical fact sets in the identical insertion order.
+  bool use_compiled_plan = true;
   // Optional execution governance (deadline / budgets / cancellation); not
   // owned, must outlive the evaluation. The join and head loops poll it,
   // and derived facts charge its tuple/byte budgets; a trip unwinds as that

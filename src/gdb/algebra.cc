@@ -7,6 +7,7 @@
 
 #include "src/common/exec_context.h"
 #include "src/common/failpoint.h"
+#include "src/gdb/batch.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -219,12 +220,28 @@ std::optional<GeneralizedTuple> IntersectTuples(const GeneralizedTuple& a,
   LRPDB_OPERATOR_SCOPE(op, "gdb.select", r.size());
   LRPDB_FAILPOINT("algebra.select");
   GeneralizedRelation out(r.schema());
-  for (size_t i = 0; i < r.size(); ++i) {
-    LRPDB_RETURN_IF_ERROR(PollExec(limits.exec));
-    GeneralizedTuple t = r.tuple(i);
-    t.mutable_constraint().And(constraint);
-    LRPDB_RETURN_IF_ERROR(out.InsertUnlessEmpty(std::move(t), limits).status());
-  }
+  // Batch form: one conjoin pass refines the mask and produces the closed
+  // conjunctions; only satisfiable rows reach the output store.
+  TupleBlock block;
+  block.FillFromRange(r.store(), 0, r.size());
+  SelectionMask mask;
+  mask.Reset(block.rows());
+  std::vector<Dbm> conjoined;
+  BatchConstraintConjoin(block, constraint, &mask, &conjoined);
+  Status failed = OkStatus();
+  mask.ForEachSet([&](size_t row) {
+    if (!failed.ok()) return;
+    failed = [&]() -> Status {
+      LRPDB_RETURN_IF_ERROR(PollExec(limits.exec));
+      const GeneralizedTuple& t = block.tuple(row);
+      return out
+          .InsertUnlessEmpty(GeneralizedTuple(t.lrps(), t.data(),
+                                              std::move(conjoined[row])),
+                             limits)
+          .status();
+    }();
+  });
+  LRPDB_RETURN_IF_ERROR(failed);
   op.set_output(static_cast<int64_t>(out.size()));
   return out;
 }
@@ -360,11 +377,29 @@ std::optional<GeneralizedTuple> IntersectTuples(const GeneralizedTuple& a,
   }
   LRPDB_OPERATOR_SCOPE(op, "gdb.select_data", r.size());
   GeneralizedRelation out(r.schema());
-  for (size_t i = 0; i < r.size(); ++i) {
-    if (r.tuple(i).data()[column] == value) {
-      LRPDB_RETURN_IF_ERROR(out.InsertUnlessEmpty(r.tuple(i)).status());
+  const TupleStore& store = r.store();
+  TupleBlock block;
+  if (store.index_enabled()) {
+    // Posting fast path: only the matching entries are ever visited (the
+    // posting is ascending, so output order matches the scan path).
+    const std::vector<EntryId>* posting = store.PostingFor(column, value);
+    if (posting == nullptr) {
+      op.set_output(0);
+      return out;
     }
+    block.FillFromPosting(store, *posting, 0, r.size());
+  } else {
+    block.FillFromRange(store, 0, r.size());
   }
+  SelectionMask mask;
+  mask.Reset(block.rows());
+  BatchSelectDataEquals(block, column, value, &mask);
+  Status failed = OkStatus();
+  mask.ForEachSet([&](size_t row) {
+    if (!failed.ok()) return;
+    failed = out.InsertUnlessEmpty(block.tuple(row)).status();
+  });
+  LRPDB_RETURN_IF_ERROR(failed);
   op.set_output(static_cast<int64_t>(out.size()));
   return out;
 }
@@ -377,11 +412,17 @@ std::optional<GeneralizedTuple> IntersectTuples(const GeneralizedTuple& a,
   }
   LRPDB_OPERATOR_SCOPE(op, "gdb.select_data_eq", r.size());
   GeneralizedRelation out(r.schema());
-  for (size_t k = 0; k < r.size(); ++k) {
-    if (r.tuple(k).data()[i] == r.tuple(k).data()[j]) {
-      LRPDB_RETURN_IF_ERROR(out.InsertUnlessEmpty(r.tuple(k)).status());
-    }
-  }
+  TupleBlock block;
+  block.FillFromRange(r.store(), 0, r.size());
+  SelectionMask mask;
+  mask.Reset(block.rows());
+  BatchSelectDataColumnsEqual(block, i, j, &mask);
+  Status failed = OkStatus();
+  mask.ForEachSet([&](size_t row) {
+    if (!failed.ok()) return;
+    failed = out.InsertUnlessEmpty(block.tuple(row)).status();
+  });
+  LRPDB_RETURN_IF_ERROR(failed);
   op.set_output(static_cast<int64_t>(out.size()));
   return out;
 }

@@ -55,13 +55,16 @@ void MirrorInsertStats(int64_t StoreStats::*field, int64_t amount) {
 }  // namespace
 
 TupleStore::TupleStore(RelationSchema schema)
-    : schema_(schema), data_index_(schema.data_arity) {}
+    : schema_(schema),
+      data_index_(schema.data_arity),
+      data_columns_(schema.data_arity) {}
 
 TupleStore::TupleStore(TupleStore&& other) noexcept
     : schema_(std::move(other.schema_)),
       entries_(std::move(other.entries_)),
       signature_index_(std::move(other.signature_index_)),
       data_index_(std::move(other.data_index_)),
+      data_columns_(std::move(other.data_columns_)),
       delta_lo_(other.delta_lo_),
       delta_hi_(other.delta_hi_),
       index_enabled_(other.index_enabled_) {
@@ -79,6 +82,7 @@ TupleStore& TupleStore::operator=(TupleStore&& other) noexcept {
   entries_ = std::move(other.entries_);
   signature_index_ = std::move(other.signature_index_);
   data_index_ = std::move(other.data_index_);
+  data_columns_ = std::move(other.data_columns_);
   delta_lo_ = other.delta_lo_;
   delta_hi_ = other.delta_hi_;
   index_enabled_ = other.index_enabled_;
@@ -215,6 +219,7 @@ bool TupleStore::Append(GeneralizedTuple tuple,
   it->second.entries.push_back(id);
   for (int c = 0; c < schema_.data_arity; ++c) {
     data_index_[c][tuple.data()[c]].push_back(id);
+    data_columns_[c].push_back(tuple.data()[c]);
   }
   entries_.push_back(Entry{std::move(tuple), it->second.id});
   {
@@ -286,6 +291,20 @@ const std::vector<EntryId>* TupleStore::SmallestPosting(
     }
     if (posted != entries_.size()) {
       return InternalError("postings do not cover all entries");
+    }
+  }
+  // Columnar mirrors agree with the entries.
+  if (data_columns_.size() != static_cast<size_t>(schema_.data_arity)) {
+    return InternalError("data column mirror arity mismatch");
+  }
+  for (int c = 0; c < schema_.data_arity; ++c) {
+    if (data_columns_[c].size() != entries_.size()) {
+      return InternalError("data column mirror length mismatch");
+    }
+    for (size_t id = 0; id < entries_.size(); ++id) {
+      if (data_columns_[c][id] != entries_[id].tuple.data()[c]) {
+        return InternalError("data column mirror value mismatch");
+      }
     }
   }
   return OkStatus();

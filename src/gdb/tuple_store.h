@@ -147,6 +147,45 @@ class TupleStore {
     return approx_bytes_.load(std::memory_order_relaxed);
   }
 
+  // Columnar mirror of data column `c`: position `id` holds entry `id`'s
+  // value, maintained by every append. The batch layer (src/gdb/batch.h)
+  // scans these dense spans instead of dereferencing per-entry tuples.
+  const std::vector<DataValue>& data_column(int c) const {
+    return data_columns_[c];
+  }
+
+  // The posting list for `value` in data column `column` (ascending entry
+  // ids), or nullptr when no entry carries that value. Only meaningful with
+  // index_enabled(); compiled clause plans (src/core/clause_plan.h) probe
+  // postings directly so selectivity ordering happens once per clause
+  // instead of once per candidate scan.
+  const std::vector<EntryId>* PostingFor(int column, DataValue value) const {
+    const auto& index = data_index_[column];
+    auto it = index.find(value);
+    return it == index.end() ? nullptr : &it->second;
+  }
+
+  // One probe's worth of counter updates, a single critical section per
+  // candidate scan rather than per yielded tuple. Public so the batch
+  // kernel's fused scans report through the same counters as
+  // ForEachCandidateInRange.
+  void CountProbe(StoreStats* round_stats, int64_t scanned,
+                  int64_t pruned) const LRPDB_LOCKS_EXCLUDED(stats_mu_) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.index_probes;
+      stats_.tuples_scanned += scanned;
+      stats_.tuples_pruned += pruned;
+    }
+    if (round_stats != nullptr) {
+      ++round_stats->index_probes;
+      round_stats->tuples_scanned += scanned;
+      round_stats->tuples_pruned += pruned;
+    }
+    LRPDB_COUNTER_ADD("store.tuples_scanned", scanned);
+    LRPDB_COUNTER_ADD("store.tuples_pruned", pruned);
+  }
+
   // The residue pieces of entry `id`, computed on first use and cached.
   // The returned pointer stays valid until the next mutation; the pointee
   // is immutable once returned, so concurrent callers may share it.
@@ -288,31 +327,15 @@ class TupleStore {
   void BumpStat(int64_t StoreStats::*field, int64_t amount,
                 StoreStats* round_stats) const LRPDB_LOCKS_EXCLUDED(stats_mu_);
 
-  // One probe's worth of counter updates, a single critical section per
-  // ForEachCandidate call rather than per yielded tuple.
-  void CountProbe(StoreStats* round_stats, int64_t scanned,
-                  int64_t pruned) const LRPDB_LOCKS_EXCLUDED(stats_mu_) {
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.index_probes;
-      stats_.tuples_scanned += scanned;
-      stats_.tuples_pruned += pruned;
-    }
-    if (round_stats != nullptr) {
-      ++round_stats->index_probes;
-      round_stats->tuples_scanned += scanned;
-      round_stats->tuples_pruned += pruned;
-    }
-    LRPDB_COUNTER_ADD("store.tuples_scanned", scanned);
-    LRPDB_COUNTER_ADD("store.tuples_pruned", pruned);
-  }
-
   RelationSchema schema_;
   std::vector<Entry> entries_;
   std::unordered_map<FreeExtension, SignatureBucket, FreeExtensionHash>
       signature_index_;
   // data_index_[column][value] = ascending entry ids with that value.
   std::vector<std::unordered_map<DataValue, std::vector<EntryId>>> data_index_;
+  // data_columns_[column][id] = entry id's value in that column: the
+  // structure-of-arrays mirror batch scans read.
+  std::vector<std::vector<DataValue>> data_columns_;
   size_t delta_lo_ = 0;
   size_t delta_hi_ = 0;
   bool index_enabled_ = true;

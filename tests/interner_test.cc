@@ -1,0 +1,98 @@
+// Interner behavior plus an allocation regression test: lookups of
+// already-interned names must not allocate. Intern/Find used to spell the
+// probe as ids_.find(std::string(name)), materializing a heap string per
+// lookup for any name beyond the SSO threshold; the transparent-hash map
+// (C++20 heterogeneous find) makes the probe allocation-free. The global
+// operator new below counts every allocation in the process, so the test
+// pins the guarantee directly rather than through timing.
+
+#include "src/common/interner.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace {
+std::atomic<int64_t> g_allocations{0};
+}  // namespace
+
+// Counting replacements for the global allocator. They forward to malloc /
+// free, which keeps the sanitizer legs (ASan/TSan intercept at the malloc
+// layer) and leak detection working unchanged.
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace lrpdb {
+namespace {
+
+TEST(InternerTest, InternAssignsDenseIdsAndRoundTrips) {
+  Interner interner;
+  SymbolId a = interner.Intern("alpha");
+  SymbolId b = interner.Intern("beta");
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(interner.Intern("alpha"), a);
+  EXPECT_EQ(interner.Find("beta"), b);
+  EXPECT_EQ(interner.Find("gamma"), -1);
+  EXPECT_EQ(interner.NameOf(a), "alpha");
+  EXPECT_EQ(interner.NameOf(b), "beta");
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(InternerTest, LookupsOfInternedNamesDoNotAllocate) {
+  Interner interner;
+  // Names long enough to defeat the small-string optimization: a per-probe
+  // std::string copy of these is guaranteed to hit the heap, which is
+  // exactly what this test must rule out.
+  std::vector<std::string> names;
+  for (int i = 0; i < 64; ++i) {
+    names.push_back("predicate_with_a_deliberately_long_name_" +
+                    std::to_string(i));
+  }
+  for (const std::string& name : names) interner.Intern(name);
+
+  const int64_t before = g_allocations.load(std::memory_order_relaxed);
+  int64_t hits = 0;
+  for (int repeat = 0; repeat < 100; ++repeat) {
+    for (const std::string& name : names) {
+      hits += interner.Find(name) >= 0 ? 1 : 0;
+      hits += interner.Intern(name) >= 0 ? 1 : 0;
+    }
+  }
+  const int64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(hits, 2 * 100 * 64);
+  EXPECT_EQ(after - before, 0)
+      << "re-interning or finding an existing name allocated";
+}
+
+TEST(InternerTest, OnlyNewNamesAllocate) {
+  Interner interner;
+  interner.Intern("already_interned_name_that_is_quite_long_indeed");
+  const int64_t before = g_allocations.load(std::memory_order_relaxed);
+  interner.Intern("fresh_name_that_must_be_copied_into_the_interner");
+  const int64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_GT(after - before, 0) << "interning a new name must copy it";
+}
+
+}  // namespace
+}  // namespace lrpdb
