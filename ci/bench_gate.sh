@@ -9,9 +9,10 @@
 #                               under bench/baseline/ with a justification)
 #
 # What it does:
-#  1. Configures build-bench-gate as Release with LRPDB_NO_METRICS and
-#     LRPDB_NO_FAILPOINTS: the gate times the engine, not the
-#     instrumentation, and a disarmed failpoint load is still a load.
+#  1. Configures build-bench-gate as Release with LRPDB_NO_METRICS,
+#     LRPDB_NO_FAILPOINTS, and LRPDB_NO_PROVENANCE: the gate times the
+#     engine, not the instrumentation — a disarmed failpoint load is still
+#     a load, and provenance recording is opt-in per evaluation anyway.
 #  2. Runs the evaluation-shaped benches (bench_e2, bench_e3, bench_e4)
 #     twice:
 #     LRPDB_THREADS=1 (the gated run — deterministic, machine-independent
@@ -39,9 +40,9 @@ build_dir=build-bench-gate
 gate_benches=(bench_e2_termination_sweep bench_e3_algebra_ptime
               bench_e4_closed_form_vs_ground)
 
-echo "== bench gate: Release build (LRPDB_NO_METRICS, LRPDB_NO_FAILPOINTS)"
+echo "== bench gate: Release build (LRPDB_NO_METRICS, LRPDB_NO_FAILPOINTS, LRPDB_NO_PROVENANCE)"
 cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release \
-  -DLRPDB_NO_METRICS=ON -DLRPDB_NO_FAILPOINTS=ON
+  -DLRPDB_NO_METRICS=ON -DLRPDB_NO_FAILPOINTS=ON -DLRPDB_NO_PROVENANCE=ON
 cmake --build "$build_dir" -j"$(nproc)" --target "${gate_benches[@]}"
 
 report_root="$PWD/$build_dir/gate-reports"

@@ -16,15 +16,23 @@
 #                            note when clang-format is not installed)
 #   ci/check.sh --faults     fault-injection pass: build ASan and TSan trees
 #                            and run the governance + fault-injection +
-#                            parallel-evaluator suites (exec_context/
-#                            governance/fault_injection/parallel_evaluator)
-#                            under both, with leak detection on. Includes the
-#                            determinism differential: the parallel suites
-#                            assert bit-identical Explain() dumps and tuple
-#                            sets across 1, 2, and 8 worker threads, and the
-#                            TSan leg repeats them with LRPDB_THREADS=8
-#                            forced into the environment. Standalone mode:
-#                            skips the plain build/ctest above.
+#                            parallel-evaluator + provenance suites
+#                            (exec_context/governance/fault_injection/
+#                            parallel_evaluator/provenance) under both, with
+#                            leak detection on. Includes the determinism
+#                            differentials: the parallel suites assert
+#                            bit-identical Explain() dumps and tuple sets
+#                            across 1, 2, and 8 worker threads, the
+#                            provenance suite asserts identical derivation
+#                            logs across the same grid, and the TSan leg
+#                            repeats both with LRPDB_THREADS=8 forced into
+#                            the environment. Standalone mode: skips the
+#                            plain build/ctest above.
+#   ci/check.sh --noprov     additionally build and test a tree configured
+#                            with -DLRPDB_NO_PROVENANCE=ON: the recording
+#                            sites fold away (provenance_disabled_test
+#                            asserts the gate, the evaluation suites must
+#                            still pass unchanged)
 #   ci/check.sh --help       print this text
 #
 # Perf-regression gate (separate entry point): ci/bench_gate.sh builds a
@@ -52,6 +60,7 @@ bench=0
 lint=0
 format=0
 faults=0
+noprov=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) sanitize=1 ;;
@@ -60,6 +69,7 @@ for arg in "$@"; do
     --lint) lint=1 ;;
     --format) format=1 ;;
     --faults) faults=1 ;;
+    --noprov) noprov=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -80,20 +90,20 @@ if [[ "$faults" == 1 ]]; then
   # carry the determinism differential (ParallelDeterminismTest asserts
   # bit-identical timing-free Explain() dumps and relation dumps across
   # 1, 2, and 8 worker threads) plus worker-side governance unwinding.
-  fault_filter='^(ExecContextTest|GovernanceTest|FailpointTest|FaultInjectionWalkTest|ThreadPoolTest|ParallelEvaluatorTest)\.|ParallelDeterminismTest\.'
-  parallel_filter='(ThreadPoolTest|ParallelEvaluatorTest|ParallelDeterminismTest)\.'
+  fault_filter='^(ExecContextTest|GovernanceTest|FailpointTest|FaultInjectionWalkTest|ThreadPoolTest|ParallelEvaluatorTest|ProvenanceTest|GroundProvenanceTest)\.|ParallelDeterminismTest\.|ProvenanceRandomTest\.'
+  parallel_filter='(ThreadPoolTest|ParallelEvaluatorTest|ParallelDeterminismTest)\.|ProvenanceRandomTest\.'
   echo "== fault injection: ASan"
   cmake -B build-asan -S . -DLRPDB_SANITIZE=ON
   cmake --build build-asan -j"$(nproc)" --target \
     exec_context_test governance_test fault_injection_test \
-    parallel_evaluator_test
+    parallel_evaluator_test provenance_test
   ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="print_stacktrace=1" \
     ctest --test-dir build-asan --output-on-failure -R "$fault_filter"
   echo "== fault injection: TSan"
   cmake -B build-tsan -S . -DLRPDB_SANITIZE=thread
   cmake --build build-tsan -j"$(nproc)" --target \
     exec_context_test governance_test fault_injection_test \
-    parallel_evaluator_test
+    parallel_evaluator_test provenance_test
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -R "$fault_filter"
   echo "== determinism differential under TSan with LRPDB_THREADS=8 forced"
@@ -139,9 +149,16 @@ if [[ "$tsan" == 1 ]]; then
   # forced: maximal pool contention under TSan, with the determinism
   # assertions re-checking the merged results.
   LRPDB_THREADS=8 ctest --test-dir "$build_dir" --output-on-failure \
-    -R '(ThreadPoolTest|ParallelEvaluatorTest|ParallelDeterminismTest)\.'
+    -R '(ThreadPoolTest|ParallelEvaluatorTest|ParallelDeterminismTest)\.|ProvenanceRandomTest\.'
 else
   ctest --test-dir "$build_dir" --output-on-failure
+fi
+
+if [[ "$noprov" == 1 ]]; then
+  echo "== provenance compiled out (-DLRPDB_NO_PROVENANCE=ON)"
+  cmake -B build-noprov -S . -DLRPDB_NO_PROVENANCE=ON
+  cmake --build build-noprov -j"$(nproc)"
+  ctest --test-dir build-noprov --output-on-failure
 fi
 
 if [[ "$lint" == 1 ]]; then

@@ -11,11 +11,26 @@ where "counters" is non-empty (every report writer bumps
 bench.reports_written) unless --allow-empty-counters is given, which is the
 escape hatch for LRPDB_NO_METRICS builds.
 
+Every metric name must fall under a known engine namespace (KNOWN_PREFIXES
+below, including the provenance counters eval.prov.*): a typo'd or stale
+name in an instrumentation site would otherwise ship silently in CI
+artifacts. Adding a new subsystem means adding its prefix here.
+
 Exits nonzero naming the offending file on the first violation.
 """
 
 import json
 import sys
+
+KNOWN_PREFIXES = (
+    "bench.",
+    "datalog1s.",
+    "eval.",       # includes eval.batch.*, eval.parallel.*, eval.prov.*
+    "exec.",
+    "gdb.",
+    "store.",
+    "templog.",
+)
 
 
 def fail(path, message):
@@ -48,6 +63,10 @@ def validate(path, allow_empty_counters):
     for kind in ("counters", "gauges", "histograms"):
         if not isinstance(metrics.get(kind), dict):
             fail(path, f'"metrics.{kind}" missing or not an object')
+        for name in metrics[kind]:
+            if not name.startswith(KNOWN_PREFIXES):
+                fail(path, f'{kind[:-1]} "{name}" is outside the known '
+                           f'metric namespaces {KNOWN_PREFIXES}')
     counters = metrics["counters"]
     if not allow_empty_counters and not counters:
         fail(path, '"metrics.counters" is empty (instrumentation inactive?)')

@@ -2,11 +2,28 @@
 //
 // Usage:
 //   lrpdbsh <program-file> [--window LO HI] [--fo "<formula>"] [--trace]
-//           [--export]
+//           [--export] [--why "<tuple>"] [--dot <file>] [--repl]
 //
 // --export prints the computed model as .decl/.fact statements (the
 // "convert once and for all" workflow: re-load the closed form later as a
 // plain extensional database, no re-derivation needed).
+//
+// --why asks for the derivation of a tuple (see `explain why` below) right
+// after evaluation; --dot additionally writes its derivation graph as
+// Graphviz DOT to a file. --repl drops into an interactive loop after the
+// one-shot output:
+//
+//   explain why p#3            derivation tree of entry 3 of relation p
+//   explain why p(26, "a")     ... of every stored tuple containing that
+//                              ground fact (times first, then data)
+//   :dot p#3 [file]            derivation graph as Graphviz DOT
+//   :metrics                   MetricsRegistry snapshot
+//   :explain                   the evaluation's per-rule EXPLAIN profile
+//   :quit                      leave
+//
+// Why-provenance recording is enabled whenever --why, --dot, or --repl is
+// given (it disables result compaction so entry ids stay stable; the model
+// is unchanged).
 //
 // Reads a program in the surface syntax (declarations, generalized facts,
 // rules, `?-` queries), evaluates the deductive layer bottom-up, prints the
@@ -18,12 +35,17 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/core/evaluator.h"
+#include "src/core/provenance.h"
 #include "src/fo/fo.h"
 #include "src/gdb/serialize.h"
+#include "src/obs/metrics.h"
 #include "src/parser/parser.h"
 
 namespace {
@@ -70,15 +92,301 @@ void PrintRelation(const char* name, const lrpdb::GeneralizedRelation& r,
   std::printf("\n");
 }
 
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+// Everything `explain why` / `:dot` need to resolve and render tuples.
+struct ProvSession {
+  const lrpdb::Database* db = nullptr;
+  const lrpdb::EvaluationResult* result = nullptr;
+  lrpdb::ProvenanceLog* log = nullptr;
+
+  const lrpdb::GeneralizedRelation* RelationOf(const std::string& name) const {
+    auto it = result->idb.find(name);
+    if (it != result->idb.end()) return &it->second;
+    auto rel = db->Relation(name);
+    return rel.ok() ? *rel : nullptr;
+  }
+
+  std::string TupleLabel(const std::string& relation,
+                         lrpdb::EntryId entry) const {
+    const lrpdb::GeneralizedRelation* rel = RelationOf(relation);
+    if (rel == nullptr || entry >= rel->size()) return "(unknown entry)";
+    return Trim(rel->tuple(entry).ToString(&db->interner()));
+  }
+
+  std::string RuleLabel(int32_t rule) const {
+    const auto& rules = result->profile.rules;
+    if (rule < 0 || static_cast<size_t>(rule) >= rules.size()) {
+      return "base fact";
+    }
+    return rules[rule].rule;
+  }
+};
+
+// Parses "pred#3", "pred(26, \"a\")", or bare "pred", resolving the entry
+// ids to explain. Ground-point specs list times first, then data values
+// (quotes optional), and match every stored tuple whose ground set contains
+// the point.
+bool ResolveTupleSpec(const ProvSession& s, const std::string& spec,
+                      std::string* name, std::vector<lrpdb::EntryId>* entries,
+                      std::string* error) {
+  const std::string text = Trim(spec);
+  size_t hash = text.find('#');
+  size_t paren = text.find('(');
+  if (hash != std::string::npos) {
+    *name = Trim(text.substr(0, hash));
+    entries->push_back(
+        static_cast<lrpdb::EntryId>(std::atoll(text.c_str() + hash + 1)));
+    const lrpdb::GeneralizedRelation* rel = s.RelationOf(*name);
+    if (rel == nullptr) {
+      *error = "unknown relation '" + *name + "'";
+      return false;
+    }
+    if (entries->back() >= rel->size()) {
+      *error = *name + " has only " + std::to_string(rel->size()) +
+               " entries";
+      return false;
+    }
+    return true;
+  }
+  if (paren == std::string::npos) {
+    *name = text;
+    const lrpdb::GeneralizedRelation* rel = s.RelationOf(*name);
+    if (rel == nullptr) {
+      *error = "unknown relation '" + *name + "'";
+      return false;
+    }
+    for (size_t i = 0; i < rel->size(); ++i) {
+      entries->push_back(static_cast<lrpdb::EntryId>(i));
+    }
+    return true;
+  }
+  *name = Trim(text.substr(0, paren));
+  const lrpdb::GeneralizedRelation* rel = s.RelationOf(*name);
+  if (rel == nullptr) {
+    *error = "unknown relation '" + *name + "'";
+    return false;
+  }
+  size_t close = text.rfind(')');
+  if (close == std::string::npos || close < paren) {
+    *error = "missing ')' in tuple spec";
+    return false;
+  }
+  std::vector<std::string> args;
+  std::string arg;
+  for (size_t i = paren + 1; i < close; ++i) {
+    if (text[i] == ',') {
+      args.push_back(Trim(arg));
+      arg.clear();
+    } else {
+      arg += text[i];
+    }
+  }
+  if (!Trim(arg).empty()) args.push_back(Trim(arg));
+  const lrpdb::RelationSchema schema = rel->schema();
+  if (static_cast<int>(args.size()) !=
+      schema.temporal_arity + schema.data_arity) {
+    *error = *name + " expects " + std::to_string(schema.temporal_arity) +
+             " time + " + std::to_string(schema.data_arity) + " data args";
+    return false;
+  }
+  std::vector<int64_t> times;
+  std::vector<lrpdb::DataValue> data;
+  for (int k = 0; k < schema.temporal_arity; ++k) {
+    times.push_back(std::atoll(args[k].c_str()));
+  }
+  for (int k = 0; k < schema.data_arity; ++k) {
+    std::string v = args[schema.temporal_arity + k];
+    if (v.size() >= 2 && v.front() == '"' && v.back() == '"') {
+      v = v.substr(1, v.size() - 2);
+    }
+    lrpdb::SymbolId id = s.db->interner().Find(v);
+    if (id < 0) {
+      *error = "unknown data constant '" + v + "'";
+      return false;
+    }
+    data.push_back(id);
+  }
+  for (size_t i = 0; i < rel->size(); ++i) {
+    if (rel->tuple(i).ContainsGround(times, data)) {
+      entries->push_back(static_cast<lrpdb::EntryId>(i));
+    }
+  }
+  if (entries->empty()) {
+    *error = "no stored tuple of " + *name + " contains that ground fact";
+    return false;
+  }
+  return true;
+}
+
+int ExplainWhy(const ProvSession& s, const std::string& spec) {
+  std::string name;
+  std::string error;
+  std::vector<lrpdb::EntryId> entries;
+  if (!ResolveTupleSpec(s, spec, &name, &entries, &error)) {
+    std::printf("explain why: %s\n", error.c_str());
+    return 1;
+  }
+  std::optional<lrpdb::ProvRelationId> rel = s.log->FindRelation(name);
+  if (!rel.has_value()) {
+    std::printf("no provenance recorded for relation '%s'%s\n", name.c_str(),
+                lrpdb::kProvenanceCompiledIn
+                    ? ""
+                    : " (provenance is compiled out in this build)");
+    return 1;
+  }
+  constexpr size_t kMaxTrees = 5;
+  for (size_t i = 0; i < entries.size() && i < kMaxTrees; ++i) {
+    auto graph = s.log->WhyProvenance({*rel, entries[i]});
+    if (!graph.ok()) {
+      std::printf("explain why: %s\n", graph.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s",
+                s.log->RenderTree(*graph,
+                                  [&](const std::string& r, lrpdb::EntryId e) {
+                                    return s.TupleLabel(r, e);
+                                  },
+                                  [&](int32_t r) { return s.RuleLabel(r); })
+                    .c_str());
+  }
+  if (entries.size() > kMaxTrees) {
+    std::printf("(%zu more matching entries not shown)\n",
+                entries.size() - kMaxTrees);
+  }
+  return 0;
+}
+
+int ExportDot(const ProvSession& s, const std::string& spec,
+              const std::string& path) {
+  std::string name;
+  std::string error;
+  std::vector<lrpdb::EntryId> entries;
+  if (!ResolveTupleSpec(s, spec, &name, &entries, &error)) {
+    std::printf("dot: %s\n", error.c_str());
+    return 1;
+  }
+  std::optional<lrpdb::ProvRelationId> rel = s.log->FindRelation(name);
+  if (!rel.has_value()) {
+    std::printf("dot: no provenance recorded for relation '%s'\n",
+                name.c_str());
+    return 1;
+  }
+  auto graph = s.log->WhyProvenance({*rel, entries.front()});
+  if (!graph.ok()) {
+    std::printf("dot: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  std::string dot =
+      s.log->ToDot(*graph,
+                   [&](const std::string& r, lrpdb::EntryId e) {
+                     return s.TupleLabel(r, e);
+                   },
+                   [&](int32_t r) { return s.RuleLabel(r); });
+  if (path.empty()) {
+    std::printf("%s", dot.c_str());
+    return 0;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::printf("dot: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << dot;
+  std::printf("wrote %s (%zu nodes)\n", path.c_str(), graph->nodes.size());
+  return 0;
+}
+
+void PrintMetrics() {
+  lrpdb::obs::MetricsSnapshot snap =
+      lrpdb::obs::MetricsRegistry::Global().Snapshot();
+  std::printf("== metrics ==\n");
+  for (const auto& [name, value] : snap.counters) {
+    std::printf("  counter   %-36s %ld\n", name.c_str(),
+                static_cast<long>(value));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    std::printf("  gauge     %-36s %ld\n", name.c_str(),
+                static_cast<long>(value));
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    std::printf("  histogram %-36s count=%ld sum=%ld\n", name.c_str(),
+                static_cast<long>(h.count), static_cast<long>(h.sum));
+  }
+  if (snap.counters.empty() && snap.gauges.empty() &&
+      snap.histograms.empty()) {
+    std::printf("  (no metrics registered; built with LRPDB_NO_METRICS?)\n");
+  }
+}
+
+void Repl(const ProvSession& s) {
+  std::printf(
+      "lrpdbsh repl -- `explain why p#0`, `explain why p(26, \"a\")`, "
+      "`:dot p#0 [file]`, `:metrics`, `:explain`, `:quit`\n");
+  std::string line;
+  while (true) {
+    std::printf("lrpdb> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    line = Trim(line);
+    if (line.empty()) continue;
+    if (line == ":quit" || line == ":q" || line == "quit" || line == "exit") {
+      break;
+    }
+    if (line == ":metrics") {
+      PrintMetrics();
+      continue;
+    }
+    if (line == ":explain") {
+      std::printf("%s", s.result->Explain().c_str());
+      continue;
+    }
+    if (line.rfind(":dot", 0) == 0) {
+      std::istringstream in(line.substr(4));
+      std::string spec;
+      std::string path;
+      in >> spec >> path;
+      if (spec.empty()) {
+        std::printf(":dot needs a tuple spec, e.g. :dot p#0 why.dot\n");
+      } else {
+        ExportDot(s, spec, path);
+      }
+      continue;
+    }
+    std::string spec;
+    if (line.rfind("explain why ", 0) == 0 ||
+        line.rfind("EXPLAIN WHY ", 0) == 0) {
+      spec = line.substr(12);
+    } else if (line.rfind("why ", 0) == 0) {
+      spec = line.substr(4);
+    }
+    if (!spec.empty()) {
+      ExplainWhy(s, spec);
+      continue;
+    }
+    std::printf(
+        "unknown command; try `explain why <tuple>`, `:dot`, `:metrics`, "
+        "`:explain`, or `:quit`\n");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string source = kDemo;
   std::string fo_formula;
+  std::string why_spec;
+  std::string dot_path;
   int64_t window_lo = 0;
   int64_t window_hi = 400;
   bool trace = false;
   bool export_model = false;
+  bool repl = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--window") == 0 && i + 2 < argc) {
       window_lo = std::atoll(argv[++i]);
@@ -89,6 +397,12 @@ int main(int argc, char** argv) {
       trace = true;
     } else if (std::strcmp(argv[i], "--export") == 0) {
       export_model = true;
+    } else if (std::strcmp(argv[i], "--why") == 0 && i + 1 < argc) {
+      why_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--dot") == 0 && i + 1 < argc) {
+      dot_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--repl") == 0) {
+      repl = true;
     } else {
       std::ifstream file(argv[i]);
       if (!file) {
@@ -105,8 +419,11 @@ int main(int argc, char** argv) {
   auto unit = lrpdb::Parse(source, &db);
   if (!unit.ok()) return Fail(unit.status());
 
+  const bool want_provenance = repl || !why_spec.empty();
+  lrpdb::ProvenanceLog provenance;
   lrpdb::EvaluationOptions options;
   options.record_trace = trace;
+  if (want_provenance) options.provenance = &provenance;
   auto result = lrpdb::Evaluate(unit->program, db, options);
   if (!result.ok()) return Fail(result.status());
 
@@ -181,6 +498,16 @@ int main(int argc, char** argv) {
       PrintRelation("answers", fo_result->relation, db, window_lo,
                     window_hi);
     }
+  }
+
+  if (want_provenance) {
+    ProvSession session{&db, &*result, &provenance};
+    if (!why_spec.empty()) {
+      std::printf("== explain why %s ==\n", why_spec.c_str());
+      int rc = ExplainWhy(session, why_spec);
+      if (rc == 0 && !dot_path.empty()) ExportDot(session, why_spec, dot_path);
+    }
+    if (repl) Repl(session);
   }
   return 0;
 }

@@ -233,7 +233,8 @@ bool UnifyTemporal(const NormalizedBodyAtom& atom,
 [[nodiscard]] Status ApplyClauseBatch(
     const NormalizedClause& clause, const ClausePlan& plan,
     const std::vector<AtomSource>& sources, const NormalizeLimits& limits,
-    StoreStats* stats, std::vector<GeneralizedTuple>* candidates) {
+    StoreStats* stats, std::vector<GeneralizedTuple>* candidates,
+    std::vector<std::vector<EntryId>>* parent_ids) {
   if (clause.always_false) return OkStatus();
   LRPDB_FAILPOINT("evaluator.apply_clause");
   ExecContext* exec = limits.exec;
@@ -414,11 +415,22 @@ bool UnifyTemporal(const NormalizedBodyAtom& atom,
         head_data.push_back(*v);
       }
     }
+    std::vector<EntryId> parents;
+    if (parent_ids != nullptr) {
+      // Why-provenance: the binding already carries every atom's matched
+      // entry id in body order; negated atoms are omitted (they match
+      // evaluation-local complement relations).
+      parents.reserve(binding.ids.size());
+      for (size_t a = 0; a < clause.body.size(); ++a) {
+        if (!clause.body[a].negated) parents.push_back(binding.ids[a]);
+      }
+    }
     for (const NormalizedTuple& piece : pieces) {
       NormalizedTuple projected =
           piece.ProjectTemporal(clause.head_temporal_vars);
       GeneralizedTuple head = projected.ToGeneralizedTuple();
       candidates->emplace_back(head.lrps(), head_data, head.constraint());
+      if (parent_ids != nullptr) parent_ids->push_back(parents);
       ++tuples_out;
     }
   }

@@ -155,13 +155,15 @@ class ClausePlanCache {
 // batch kernel, collecting candidate head tuples. Bit-identical to the
 // legacy ApplyClause path in emitted tuples and their order (see the
 // determinism note above); `stats`, when non-null, receives the probe
-// counters.
-[[nodiscard]] Status ApplyClauseBatch(const NormalizedClause& clause,
-                                      const ClausePlan& plan,
-                                      const std::vector<AtomSource>& sources,
-                                      const NormalizeLimits& limits,
-                                      StoreStats* stats,
-                                      std::vector<GeneralizedTuple>* candidates);
+// counters. `parent_ids`, when non-null, captures why-provenance: one
+// vector per emitted candidate holding the positive body atoms' matched
+// entry ids in body order (identical between the two kernels — the
+// reorder sort restores body-order emission before projection).
+[[nodiscard]] Status ApplyClauseBatch(
+    const NormalizedClause& clause, const ClausePlan& plan,
+    const std::vector<AtomSource>& sources, const NormalizeLimits& limits,
+    StoreStats* stats, std::vector<GeneralizedTuple>* candidates,
+    std::vector<std::vector<EntryId>>* parent_ids = nullptr);
 
 // --- Ground-kernel compilation (shared with src/core/ground_evaluator.cc) ---
 

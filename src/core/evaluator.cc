@@ -9,6 +9,7 @@
 #include "src/common/failpoint.h"
 #include "src/common/thread_pool.h"
 #include "src/core/clause_plan.h"
+#include "src/core/provenance.h"
 #include "src/gdb/algebra.h"
 
 #include "src/gdb/normalized_tuple.h"
@@ -51,6 +52,9 @@ struct Binding {
   std::vector<std::optional<Lrp>> lrps;
   Dbm constraint;
   std::vector<std::optional<DataValue>> data;
+  // Entry ids of the tuples joined so far, in body-atom order. Filled only
+  // while capturing why-provenance; empty otherwise.
+  std::vector<EntryId> ids;
 
   Binding(int num_temporal, int num_data, Dbm initial)
       : lrps(num_temporal), constraint(std::move(initial)), data(num_data) {}
@@ -129,10 +133,15 @@ bool UnifyTuple(const NormalizedBodyAtom& atom, const GeneralizedTuple& tuple,
 [[nodiscard]] Status ApplyClause(const NormalizedClause& clause,
                    const std::vector<AtomSource>& sources,
                    const NormalizeLimits& limits, StoreStats* stats,
-                   std::vector<GeneralizedTuple>* candidates) {
+                   std::vector<GeneralizedTuple>* candidates,
+                   std::vector<std::vector<EntryId>>* parent_ids) {
   if (clause.always_false) return OkStatus();
   LRPDB_FAILPOINT("evaluator.apply_clause");
   ExecContext* exec = limits.exec;
+  // Why-provenance capture: when requested, parent_ids stays 1:1 with
+  // candidates, each entry holding the positive body atoms' matched entry
+  // ids in body order.
+  const bool capture = parent_ids != nullptr;
   std::vector<Binding> frontier;
   frontier.emplace_back(clause.num_temporal_vars, clause.num_data_vars,
                         clause.constraint);
@@ -182,6 +191,7 @@ bool UnifyTuple(const NormalizedBodyAtom& atom, const GeneralizedTuple& tuple,
             if (!poll_status.ok()) return;
             Binding extended = binding;
             if (UnifyTuple(atom, store.tuple(id), &extended)) {
+              if (capture) extended.ids.push_back(id);
               next.push_back(std::move(extended));
             }
           });
@@ -217,11 +227,21 @@ bool UnifyTuple(const NormalizedBodyAtom& atom, const GeneralizedTuple& tuple,
         head_data.push_back(*v);
       }
     }
+    std::vector<EntryId> parents;
+    if (capture) {
+      // Negated atoms match evaluation-local complement relations whose
+      // entries are not stable addresses, so they are omitted.
+      parents.reserve(binding.ids.size());
+      for (size_t a = 0; a < clause.body.size(); ++a) {
+        if (!clause.body[a].negated) parents.push_back(binding.ids[a]);
+      }
+    }
     for (const NormalizedTuple& piece : pieces) {
       NormalizedTuple projected =
           piece.ProjectTemporal(clause.head_temporal_vars);
       GeneralizedTuple head = projected.ToGeneralizedTuple();
       candidates->emplace_back(head.lrps(), head_data, head.constraint());
+      if (capture) parent_ids->push_back(parents);
     }
   }
   return OkStatus();
@@ -530,6 +550,32 @@ std::string EvaluationResult::Explain(bool include_timings) const {
   ClausePlanCache plan_cache(normalized.clauses.size(),
                              /*allow_reorder=*/true);
 
+  // Why-provenance capture: resolved through EffectiveProvenance so every
+  // branch below is dead code under LRPDB_NO_PROVENANCE. Per-clause
+  // relation ids (head + positive body atoms, body order) are interned
+  // once; they pair with the per-candidate parent entry ids the kernels
+  // capture.
+  ProvenanceLog* prov = EffectiveProvenance(options.provenance);
+  struct ClauseProv {
+    ProvRelationId head = 0;
+    std::vector<ProvRelationId> parents;
+  };
+  std::vector<ClauseProv> clause_prov;
+  if (prov != nullptr) {
+    clause_prov.resize(normalized.clauses.size());
+    for (size_t ci = 0; ci < normalized.clauses.size(); ++ci) {
+      const NormalizedClause& clause = normalized.clauses[ci];
+      clause_prov[ci].head = prov->InternRelation(
+          program.predicates().NameOf(clause.head_predicate));
+      for (const NormalizedBodyAtom& atom : clause.body) {
+        if (!atom.negated) {
+          clause_prov[ci].parents.push_back(prov->InternRelation(
+              program.predicates().NameOf(atom.predicate)));
+        }
+      }
+    }
+  }
+
   int last_new_fe_round = 0;
   int total_rounds = 0;
   // Graceful degradation: `trip` is this context's sticky governance status
@@ -597,6 +643,8 @@ std::string EvaluationResult::Explain(bool include_timings) const {
       LRPDB_COUNTER_INC("eval.rounds");
       LRPDB_COUNTER_ADD("eval.round.delta_tuples", stats.delta_tuples);
       std::vector<std::pair<int, GeneralizedTuple>> candidates;
+      // Kept 1:1 with `candidates` while capturing provenance.
+      std::vector<std::vector<EntryId>> candidate_parents;
       // Build the round's task list sequentially, in clause order then
       // pivot order — exactly the ApplyClause call order of the
       // single-threaded engine. Each (clause, pivot) unit is further split
@@ -613,6 +661,8 @@ std::string EvaluationResult::Explain(bool include_timings) const {
         bool counts_application = false;  // First shard of its unit.
         // Worker outputs, merged sequentially after the round barrier.
         std::vector<GeneralizedTuple> candidates;
+        // 1:1 with candidates while capturing provenance; empty otherwise.
+        std::vector<std::vector<EntryId>> parent_ids;
         StoreStats store;
         int64_t apply_us = 0;
       };
@@ -723,13 +773,15 @@ std::string EvaluationResult::Explain(bool include_timings) const {
               const SteadyTime task_start = Now();
               const NormalizedClause& clause =
                   normalized.clauses[task.clause_index];
+              std::vector<std::vector<EntryId>>* task_parents =
+                  prov != nullptr ? &task.parent_ids : nullptr;
               LRPDB_RETURN_IF_ERROR(
                   task.plan != nullptr
                       ? ApplyClauseBatch(clause, *task.plan, task.sources,
                                          limits, &task.store,
-                                         &task.candidates)
+                                         &task.candidates, task_parents)
                       : ApplyClause(clause, task.sources, limits, &task.store,
-                                    &task.candidates));
+                                    &task.candidates, task_parents));
               task.apply_us = UsSince(task_start);
               LRPDB_COUNTER_INC("eval.parallel.tasks");
             }
@@ -758,6 +810,11 @@ std::string EvaluationResult::Explain(bool include_timings) const {
         for (GeneralizedTuple& t : task.candidates) {
           candidates.emplace_back(task.clause_index, std::move(t));
         }
+        if (prov != nullptr) {
+          for (std::vector<EntryId>& p : task.parent_ids) {
+            candidate_parents.push_back(std::move(p));
+          }
+        }
       }
       LRPDB_HISTOGRAM_RECORD("eval.parallel.merge_us", UsSince(merge_start));
 
@@ -766,7 +823,8 @@ std::string EvaluationResult::Explain(bool include_timings) const {
       stats.candidates = static_cast<int>(candidates.size());
       const SteadyTime insert_start = Now();
       bool grew = false;
-      for (auto& [clause_index, tuple] : candidates) {
+      for (size_t cand_i = 0; cand_i < candidates.size(); ++cand_i) {
+        auto& [clause_index, tuple] = candidates[cand_i];
         const std::string& name = program.predicates().NameOf(
             normalized.clauses[clause_index].head_predicate);
         GeneralizedRelation& relation = result.idb.at(name);
@@ -787,6 +845,41 @@ std::string EvaluationResult::Explain(bool include_timings) const {
             return result;
           }
           outcome = *std::move(outcome_or);
+        }
+        // Record the candidate's derivation origin: on insert against the
+        // fresh entry, on subsumption against every absorbing entry (a
+        // sound over-approximation; provenance.h). Empty-ground-set drops
+        // derived nothing and record nothing. Recording runs in this
+        // sequential phase only — the log needs no locking.
+        if (prov != nullptr &&
+            (outcome.inserted || !outcome.absorbers.empty())) {
+          const ClauseProv& cp = clause_prov[clause_index];
+          DerivationOrigin origin;
+          origin.rule = clause_index;
+          origin.round = total_rounds;
+          const std::vector<EntryId>& pids = candidate_parents[cand_i];
+          origin.parents.reserve(pids.size());
+          for (size_t k = 0; k < pids.size(); ++k) {
+            origin.parents.push_back(ProvRef{cp.parents[k], pids[k]});
+          }
+          Status recorded = OkStatus();
+          if (outcome.inserted) {
+            recorded =
+                prov->Record(ProvRef{cp.head, outcome.id}, std::move(origin));
+          } else {
+            for (size_t k = 0; k < outcome.absorbers.size(); ++k) {
+              recorded = prov->Record(
+                  ProvRef{cp.head, outcome.absorbers[k]},
+                  k + 1 == outcome.absorbers.size() ? std::move(origin)
+                                                    : origin);
+              if (!recorded.ok()) break;
+            }
+          }
+          if (!recorded.ok()) {
+            if (!IsGovernanceTrip(exec, recorded)) return recorded;
+            degrade(recorded);
+            return result;
+          }
         }
         if (options.record_trace) {
           result.trace.push_back(TraceEntry{total_rounds, clause_index, name,
@@ -840,7 +933,10 @@ std::string EvaluationResult::Explain(bool include_timings) const {
   }
   result.reached_fixpoint = true;
   result.free_extension_safe_at = last_new_fe_round;
-  if (options.compact_results) {
+  // Compaction rebuilds relations and renumbers entries, which would leave
+  // every recorded (relation, entry) address dangling — skipped while
+  // capturing provenance (same model, uncompacted closed form).
+  if (options.compact_results && prov == nullptr) {
     auto compact = [&]() -> Status {
       LRPDB_FAILPOINT("evaluator.compact");
       for (auto& [name, relation] : result.idb) {
@@ -966,7 +1062,8 @@ const EvaluationResult& Evaluator::Partial() const {
 
   std::vector<GeneralizedTuple> candidates;
   LRPDB_RETURN_IF_ERROR(
-      ApplyClause(clause, sources, limits, nullptr, &candidates));
+      ApplyClause(clause, sources, limits, nullptr, &candidates,
+                  /*parent_ids=*/nullptr));
   GeneralizedRelation answers(
       {static_cast<int>(clause.head_temporal_vars.size()),
        static_cast<int>(clause.head_data.size())});

@@ -37,6 +37,10 @@
 #include "src/gdb/database.h"
 
 namespace lrpdb {
+class ProvenanceLog;
+}
+
+namespace lrpdb {
 
 struct EvaluationOptions {
   // Use semi-naive (delta-driven) evaluation; naive re-derives everything
@@ -90,6 +94,15 @@ struct EvaluationOptions {
   // forms, insertion order, and Explain() counts — because each round's
   // candidate deltas are merged sequentially in a fixed task order.
   int num_threads = 0;
+  // Optional why-provenance recording (src/core/provenance.h): when
+  // non-null, every IDB insert records a derivation origin — (clause
+  // index, positive-body parent EntryIds, round) — into this log,
+  // subsumption-aware, from both the batch and legacy kernels. Not owned;
+  // must outlive the evaluation and any WhyProvenance queries over its
+  // EntryIds. Recording disables result compaction (compaction renumbers
+  // entries; the model is unchanged, just uncompacted). Ignored under
+  // LRPDB_NO_PROVENANCE builds.
+  ProvenanceLog* provenance = nullptr;
 };
 
 // One candidate head tuple derivation.

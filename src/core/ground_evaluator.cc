@@ -7,6 +7,8 @@
 #include "src/common/failpoint.h"
 #include "src/core/clause_plan.h"
 #include "src/core/normalizer.h"
+#include "src/core/provenance.h"
+#include "src/obs/metrics.h"
 
 namespace lrpdb {
 namespace {
@@ -15,6 +17,21 @@ namespace {
 struct GroundBinding {
   std::vector<std::optional<int64_t>> temporal;
   std::vector<std::optional<DataValue>> data;
+  // Matched fact indices of the positive body atoms joined so far, in body
+  // order. Filled only while capturing why-provenance.
+  std::vector<uint32_t> ids;
+};
+
+// Per-clause why-provenance context threaded into the apply stages; null
+// when recording is off (the default, and always under
+// LRPDB_NO_PROVENANCE).
+struct ProvCapture {
+  ProvenanceLog* log = nullptr;
+  ProvRelationId head = 0;
+  // Interned relation ids of the positive body atoms, body order.
+  std::vector<ProvRelationId> parents;
+  int rule = 0;
+  int round = 0;
 };
 
 // Checks the clause's DBM against a (possibly partial) binding: only bounds
@@ -74,6 +91,10 @@ bool UnifyGround(const NormalizedBodyAtom& atom, const GroundTuple& fact,
 struct FlatFrontier {
   std::vector<int64_t> temporal;
   std::vector<DataValue> data;
+  // Matched fact indices, one stride of positive-atom slots per row; the
+  // prefix up to the current join stage's positive ordinal is meaningful.
+  // Filled only while capturing why-provenance.
+  std::vector<uint32_t> ids;
   size_t rows = 0;
 };
 
@@ -88,9 +109,26 @@ struct FlatFrontier {
     const std::vector<const GroundFactStore*>& facts,
     GroundFactStore& head_facts, int pivot, bool use_delta,
     const GroundEvaluationOptions& options, ExecContext* exec, bool* grew,
-    GroundEvaluationResult* result) {
+    GroundEvaluationResult* result, const ProvCapture* prov) {
   const size_t nt = static_cast<size_t>(clause.num_temporal_vars);
   const size_t nd = static_cast<size_t>(clause.num_data_vars);
+  const bool capture = prov != nullptr;
+  // Stride of the per-row fact-index slots: one per positive body atom.
+  const size_t np = capture ? prov->parents.size() : 0;
+  // Positive ordinal of each body atom (slot within the stride); allocated
+  // only while capturing so the default path stays allocation-free here.
+  std::vector<size_t> pos_ordinal;
+  if (capture) {
+    pos_ordinal.assign(clause.body.size(), 0);
+    size_t ord = 0;
+    for (size_t a = 0; a < clause.body.size(); ++a) {
+      if (!clause.body[a].negated) pos_ordinal[a] = ord++;
+    }
+  }
+  // Batch telemetry (the ground analog of the non-ground kernel's
+  // counters): facts scanned per stage, survivor density, head emissions.
+  int64_t tuples_in = 0;
+  int64_t tuples_out = 0;
   // Scratch buffers are thread-local so their capacity survives the many
   // small per-round calls (one apply at a time per thread, no reentrancy);
   // every use starts with an assign/clear.
@@ -100,6 +138,7 @@ struct FlatFrontier {
   thread_local std::vector<DataValue> d_row;
   frontier.temporal.assign(nt, 0);
   frontier.data.assign(nd, 0);
+  frontier.ids.assign(np, 0);
   frontier.rows = 1;
   t_row.assign(nt, 0);
   d_row.assign(nd, 0);
@@ -110,8 +149,12 @@ struct FlatFrontier {
     const bool delta_only = use_delta && compiled.body_index == pivot;
     const size_t lo = delta_only ? store->delta_lo() : 0;
     const size_t hi = delta_only ? store->delta_hi() : store->size();
+    const int64_t scanned =
+        static_cast<int64_t>(frontier.rows) * static_cast<int64_t>(hi - lo);
+    tuples_in += scanned;
     next.temporal.clear();
     next.data.clear();
+    next.ids.clear();
     next.rows = 0;
     for (size_t b = 0; b < frontier.rows; ++b) {
       LRPDB_RETURN_IF_ERROR(PollExec(exec));
@@ -181,12 +224,28 @@ struct FlatFrontier {
         if (!ok) continue;
         next.temporal.insert(next.temporal.end(), t_row.begin(), t_row.end());
         next.data.insert(next.data.end(), d_row.begin(), d_row.end());
+        if (capture) {
+          const uint32_t* bi = frontier.ids.data() + b * np;
+          const size_t base = next.ids.size();
+          next.ids.insert(next.ids.end(), bi, bi + np);
+          next.ids[base + pos_ordinal[compiled.body_index]] =
+              static_cast<uint32_t>(fi);
+        }
         ++next.rows;
       }
     }
+    if (scanned > 0) {
+      LRPDB_HISTOGRAM_RECORD(
+          "eval.batch.mask_density",
+          static_cast<int64_t>(next.rows) * 100 / scanned);
+    }
     std::swap(frontier, next);
-    if (frontier.rows == 0) return OkStatus();
+    if (frontier.rows == 0) {
+      LRPDB_COUNTER_ADD("eval.batch.tuples_in", tuples_in);
+      return OkStatus();
+    }
   }
+  LRPDB_COUNTER_ADD("eval.batch.tuples_in", tuples_in);
   // Negated atoms filter the surviving rows; safety guarantees their
   // variables are bound by the positive atoms.
   for (const GroundClausePlan::NegatedProbe& probe : plan.negated) {
@@ -215,6 +274,10 @@ struct FlatFrontier {
       if (store->count(probe_fact) == 0) {
         kept.temporal.insert(kept.temporal.end(), bt, bt + nt);
         kept.data.insert(kept.data.end(), bd, bd + nd);
+        if (capture) {
+          const uint32_t* bi = frontier.ids.data() + b * np;
+          kept.ids.insert(kept.ids.end(), bi, bi + np);
+        }
         ++kept.rows;
       }
     }
@@ -270,7 +333,9 @@ struct FlatFrontier {
     }
     const int64_t fact_bytes =
         static_cast<int64_t>(fact.times.size() + fact.data.size()) * 8 + 48;
-    if (head_facts.Insert(std::move(fact))) {
+    ++tuples_out;
+    auto [fact_index, inserted] = head_facts.InsertIndexed(std::move(fact));
+    if (inserted) {
       *grew = true;
       ++result->facts_derived;
       if (exec != nullptr) {
@@ -281,7 +346,23 @@ struct FlatFrontier {
         return ResourceExhaustedError("ground evaluation exceeded max_facts");
       }
     }
+    // Record the derivation against the fresh fact or, on a re-derivation,
+    // the fact it collapsed into (same address either way).
+    if (capture) {
+      DerivationOrigin origin;
+      origin.rule = prov->rule;
+      origin.round = prov->round;
+      const uint32_t* bi = frontier.ids.data() + b * np;
+      origin.parents.reserve(np);
+      for (size_t k = 0; k < np; ++k) {
+        origin.parents.push_back(ProvRef{prov->parents[k], bi[k]});
+      }
+      LRPDB_RETURN_IF_ERROR(
+          prov->log->Record(ProvRef{prov->head, fact_index},
+                            std::move(origin)));
+    }
   }
+  LRPDB_COUNTER_ADD("eval.batch.tuples_out", tuples_out);
   return OkStatus();
 }
 
@@ -310,8 +391,9 @@ struct FlatFrontier {
   GroundEvaluationResult result;
 
   // Materialize EDB ground facts inside the window. EDB and IDB share the
-  // GroundFactStore container so joins iterate both uniformly.
-  std::map<std::string, GroundFactStore> edb;
+  // GroundFactStore container so joins iterate both uniformly; the map
+  // lives in the result so provenance parent addresses stay resolvable.
+  std::map<std::string, GroundFactStore>& edb = result.edb;
   for (const NormalizedClause& clause : normalized.clauses) {
     for (const NormalizedBodyAtom& atom : clause.body) {
       if (atom.is_intensional) continue;
@@ -353,6 +435,30 @@ struct FlatFrontier {
     }
     clause_head[ci] = &result.idb.at(
         program.predicates().NameOf(clause.head_predicate));
+  }
+
+  // Why-provenance capture contexts, one per clause; resolved through
+  // EffectiveProvenance so the capture code below is dead under
+  // LRPDB_NO_PROVENANCE. The round field is stamped per round.
+  ProvenanceLog* prov_log = EffectiveProvenance(options.provenance);
+  std::vector<ProvCapture> clause_prov;
+  if (prov_log != nullptr) {
+    clause_prov.resize(normalized.clauses.size());
+    for (size_t ci = 0; ci < normalized.clauses.size(); ++ci) {
+      const NormalizedClause& clause = normalized.clauses[ci];
+      if (clause.always_false) continue;
+      ProvCapture& cp = clause_prov[ci];
+      cp.log = prov_log;
+      cp.rule = static_cast<int>(ci);
+      cp.head = prov_log->InternRelation(
+          program.predicates().NameOf(clause.head_predicate));
+      for (const NormalizedBodyAtom& atom : clause.body) {
+        if (!atom.negated) {
+          cp.parents.push_back(prov_log->InternRelation(
+              program.predicates().NameOf(atom.predicate)));
+        }
+      }
+    }
   }
 
   // Stratum by stratum (negated atoms read the finished lower strata);
@@ -397,10 +503,15 @@ struct FlatFrontier {
         if (round > 1 && clause_facts[ci][pivot]->delta_size() == 0) {
           continue;
         }
+        ProvCapture* prov = nullptr;
+        if (prov_log != nullptr) {
+          prov = &clause_prov[ci];
+          prov->round = result.iterations + 1;
+        }
         if (options.use_compiled_plan) {
           LRPDB_RETURN_IF_ERROR(ApplyGroundPlan(
               clause, plans[ci], clause_facts[ci], head_facts, pivot,
-              /*use_delta=*/round > 1, options, exec, &grew, &result));
+              /*use_delta=*/round > 1, options, exec, &grew, &result, prov));
           continue;
         }
         // Nested-loop join over the positive atoms, atom by atom. The
@@ -424,6 +535,9 @@ struct FlatFrontier {
               GroundBinding extended = binding;
               if (UnifyGround(clause.body[a], fact, &extended) &&
                   ConstraintsHold(clause.constraint, extended)) {
+                if (prov != nullptr) {
+                  extended.ids.push_back(static_cast<uint32_t>(fi));
+                }
                 next.push_back(std::move(extended));
               }
             }
@@ -529,7 +643,9 @@ struct FlatFrontier {
           const int64_t fact_bytes =
               static_cast<int64_t>(fact.times.size() + fact.data.size()) * 8 +
               48;
-          if (head_facts.Insert(std::move(fact))) {
+          auto [fact_index, inserted] =
+              head_facts.InsertIndexed(std::move(fact));
+          if (inserted) {
             grew = true;
             ++result.facts_derived;
             if (exec != nullptr) {
@@ -540,6 +656,18 @@ struct FlatFrontier {
               return ResourceExhaustedError(
                   "ground evaluation exceeded max_facts");
             }
+          }
+          if (prov != nullptr) {
+            DerivationOrigin origin;
+            origin.rule = prov->rule;
+            origin.round = prov->round;
+            origin.parents.reserve(binding.ids.size());
+            for (size_t k = 0; k < binding.ids.size(); ++k) {
+              origin.parents.push_back(
+                  ProvRef{prov->parents[k], binding.ids[k]});
+            }
+            LRPDB_RETURN_IF_ERROR(prov->log->Record(
+                ProvRef{prov->head, fact_index}, std::move(origin)));
           }
         }
       }

@@ -1,0 +1,201 @@
+#include "src/core/provenance.h"
+
+#include <deque>
+#include <sstream>
+
+#include "src/common/exec_context.h"
+#include "src/common/failpoint.h"
+#include "src/obs/metrics.h"
+
+namespace lrpdb {
+namespace {
+
+const std::vector<DerivationOrigin>& NoOrigins() {
+  static const std::vector<DerivationOrigin> kEmpty;
+  return kEmpty;
+}
+
+// Escapes `text` for use inside a double-quoted DOT string.
+std::string DotEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ProvRelationId ProvenanceLog::InternRelation(const std::string& name) {
+  auto it = relation_ids_.find(name);
+  if (it != relation_ids_.end()) return it->second;
+  ProvRelationId id = static_cast<ProvRelationId>(relation_names_.size());
+  relation_names_.push_back(name);
+  relation_ids_.emplace(name, id);
+  origins_.emplace_back();
+  return id;
+}
+
+std::optional<ProvRelationId> ProvenanceLog::FindRelation(
+    const std::string& name) const {
+  auto it = relation_ids_.find(name);
+  if (it == relation_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+[[nodiscard]] Status ProvenanceLog::Record(ProvRef derived, DerivationOrigin origin) {
+  LRPDB_FAILPOINT("provenance.record");
+  if (derived.relation >= origins_.size()) {
+    return InvalidArgumentError("provenance: record for unknown relation id " +
+                                std::to_string(derived.relation));
+  }
+  const int64_t bytes =
+      static_cast<int64_t>(sizeof(DerivationOrigin)) +
+      static_cast<int64_t>(origin.parents.size() * sizeof(ProvRef));
+  if (ExecContext* exec = ExecContext::Current(); exec != nullptr) {
+    exec->ChargeBytes(bytes);
+    LRPDB_RETURN_IF_ERROR(exec->Poll());
+  }
+  std::vector<std::vector<DerivationOrigin>>& rel = origins_[derived.relation];
+  if (rel.size() <= derived.entry) rel.resize(derived.entry + 1);
+  rel[derived.entry].push_back(std::move(origin));
+  ++records_;
+  approx_bytes_ += bytes;
+  LRPDB_COUNTER_INC("eval.prov.records");
+  LRPDB_COUNTER_ADD("eval.prov.bytes", bytes);
+  return OkStatus();
+}
+
+const std::vector<DerivationOrigin>& ProvenanceLog::Origins(
+    ProvRef ref) const {
+  if (ref.relation >= origins_.size()) return NoOrigins();
+  const std::vector<std::vector<DerivationOrigin>>& rel =
+      origins_[ref.relation];
+  if (ref.entry >= rel.size()) return NoOrigins();
+  return rel[ref.entry];
+}
+
+[[nodiscard]] StatusOr<ProvenanceLog::Graph> ProvenanceLog::WhyProvenance(
+    ProvRef root) const {
+  LRPDB_FAILPOINT("provenance.lookup");
+  LRPDB_COUNTER_INC("eval.prov.lookups");
+  if (root.relation >= origins_.size()) {
+    return InvalidArgumentError("provenance: unknown relation id " +
+                                std::to_string(root.relation));
+  }
+  Graph graph;
+  graph.index.emplace(root, 0);
+  graph.nodes.push_back(Node{root, Origins(root)});
+  // BFS; every ref is enqueued at most once, so recursive derivations
+  // (including self-loops from absorbed candidates) terminate.
+  for (size_t i = 0; i < graph.nodes.size(); ++i) {
+    // Copy the origin list: push_back below may reallocate nodes.
+    const std::vector<DerivationOrigin> origins = graph.nodes[i].origins;
+    for (const DerivationOrigin& origin : origins) {
+      for (ProvRef parent : origin.parents) {
+        if (graph.index.count(parent) > 0) continue;
+        graph.index.emplace(parent, graph.nodes.size());
+        graph.nodes.push_back(Node{parent, Origins(parent)});
+      }
+    }
+  }
+  return graph;
+}
+
+std::string ProvenanceLog::RenderTree(const Graph& graph,
+                                      const TupleLabelFn& tuple_label,
+                                      const RuleLabelFn& rule_label) const {
+  if (graph.nodes.empty()) return "(empty derivation graph)\n";
+  std::ostringstream out;
+  std::map<ProvRef, bool> expanded;
+
+  const std::function<void(ProvRef, int)> render = [&](ProvRef ref,
+                                                       int depth) {
+    const std::string indent(static_cast<size_t>(depth) * 2, ' ');
+    const std::string& name = RelationName(ref.relation);
+    out << indent << name << "#" << ref.entry << "  "
+        << tuple_label(name, ref.entry);
+    auto it = graph.index.find(ref);
+    const std::vector<DerivationOrigin>& origins =
+        it == graph.index.end() ? NoOrigins() : graph.nodes[it->second].origins;
+    if (origins.empty()) {
+      out << "  [base fact]\n";
+      return;
+    }
+    if (expanded[ref]) {
+      // Already expanded above (shared subtree or recursive derivation).
+      out << "  [see above]\n";
+      return;
+    }
+    expanded[ref] = true;
+    out << "\n";
+    for (const DerivationOrigin& origin : origins) {
+      out << indent << "  <- rule " << origin.rule << " @ round "
+          << origin.round << ": " << rule_label(origin.rule) << "\n";
+      for (ProvRef parent : origin.parents) {
+        render(parent, depth + 2);
+      }
+      if (origin.parents.empty()) {
+        out << indent << "    (no body atoms)\n";
+      }
+    }
+  };
+  render(graph.nodes[0].ref, 0);
+  return out.str();
+}
+
+std::string ProvenanceLog::ToDot(const Graph& graph,
+                                 const TupleLabelFn& tuple_label,
+                                 const RuleLabelFn& rule_label) const {
+  std::ostringstream out;
+  out << "digraph why {\n";
+  out << "  rankdir=BT;\n";
+  out << "  node [fontname=\"Helvetica\", fontsize=10];\n";
+  const auto tuple_id = [](ProvRef ref) {
+    return "t" + std::to_string(ref.relation) + "_" +
+           std::to_string(ref.entry);
+  };
+  for (const Node& node : graph.nodes) {
+    const std::string& name = RelationName(node.ref.relation);
+    out << "  " << tuple_id(node.ref) << " [shape=box, label=\""
+        << DotEscape(name + "#" + std::to_string(node.ref.entry) + "\n" +
+                     tuple_label(name, node.ref.entry))
+        << "\"";
+    if (node.origins.empty()) {
+      out << ", style=filled, fillcolor=lightgrey";
+    }
+    out << "];\n";
+  }
+  size_t step = 0;
+  for (const Node& node : graph.nodes) {
+    for (const DerivationOrigin& origin : node.origins) {
+      const std::string step_id = "d" + std::to_string(step++);
+      out << "  " << step_id << " [shape=ellipse, label=\""
+          << DotEscape("rule " + std::to_string(origin.rule) + " @ round " +
+                       std::to_string(origin.round) + "\n" +
+                       rule_label(origin.rule))
+          << "\"];\n";
+      out << "  " << step_id << " -> " << tuple_id(node.ref) << ";\n";
+      for (ProvRef parent : origin.parents) {
+        out << "  " << tuple_id(parent) << " -> " << step_id << ";\n";
+      }
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace lrpdb

@@ -146,7 +146,7 @@ void TupleStore::BumpStat(int64_t StoreStats::*field, int64_t amount,
   };
   if (candidate.empty()) {  // Empty ground set.
     bump(&StoreStats::empty_dropped, 1);
-    return InsertOutcome{false, false};
+    return InsertOutcome{};
   }
   // Same-signature entries: one bucket probe when indexed, a linear scan on
   // the brute-force reference path. Both yield the same id set.
@@ -177,7 +177,9 @@ void TupleStore::BumpStat(int64_t StoreStats::*field, int64_t amount,
                            PiecesContainedIn(candidate, existing, limits));
     if (contained) {
       bump(&StoreStats::subsumed, 1);
-      return InsertOutcome{false, false};
+      InsertOutcome outcome;
+      outcome.absorbers = std::move(bucket_entries);
+      return outcome;
     }
   }
   if (limits.exec != nullptr) {
@@ -189,9 +191,12 @@ void TupleStore::BumpStat(int64_t StoreStats::*field, int64_t amount,
                                  (schema_.temporal_arity + 2) * 8);
     LRPDB_GAUGE_SET("exec.budget_bytes", limits.exec->bytes_charged());
   }
-  bool new_signature = Append(std::move(tuple), std::move(candidate), true);
+  InsertOutcome outcome;
+  outcome.inserted = true;
+  outcome.id = static_cast<EntryId>(entries_.size());
+  outcome.new_signature = Append(std::move(tuple), std::move(candidate), true);
   bump(&StoreStats::inserts, 1);
-  return InsertOutcome{true, new_signature};
+  return outcome;
 }
 
 bool TupleStore::InsertUnlessEmpty(GeneralizedTuple tuple) {

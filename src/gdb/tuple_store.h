@@ -89,6 +89,14 @@ struct StoreStats {
 struct InsertOutcome {
   bool inserted = false;
   bool new_signature = false;
+  // Entry id the tuple was appended at; meaningful only when `inserted`.
+  EntryId id = 0;
+  // When the candidate was dropped as contained: the same-signature entries
+  // whose union subsumed it. Why-provenance attaches the dropped
+  // candidate's origin to these so derivations stay resolvable across
+  // subsumption. Empty when inserted or when the candidate normalized to
+  // the empty ground set.
+  std::vector<EntryId> absorbers;
 };
 
 // An indexed set of generalized tuples of one schema.
@@ -395,9 +403,18 @@ class GroundFactStore {
 
   // Returns false when the fact was already present.
   bool Insert(GroundTuple fact) {
-    auto [it, inserted] = set_.insert(std::move(fact));
-    if (inserted) order_.push_back(&*it);
-    return inserted;
+    return InsertIndexed(std::move(fact)).second;
+  }
+
+  // Insert that also reports the fact's stable insertion-order index —
+  // the existing one on a duplicate — so why-provenance can address ground
+  // facts and attach a re-derivation's origin to the entry it collapsed
+  // into.
+  std::pair<uint32_t, bool> InsertIndexed(GroundTuple fact) {
+    auto [it, inserted] =
+        set_.try_emplace(std::move(fact), static_cast<uint32_t>(order_.size()));
+    if (inserted) order_.push_back(&it->first);
+    return {it->second, inserted};
   }
 
   bool Contains(const GroundTuple& fact) const { return set_.count(fact) > 0; }
@@ -442,7 +459,9 @@ class GroundFactStore {
   }
 
  private:
-  std::unordered_set<GroundTuple, GroundTupleHash> set_;
+  // Fact -> insertion-order index; node-based, so the key pointers in
+  // order_ survive rehashes and moves.
+  std::unordered_map<GroundTuple, uint32_t, GroundTupleHash> set_;
   std::vector<const GroundTuple*> order_;
   size_t delta_lo_ = 0;
   size_t delta_hi_ = 0;

@@ -13,6 +13,7 @@
 #include "src/common/failpoint.h"
 #include "src/core/evaluator.h"
 #include "src/core/ground_evaluator.h"
+#include "src/core/provenance.h"
 #include "src/datalog1s/datalog1s.h"
 #include "src/gdb/algebra.h"
 #include "src/parser/parser.h"
@@ -166,9 +167,18 @@ std::vector<Status> RunBattery() {
     EvaluationOptions options;
     options.record_trace = true;
     options.compact_results = true;
+    // Recording + lookup reach the provenance failpoints. In a
+    // LRPDB_NO_PROVENANCE build the engine ignores the log (record never
+    // runs) but the lookup below still registers its site.
+    ProvenanceLog prov_log;
+    options.provenance = &prov_log;
     auto result = Evaluate(unit->program, db, options);
     note(result.status());
     if (result.ok()) {
+      // InternRelation keeps the ref valid in LRPDB_NO_PROVENANCE builds
+      // too, where the engine recorded nothing.
+      ProvRef root{prov_log.InternRelation("p"), 0};
+      note(prov_log.WhyProvenance(root).status());
       PredicateAtom query;
       query.predicate = unit->program.predicates().Find("p");
       SymbolId t1 = unit->program.variables().Intern("qt1");
@@ -266,6 +276,58 @@ TEST(FaultInjectionWalkTest, TripBudgetAtInsertDegradesGracefully) {
   EXPECT_TRUE(evaluator.Partial().partial.tripped());
   EXPECT_NE(evaluator.Partial().partial.reason.find("tuple_store.insert"),
             std::string::npos);
+  DisarmAll();
+}
+
+TEST(FaultInjectionWalkTest, ProvenanceRecordErrorUnwindsAndRerunIsClean) {
+  if (!kProvenanceCompiledIn) {
+    GTEST_SKIP() << "built with LRPDB_NO_PROVENANCE";
+  }
+  DisarmAll();
+  Arm("provenance.record", Mode::kErrorOnce);
+  {
+    Database db;
+    auto unit = Parse(kEvalProgram, &db);
+    ASSERT_TRUE(unit.ok()) << unit.status();
+    ProvenanceLog log;
+    EvaluationOptions options;
+    options.provenance = &log;
+    auto result = Evaluate(unit->program, db, options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().ToString().find("failpoint 'provenance.record'"),
+              std::string::npos)
+        << result.status();
+  }
+  // The failed Record appended nothing; a fresh run records a complete log.
+  {
+    Database db;
+    auto unit = Parse(kEvalProgram, &db);
+    ASSERT_TRUE(unit.ok()) << unit.status();
+    ProvenanceLog log;
+    EvaluationOptions options;
+    options.provenance = &log;
+    auto result = Evaluate(unit->program, db, options);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_GT(log.records(), 0);
+    auto rid = log.FindRelation("p");
+    ASSERT_TRUE(rid.has_value());
+    for (size_t e = 0; e < result->idb.at("p").size(); ++e) {
+      EXPECT_TRUE(log.HasOrigins({*rid, static_cast<EntryId>(e)}));
+    }
+  }
+  DisarmAll();
+}
+
+TEST(FaultInjectionWalkTest, ProvenanceLookupErrorSurfaces) {
+  DisarmAll();
+  ProvenanceLog log;
+  ProvRelationId rid = log.InternRelation("p");
+  Arm("provenance.lookup", Mode::kErrorOnce);
+  auto graph = log.WhyProvenance({rid, 0});
+  ASSERT_FALSE(graph.ok());
+  EXPECT_NE(graph.status().ToString().find("failpoint 'provenance.lookup'"),
+            std::string::npos);
+  EXPECT_TRUE(log.WhyProvenance({rid, 0}).ok());
   DisarmAll();
 }
 

@@ -1,0 +1,44 @@
+// Compile-out contract of src/core/provenance.h under LRPDB_NO_PROVENANCE,
+// held to the same bar as tests/obs_disabled_test.cc for LRPDB_NO_METRICS:
+// this translation unit is compiled with the macro defined (see
+// tests/CMakeLists.txt), so kProvenanceCompiledIn must read false and
+// EffectiveProvenance() must constant-fold to nullptr — the gate every
+// recording site in the engine branches on. The ProvenanceLog class itself
+// stays fully functional (the macro removes the engine's recording calls,
+// not the data structure), so callers that drive the log directly keep
+// working. The full-build integration side — a whole tree configured with
+// -DLRPDB_NO_PROVENANCE=ON passing ctest — is exercised by ci/check.sh.
+#include <gtest/gtest.h>
+
+#include "src/core/provenance.h"
+
+namespace lrpdb {
+namespace {
+
+static_assert(!kProvenanceCompiledIn,
+              "provenance_disabled_test must be compiled with "
+              "LRPDB_NO_PROVENANCE");
+
+TEST(ProvenanceDisabledTest, EffectiveProvenanceFoldsToNull) {
+  ProvenanceLog log;
+  EXPECT_EQ(EffectiveProvenance(&log), nullptr);
+  EXPECT_EQ(EffectiveProvenance(nullptr), nullptr);
+}
+
+TEST(ProvenanceDisabledTest, LogClassItselfStillWorks) {
+  ProvenanceLog log;
+  ProvRelationId rid = log.InternRelation("p");
+  DerivationOrigin origin;
+  origin.rule = 0;
+  origin.parents.push_back({rid, 0});
+  ASSERT_TRUE(log.Record({rid, 1}, origin).ok());
+  EXPECT_EQ(log.records(), 1);
+  ASSERT_EQ(log.Origins({rid, 1}).size(), 1u);
+  EXPECT_EQ(log.Origins({rid, 1})[0], origin);
+  auto graph = log.WhyProvenance({rid, 1});
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  EXPECT_EQ(graph->nodes.size(), 2u);
+}
+
+}  // namespace
+}  // namespace lrpdb
