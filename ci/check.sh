@@ -10,7 +10,17 @@
 #                            that passes ci/validate_bench_json.py; reports
 #                            and Chrome traces land in <build>/bench-reports
 #   ci/check.sh --lint       additionally run the project-invariant lint pass
-#                            (ci/lint/run_lint.py) and its fixture self-test
+#                            (ci/lint/run_lint.py) and its fixture self-test,
+#                            plus clang-tidy over the compile database when
+#                            clang-tidy is installed (curated .clang-tidy
+#                            profile; skipped with a note otherwise)
+#   ci/check.sh --analyze    additionally run the AST/CFG dataflow analyzer
+#                            (ci/lint/analyze.py): fixture self-test with the
+#                            per-pass disable proof, then the four passes over
+#                            the engine tree with findings as errors. Set
+#                            LRPDB_REQUIRE_LIBCLANG=1 (CI) to make libclang
+#                            engine degradation a hard error instead of a
+#                            builtin-engine fallback
 #   ci/check.sh --format     additionally run clang-format --dry-run --Werror
 #                            over src/, tests/, and bench/ (skipped with a
 #                            note when clang-format is not installed)
@@ -58,6 +68,7 @@ sanitize=0
 tsan=0
 bench=0
 lint=0
+analyze=0
 format=0
 faults=0
 noprov=0
@@ -67,6 +78,7 @@ for arg in "$@"; do
     --tsan) tsan=1 ;;
     --bench) bench=1 ;;
     --lint) lint=1 ;;
+    --analyze) analyze=1 ;;
     --format) format=1 ;;
     --faults) faults=1 ;;
     --noprov) noprov=1 ;;
@@ -165,7 +177,47 @@ if [[ "$lint" == 1 ]]; then
   echo "== lint self-test"
   python3 ci/lint/run_lint.py --self-test
   echo "== lint"
-  python3 ci/lint/run_lint.py
+  lint_args=()
+  if [[ "${LRPDB_REQUIRE_LIBCLANG:-0}" == 1 ]]; then
+    # CI installs python3-clang: a degraded (lexical-only) run there means
+    # the environment regressed, not that the cross-check is optional.
+    lint_args+=(--engine=libclang --require-libclang)
+  fi
+  python3 ci/lint/run_lint.py "${lint_args[@]}"
+  if command -v clang-tidy > /dev/null; then
+    echo "== clang-tidy"
+    # The curated profile lives in .clang-tidy (bugprone-*, concurrency-*,
+    # performance-*); run-clang-tidy fans out over the compile database.
+    tidy_runner=$(command -v run-clang-tidy || command -v run-clang-tidy-14 || true)
+    if [[ -n "$tidy_runner" ]]; then
+      "$tidy_runner" -quiet -p "$build_dir" "src/.*\.cc$" > /dev/null
+    else
+      find src -name '*.cc' | xargs clang-tidy -quiet -p "$build_dir"
+    fi
+  else
+    echo "note: clang-tidy not installed; skipping tidy profile" >&2
+  fi
+fi
+
+if [[ "$analyze" == 1 ]]; then
+  echo "== analyze self-test (fixtures + clean-engine run)"
+  python3 ci/lint/analyze.py --self-test
+  echo "== analyze self-test: per-pass disable proof"
+  # Each pass must have a fixture that fails when that pass is disabled —
+  # guards against a pass silently degrading into a no-op.
+  for pass in $(python3 ci/lint/analyze.py --list-passes); do
+    if python3 ci/lint/analyze.py --self-test --no-clean-engine \
+         --disable "$pass" > /dev/null 2>&1; then
+      echo "error: self-test still passes with --disable $pass" >&2
+      exit 1
+    fi
+  done
+  echo "== analyze"
+  analyze_args=()
+  if [[ "${LRPDB_REQUIRE_LIBCLANG:-0}" == 1 ]]; then
+    analyze_args+=(--require-libclang)
+  fi
+  python3 ci/lint/analyze.py "${analyze_args[@]}"
 fi
 
 if [[ "$format" == 1 ]]; then

@@ -1,0 +1,352 @@
+#!/usr/bin/env python3
+"""AST/CFG dataflow analyzer for lrpdb's determinism contract.
+
+Four project-invariant passes over per-function summaries built from the
+token stream, statement AST, and structured CFG of every engine source
+(see ci/lint/analyzer/__init__.py for the pass semantics):
+
+  nondeterministic-iteration   hash-ordered walks feeding output state
+  poll-reachability            every unbounded governed loop polls on
+                               every cyclic path (one-level interprocedural)
+  lock-order                   acquisition graph (annotations + observed
+                               sequences) must be acyclic
+  failpoint-coverage           every new-error path within reach of an
+                               LRPDB_FAILPOINT
+
+Engines: the builtin zero-dependency engine always runs; with python clang
+bindings and a compile_commands.json, the libclang engine is canonical and
+augments the summaries with type-resolved facts. --require-libclang makes
+bindings absence a hard error (CI) instead of a note.
+
+Caching: per-file summaries are cached under build/analyze-cache keyed on
+the file hash and the analyzer's own source hash (ccache-style: a warm run
+re-parses only changed files). --no-cache disables.
+
+Self-test: --self-test analyzes ci/lint/testdata/analyze/ fixtures; each
+declares its virtual path (`// analyze-fixture-path:`) and marks expected
+findings with `// expect-analyze: <pass-id>` on the offending line.
+--disable=<pass> exists so the self-test (and CI) can prove each fixture
+fails when its pass is off.
+
+Suppression: `// lint: allow(<pass-id>)` (alias: det) on the finding line
+or the line above, always with a justification comment (DESIGN.md §11).
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(_HERE, "analyzer"))
+sys.path.insert(0, _HERE)
+
+from analyzer import ALLOW_ALIASES, PASS_IDS, Finding  # noqa: E402
+import libclang_engine  # noqa: E402
+import pass_failpoint_coverage  # noqa: E402
+import pass_lock_order  # noqa: E402
+import pass_nondet_iteration  # noqa: E402
+import pass_poll_reachability  # noqa: E402
+from run_lint import ALLOW_RE, strip_comments_and_strings  # noqa: E402
+from summarize import summarize_file  # noqa: E402
+
+REPO_ROOT = os.path.normpath(os.path.join(_HERE, "..", ".."))
+PASSES = {
+    "nondeterministic-iteration": pass_nondet_iteration,
+    "poll-reachability": pass_poll_reachability,
+    "lock-order": pass_lock_order,
+    "failpoint-coverage": pass_failpoint_coverage,
+}
+CACHE_SCHEMA = 1
+
+
+class Context:
+    """Shared pass context: summaries plus the suppression filter."""
+
+    def __init__(self, summaries, raw_lines):
+        self.summaries = summaries
+        self.raw_lines = raw_lines
+        self.failpoint_report = []
+
+    def allowed(self, path, line, pass_id):
+        lines = self.raw_lines.get(path, [])
+        for idx in (line - 1, line - 2):
+            if 0 <= idx < len(lines):
+                m = ALLOW_RE.search(lines[idx])
+                if m:
+                    rules = {ALLOW_ALIASES.get(r.strip(), r.strip())
+                             for r in m.group(1).split(",")}
+                    if pass_id in rules:
+                        return True
+        return False
+
+    def finding(self, path, line, pass_id, message):
+        return Finding(path, line, pass_id, message)
+
+
+def collect_files(explicit):
+    """[(repo_relative, absolute)]: TUs from compile_commands.json plus all
+    headers (and, with no database, everything) from walking src/."""
+    if explicit:
+        out = []
+        for p in explicit:
+            ap = os.path.abspath(p)
+            out.append((os.path.relpath(ap, REPO_ROOT).replace(os.sep, "/"),
+                        ap))
+        return out
+    files = {}
+    for db in (os.path.join(REPO_ROOT, "compile_commands.json"),
+               os.path.join(REPO_ROOT, "build", "compile_commands.json")):
+        if os.path.exists(db):
+            try:
+                for entry in json.load(open(db)):
+                    ap = os.path.normpath(os.path.join(
+                        entry.get("directory", ""), entry["file"]))
+                    rp = os.path.relpath(ap, REPO_ROOT).replace(os.sep, "/")
+                    if rp.startswith("src/") and os.path.exists(ap):
+                        files[rp] = ap
+            except (ValueError, KeyError) as e:
+                print(f"note: ignoring unreadable {db}: {e}",
+                      file=sys.stderr)
+            break
+    for dirpath, _, names in os.walk(os.path.join(REPO_ROOT, "src")):
+        for name in names:
+            if name.endswith((".h", ".cc")):
+                ap = os.path.join(dirpath, name)
+                rp = os.path.relpath(ap, REPO_ROOT).replace(os.sep, "/")
+                files.setdefault(rp, ap)
+    return sorted(files.items())
+
+
+def analyzer_source_hash():
+    """Hash of the analyzer's own sources: any rule change invalidates the
+    summary cache."""
+    h = hashlib.sha256()
+    adir = os.path.join(_HERE, "analyzer")
+    for name in sorted(os.listdir(adir)):
+        if name.endswith(".py"):
+            h.update(open(os.path.join(adir, name), "rb").read())
+    h.update(open(os.path.abspath(__file__), "rb").read())
+    return h.hexdigest()[:16]
+
+
+def build_summaries(files, cache_dir, use_cache):
+    summaries = {}
+    raw_lines = {}
+    src_hash = analyzer_source_hash() if use_cache else ""
+    hits = misses = 0
+    if use_cache:
+        os.makedirs(cache_dir, exist_ok=True)
+    for rp, ap in files:
+        try:
+            raw = open(ap, encoding="utf-8", errors="replace").read()
+        except OSError as e:
+            print(f"error: cannot read {rp}: {e}", file=sys.stderr)
+            return None, None, (0, 0)
+        raw_lines[rp] = raw.split("\n")
+        cache_path = None
+        if use_cache:
+            key = hashlib.sha256(
+                f"{CACHE_SCHEMA}:{src_hash}:{rp}:".encode() +
+                raw.encode()).hexdigest()
+            cache_path = os.path.join(cache_dir, key + ".json")
+            if os.path.exists(cache_path):
+                try:
+                    summaries[rp] = json.load(open(cache_path))
+                    hits += 1
+                    continue
+                except ValueError:
+                    pass
+        summaries[rp] = summarize_file(rp, strip_comments_and_strings(raw))
+        misses += 1
+        if cache_path:
+            tmp = cache_path + f".tmp{os.getpid()}"
+            with open(tmp, "w") as f:
+                json.dump(summaries[rp], f)
+            os.replace(tmp, cache_path)
+    return summaries, raw_lines, (hits, misses)
+
+
+def run_passes(ctx, disabled):
+    findings = []
+    for pass_id, mod in PASSES.items():
+        if pass_id in disabled:
+            continue
+        for f in mod.run(ctx):
+            if not ctx.allowed(f.path, f.line, f.pass_id):
+                findings.append(f)
+    findings.sort(key=lambda f: (f.path, f.line, f.pass_id))
+    return findings
+
+
+# --- self-test -------------------------------------------------------------
+
+FIXTURE_PATH_MARK = "// analyze-fixture-path:"
+EXPECT_MARK = "// expect-analyze:"
+
+
+def self_test(disabled, clean_engine):
+    testdata = os.path.join(_HERE, "testdata", "analyze")
+    fixtures = sorted(
+        os.path.join(testdata, f) for f in os.listdir(testdata)
+        if f.endswith((".cc", ".h")))
+    if not fixtures:
+        print("analyze self-test: no fixtures found", file=sys.stderr)
+        return 2
+    failures = 0
+    covered = set()
+    for fixture in fixtures:
+        raw = open(fixture).read()
+        virtual = None
+        for line in raw.split("\n"):
+            if FIXTURE_PATH_MARK in line:
+                virtual = line.split(FIXTURE_PATH_MARK, 1)[1].strip()
+                break
+        base = os.path.basename(fixture)
+        if not virtual:
+            print(f"analyze self-test: {base} lacks "
+                  f"'{FIXTURE_PATH_MARK}' header")
+            failures += 1
+            continue
+        summaries = {virtual: summarize_file(
+            virtual, strip_comments_and_strings(raw))}
+        ctx = Context(summaries, {virtual: raw.split("\n")})
+        actual = {}
+        for f in run_passes(ctx, disabled):
+            actual.setdefault(f.line, set()).add(f.pass_id)
+        expected = {}
+        for idx, line in enumerate(raw.split("\n")):
+            if EXPECT_MARK in line:
+                ids = line.split(EXPECT_MARK, 1)[1]
+                expected[idx + 1] = {r.strip() for r in ids.split(",")
+                                     if r.strip()}
+                covered |= expected[idx + 1]
+        ok = True
+        for line_no in sorted(set(actual) | set(expected)):
+            got = actual.get(line_no, set())
+            want = expected.get(line_no, set())
+            if got != want:
+                ok = False
+                print(f"analyze self-test FAIL {base}:{line_no}: "
+                      f"expected {sorted(want) or '[]'}, "
+                      f"got {sorted(got) or '[]'}")
+        n = sum(len(v) for v in expected.values())
+        print(f"analyze self-test {'ok' if ok else 'FAIL'}: {base} "
+              f"({n} expected finding(s))")
+        failures += 0 if ok else 1
+    if not disabled:
+        missing = set(PASS_IDS) - covered
+        if missing:
+            print(f"analyze self-test: no positive fixture covers: "
+                  f"{sorted(missing)}")
+            failures += 1
+    if clean_engine and not failures:
+        # Clean-engine leg: the full tree must analyze with zero
+        # unsuppressed findings.
+        files = collect_files([])
+        summaries, raw_lines, _ = build_summaries(files, "", False)
+        if summaries is None:
+            return 2
+        findings = run_passes(Context(summaries, raw_lines), disabled)
+        for f in findings:
+            print(f)
+        if findings:
+            print(f"analyze self-test FAIL: clean-engine run produced "
+                  f"{len(findings)} finding(s)")
+            failures += 1
+        else:
+            print(f"analyze self-test ok: clean-engine run "
+                  f"({len(files)} file(s), 0 findings)")
+    if failures:
+        print(f"analyze self-test: {failures} failure(s)")
+        return 1
+    print(f"analyze self-test: all {len(fixtures)} fixture(s) passed")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("files", nargs="*",
+                    help="files to analyze (default: src/ via "
+                         "compile_commands.json + walk)")
+    ap.add_argument("--engine", choices=["auto", "builtin", "libclang"],
+                    default="auto",
+                    help="auto: libclang when available, builtin otherwise")
+    ap.add_argument("--require-libclang", action="store_true",
+                    help="fail instead of degrading when clang bindings "
+                         "are unavailable")
+    ap.add_argument("--disable", action="append", default=[],
+                    metavar="PASS", choices=list(PASS_IDS),
+                    help="disable a pass (repeatable)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="analyze the testdata/analyze fixtures")
+    ap.add_argument("--no-clean-engine", action="store_true",
+                    help="with --self-test, skip the full-tree "
+                         "zero-findings leg")
+    ap.add_argument("--report-failpoints", action="store_true",
+                    help="print the failpoint distance table")
+    ap.add_argument("--no-cache", action="store_true")
+    ap.add_argument("--cache-dir",
+                    default=os.path.join(REPO_ROOT, "build",
+                                         "analyze-cache"))
+    ap.add_argument("--list-passes", action="store_true")
+    args = ap.parse_args()
+
+    if args.list_passes:
+        for p in PASS_IDS:
+            print(p)
+        return 0
+    disabled = set(args.disable)
+    if args.self_test:
+        return self_test(disabled, clean_engine=not args.no_clean_engine)
+
+    t0 = time.monotonic()
+    files = collect_files(args.files)
+    if not files:
+        print("error: no files to analyze", file=sys.stderr)
+        return 2
+    summaries, raw_lines, (hits, misses) = build_summaries(
+        files, args.cache_dir, not args.no_cache)
+    if summaries is None:
+        return 2
+
+    use_libclang = args.engine in ("auto", "libclang")
+    if use_libclang:
+        ok, note = libclang_engine.augment(
+            summaries, REPO_ROOT,
+            os.path.join(REPO_ROOT, "compile_commands.json"))
+        if not ok:
+            if args.require_libclang or (args.engine == "libclang"
+                                         and args.require_libclang):
+                print(f"error: --require-libclang but {note}",
+                      file=sys.stderr)
+                return 2
+            if args.engine == "libclang":
+                print(f"note: {note}; builtin engine results only",
+                      file=sys.stderr)
+        else:
+            print(f"note: {note}", file=sys.stderr)
+
+    ctx = Context(summaries, raw_lines)
+    findings = run_passes(ctx, disabled)
+    for f in findings:
+        print(f)
+    if args.report_failpoints and ctx.failpoint_report:
+        print(pass_failpoint_coverage.format_report(ctx.failpoint_report))
+    elapsed = time.monotonic() - t0
+    stats = (f"{len(files)} file(s), cache {hits} hit / {misses} parsed, "
+             f"{elapsed:.1f}s")
+    if findings:
+        print(f"\n{len(findings)} analyzer finding(s) ({stats})",
+              file=sys.stderr)
+        return 1
+    print(f"analyzer clean: {stats}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,337 @@
+"""Structured CFG analyses over the cppmodel statement AST.
+
+The passes need two flow-sensitive queries:
+
+  iteration_paths(loop)  — for poll-reachability: enumerate the cyclic paths
+      of an unbounded loop body (fallthrough and `continue` outcomes; break
+      and return leave the loop and are irrelevant to the cycle), recording
+      for each path whether it polled directly and which callees it invoked
+      (so a one-level interprocedural summary can credit a polling callee
+      afterwards).
+
+  walk_lock_events(body) — for lock-order: traverse the statement tree
+      tracking the held-lock set (scoped guards release at block end;
+      unique_lock variables honor .unlock()/.lock()), emitting an event for
+      every acquisition and every call made while at least one lock is held.
+
+Both are structured traversals, not basic-block graphs: the engine sources
+are exception-free and goto-free, so structured control flow is exact. A
+backward goto would be the one construct that escapes this model; the
+analyzer reports any goto in governed code as its own finding rather than
+guessing.
+"""
+
+import re
+
+from cppmodel import (extract_calls, extract_lock_ops, is_poll_stmt,
+                      stmt_outer_tokens)
+
+# A branch condition that tests an execution-context pointer for null:
+# `if (exec != nullptr) { ...Poll... }` polls exactly when governance is
+# attached, which is the invariant (an ungoverned loop has nothing to poll).
+NULL_GUARD_ID_RE = re.compile(r"^(?:\w*exec\w*|ctx|context)$", re.I)
+
+# Path enumeration cap: beyond this the loop body is too branchy to
+# enumerate, and the analysis falls back to the conservative existence
+# check (any poll anywhere in the body).
+MAX_PATHS = 160
+
+
+class Path:
+    __slots__ = ("kind", "polled", "callees")
+
+    def __init__(self, kind, polled, callees):
+        self.kind = kind          # "fall" | "continue" | "break" | "return"
+        self.polled = polled
+        self.callees = callees    # frozenset of names called along the path
+
+    def with_kind(self, kind):
+        return Path(kind, self.polled, self.callees)
+
+
+def _merge(paths):
+    """Dedupes path states; None signals the MAX_PATHS blow-up."""
+    if paths is None:
+        return None
+    seen = {}
+    for p in paths:
+        key = (p.kind, p.polled, p.callees)
+        seen[key] = p
+    if len(seen) > MAX_PATHS:
+        return None
+    return list(seen.values())
+
+
+def _is_null_guard(cond_tokens):
+    texts = [t.text for t in cond_tokens]
+    if "nullptr" not in texts and "NULL" not in texts:
+        return False
+    return any(t.kind == "id" and NULL_GUARD_ID_RE.match(t.text)
+               for t in cond_tokens)
+
+
+def _stmt_polls(stmt_tokens):
+    return is_poll_stmt(stmt_outer_tokens(stmt_tokens))
+
+
+def _stmt_callees(stmt_tokens):
+    return frozenset(name for name, _ in
+                     extract_calls(stmt_outer_tokens(stmt_tokens)))
+
+
+def _seq(paths_in, stmts):
+    """Pushes each live ('fall') path state through the statement list."""
+    live = paths_in
+    done = []
+    for stmt in stmts:
+        if live is None:
+            return None
+        still = [p for p in live if p.kind == "fall"]
+        done.extend(p for p in live if p.kind != "fall")
+        if not still:
+            return _merge(done)
+        live = _merge([q for p in still for q in _apply(p, stmt)])
+    if live is None:
+        return None
+    done.extend(live)
+    return _merge(done)
+
+
+def _apply(path, stmt):
+    """Path states after executing one statement from state `path`."""
+    if stmt.kind == "simple":
+        texts = [t.text for t in stmt.tokens[:1]]
+        polled = path.polled or _stmt_polls(stmt.tokens)
+        callees = path.callees | _stmt_callees(stmt.tokens)
+        if texts == ["continue"]:
+            return [Path("continue", polled, callees)]
+        if texts == ["break"]:
+            return [Path("break", polled, callees)]
+        if texts in (["return"], ["co_return"]):
+            return [Path("return", polled, callees)]
+        if texts == ["goto"]:
+            # Unanalyzable here; the poll pass reports gotos separately.
+            return [Path("return", polled, callees)]
+        # LRPDB_RETURN_IF_ERROR may return, but on the non-error path the
+        # statement falls through — model the fallthrough (the error path
+        # leaves the loop, which is always acceptable).
+        return [Path("fall", polled, callees)]
+    if stmt.kind == "label":
+        return [path]
+    if stmt.kind == "block":
+        out = _seq([path], stmt.body)
+        return out if out is not None else None
+    if stmt.kind == "if":
+        cond_polls = _stmt_polls(stmt.cond)
+        cond_callees = _stmt_callees(stmt.cond)
+        base = Path(path.kind, path.polled or cond_polls,
+                    path.callees | cond_callees)
+        then_paths = _seq([base], stmt.then)
+        else_paths = _seq([base], stmt.els) if stmt.els is not None else [base]
+        if then_paths is None or else_paths is None:
+            return None
+        if _is_null_guard(stmt.cond):
+            # If either arm polls, the governed arm polls: the other arm is
+            # the exec==nullptr side, where there is no governance to poll.
+            if any(p.polled for p in then_paths + else_paths):
+                then_paths = [Path(p.kind, True, p.callees)
+                              for p in then_paths]
+                else_paths = [Path(p.kind, True, p.callees)
+                              for p in else_paths]
+        return then_paths + else_paths
+    if stmt.kind == "loop":
+        return _apply_nested_loop(path, stmt)
+    if stmt.kind == "switch":
+        cond_polls = _stmt_polls(stmt.cond)
+        base = Path(path.kind, path.polled or cond_polls,
+                    path.callees | _stmt_callees(stmt.cond))
+        inner = _seq([base], stmt.body)
+        if inner is None:
+            return None
+        out = [base]  # No case may match.
+        for p in inner:
+            # break inside a switch exits the switch, not the loop.
+            out.append(Path("fall" if p.kind in ("break", "fall") else p.kind,
+                            p.polled, p.callees))
+        return out
+    return [path]
+
+
+def _apply_nested_loop(path, loop):
+    """A nested loop seen from the enclosing body.
+
+    Bounded loops may run zero iterations, so they contribute nothing to the
+    enclosing poll obligation (their polls are not guaranteed to execute);
+    their `return` paths do escape the enclosing loop. An unbounded nested
+    loop runs at least part of one iteration, but may `break` before
+    polling, so it is treated the same conservative way.
+    """
+    header_polls = _stmt_polls(loop.header) if loop.header else False
+    header_callees = _stmt_callees(loop.header) if loop.header else frozenset()
+    inner = _seq([Path("fall", False, frozenset())], loop.body)
+    out = [Path(path.kind, path.polled or header_polls,
+                path.callees | header_callees)]
+    if inner is None:
+        # Too branchy to enumerate: surface every callee pessimistically.
+        return out
+    for p in inner:
+        if p.kind == "return":
+            out.append(Path("return", path.polled or p.polled,
+                            path.callees | p.callees))
+    return _merge(out)
+
+
+def iteration_paths(loop):
+    """Cyclic-path summary for an unbounded loop.
+
+    Returns (paths, exact) where paths is a list of dicts
+    {"polled": bool, "callees": [names], "line": loop line} — one per
+    deduplicated cyclic path (fallthrough or continue back to the header) —
+    and exact is False when enumeration blew past MAX_PATHS and the caller
+    should fall back to the existence check.
+    """
+    header_polls = _stmt_polls(loop.header) if loop.header else False
+    start = Path("fall", header_polls,
+                 _stmt_callees(loop.header) if loop.header else frozenset())
+    result = _seq([start], loop.body)
+    if result is None:
+        return [], False
+    cyclic = [p for p in result if p.kind in ("fall", "continue")]
+    return ([{"polled": p.polled, "callees": sorted(p.callees)}
+             for p in cyclic], True)
+
+
+def collect_loops(stmts):
+    """All loop statements in a statement tree, outermost first."""
+    out = []
+    for s in stmts:
+        if s.kind == "loop":
+            out.append(s)
+            out.extend(collect_loops(s.body))
+        elif s.kind == "if":
+            out.extend(collect_loops(s.then))
+            if s.els is not None:
+                out.extend(collect_loops(s.els))
+        elif s.kind in ("block", "switch"):
+            out.extend(collect_loops(s.body))
+    return out
+
+
+def collect_simple(stmts):
+    """All simple statements in a statement tree."""
+    out = []
+    for s in stmts:
+        if s.kind == "simple":
+            out.append(s)
+        elif s.kind == "loop":
+            out.extend(collect_simple(s.body))
+        elif s.kind == "if":
+            out.extend(collect_simple(s.then))
+            if s.els is not None:
+                out.extend(collect_simple(s.els))
+        elif s.kind in ("block", "switch"):
+            out.extend(collect_simple(s.body))
+    return out
+
+
+def has_goto(stmts):
+    for s in collect_simple(stmts):
+        if s.tokens and s.tokens[0].text == "goto":
+            return s.line
+    return None
+
+
+# --- lock-event walk -------------------------------------------------------
+
+class LockEvent:
+    """op: "acquire" (mutex acquired with `held` already held) or
+    "call" (function called while `held` is non-empty)."""
+
+    def __init__(self, op, what, held, line):
+        self.op = op
+        self.what = what          # mutex expr or callee name
+        self.held = list(held)    # mutex exprs held before this event
+        self.line = line
+
+
+def walk_lock_events(stmts, entry_held=()):
+    """Emits LockEvents for a function body. entry_held seeds the held set
+    from LRPDB_EXCLUSIVE_LOCKS_REQUIRED annotations."""
+    events = []
+    # held: list of dicts {expr, var (guard variable or None), active}
+    held = [{"expr": e, "var": None, "active": True} for e in entry_held]
+
+    def active_exprs():
+        return [h["expr"] for h in held if h["active"]]
+
+    def walk(block):
+        marker = len(held)
+        for s in block:
+            if s.kind == "simple":
+                outer = stmt_outer_tokens(s.tokens)
+                ops = extract_lock_ops(outer)
+                for op in ops:
+                    if op["op"] == "guard":
+                        for m in op["mutexes"]:
+                            events.append(LockEvent("acquire", m,
+                                                    active_exprs(),
+                                                    op["line"]))
+                            held.append({"expr": m, "var": op["var"],
+                                         "active": True})
+                    elif op["op"] == "lock":
+                        tgt = op["target"]
+                        rebound = False
+                        for h in held:
+                            if h["var"] == tgt and not h["active"]:
+                                events.append(LockEvent("acquire", h["expr"],
+                                                        active_exprs(),
+                                                        op["line"]))
+                                h["active"] = True
+                                rebound = True
+                                break
+                        if not rebound:
+                            events.append(LockEvent("acquire", tgt,
+                                                    active_exprs(),
+                                                    op["line"]))
+                            held.append({"expr": tgt, "var": tgt,
+                                         "active": True})
+                    elif op["op"] == "unlock":
+                        tgt = op["target"]
+                        for h in reversed(held):
+                            if h["active"] and tgt in (h["var"], h["expr"]):
+                                h["active"] = False
+                                break
+                if active_exprs():
+                    lock_vars = {h["var"] for h in held if h["var"]}
+                    for name, line in extract_calls(outer):
+                        if name in ("lock", "unlock", "try_lock", "wait",
+                                    "wait_for", "notify_all", "notify_one"):
+                            continue
+                        if name in lock_vars:
+                            continue
+                        events.append(LockEvent("call", name, active_exprs(),
+                                                line))
+            elif s.kind == "if":
+                save = [dict(h) for h in held]
+                walk(s.then)
+                del held[len(save):]
+                for h, orig in zip(held, save):
+                    h.update(orig)
+                if s.els is not None:
+                    walk(s.els)
+                    del held[len(save):]
+                    for h, orig in zip(held, save):
+                        h.update(orig)
+            elif s.kind == "loop":
+                save = [dict(h) for h in held]
+                walk(s.body)
+                del held[len(save):]
+                for h, orig in zip(held, save):
+                    h.update(orig)
+            elif s.kind in ("block", "switch"):
+                walk(s.body if s.kind != "block" else s.body)
+        # Scoped guards acquired in this block release here.
+        del held[marker:]
+
+    walk(stmts)
+    return events

@@ -1,0 +1,719 @@
+"""Builtin C++ source model: tokenizer, structure scanner, statement AST.
+
+This is the zero-dependency engine behind ci/lint/analyze.py. It does not
+try to be a C++ front end; it extracts exactly the structure the four
+project-invariant passes need, erring on the side of the conservative
+reading wherever the grammar is ambiguous:
+
+  - a token stream over comment/string-stripped text (line numbers intact),
+  - a scope tree (namespace / class / function / block) found by brace
+    matching, yielding every function *definition* with its body range,
+  - class-member tables: unordered containers, mutexes (with
+    LRPDB_ACQUIRED_AFTER/BEFORE edges), and per-declaration LRPDB_* lock
+    annotations,
+  - a per-function statement AST (If / Loop / Switch / Simple) that the CFG
+    walk in cfg.py consumes,
+  - per-function summaries: calls, direct polls, failpoints, error-status
+    factories, lock-acquisition events with the held set at each point, and
+    range-for loops with their sink classification.
+
+Everything in a summary is plain JSON-serializable data so analyze.py can
+cache it keyed on the file hash.
+"""
+
+import re
+
+# --- tokenizer -------------------------------------------------------------
+
+TOKEN_RE = re.compile(
+    r"""(?P<id>[A-Za-z_]\w*)
+      | (?P<num>\.?\d(?:[\w.']|[eEpP][+-])*)
+      | (?P<punct>::|->\*?|\+\+|--|<<=|>>=|<=|>=|==|!=|&&|\|\||\+=|-=|\*=|/=|%=|&=|\|=|\^=|\.\.\.|\[\[|\]\]|[{}()\[\];,<>=+\-*/%!&|^~?:.])
+      | (?P<str>["'])
+    """,
+    re.X,
+)
+
+CONTROL_KEYWORDS = {"if", "for", "while", "switch", "do", "else", "return",
+                    "case", "default", "goto", "break", "continue"}
+NON_CALL_KEYWORDS = CONTROL_KEYWORDS | {
+    "sizeof", "alignof", "decltype", "static_cast", "const_cast",
+    "dynamic_cast", "reinterpret_cast", "noexcept", "new", "delete",
+    "static_assert", "typeid", "alignas", "co_await", "co_return",
+}
+
+
+class Tok:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind, text, line):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self):
+        return f"{self.text}@{self.line}"
+
+
+def tokenize(stripped_text):
+    """Tokens over comment/string-stripped text; preprocessor lines (and
+    their backslash continuations) are skipped entirely."""
+    toks = []
+    line_no = 0
+    pending_continuation = False
+    for raw_line in stripped_text.split("\n"):
+        line_no += 1
+        body = raw_line
+        if pending_continuation:
+            pending_continuation = raw_line.rstrip().endswith("\\")
+            continue
+        if body.lstrip().startswith("#"):
+            pending_continuation = raw_line.rstrip().endswith("\\")
+            continue
+        pos = 0
+        while pos < len(body):
+            m = TOKEN_RE.search(body, pos)
+            if not m:
+                break
+            if m.lastgroup == "str":
+                # Stripped text keeps the delimiters; contents are blanks.
+                close = body.find(m.group(0), m.end())
+                toks.append(Tok("str", m.group(0), line_no))
+                pos = (close + 1) if close >= 0 else len(body)
+                continue
+            toks.append(Tok(m.lastgroup, m.group(0), line_no))
+            pos = m.end()
+    return toks
+
+
+def match_forward(toks, open_idx, open_ch, close_ch):
+    """Index of the token closing toks[open_idx] (which must be open_ch)."""
+    depth = 0
+    for i in range(open_idx, len(toks)):
+        t = toks[i].text
+        if t == open_ch:
+            depth += 1
+        elif t == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(toks) - 1
+
+
+# --- structure scanner -----------------------------------------------------
+
+class FunctionDef:
+    def __init__(self, name, qual_name, class_name, file, line, sig_tokens,
+                 body_lo, body_hi):
+        self.name = name                  # last component, e.g. "Merge"
+        self.qual_name = qual_name        # e.g. "TupleStore::Merge"
+        self.class_name = class_name      # resolved class context or ""
+        self.file = file
+        self.line = line
+        self.sig_tokens = sig_tokens      # tokens from stmt start through '{'
+        self.body_lo = body_lo            # token index just after '{'
+        self.body_hi = body_hi            # token index of matching '}'
+
+
+class MemberInfo:
+    def __init__(self, kind, line, type_text="", acquired_after=(),
+                 acquired_before=()):
+        self.kind = kind                  # "unordered" | "ptr-keyed" | "mutex"
+        self.line = line
+        self.type_text = type_text
+        self.acquired_after = list(acquired_after)
+        self.acquired_before = list(acquired_before)
+
+
+UNORDERED_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b"
+                          r"|\bflat_hash_(?:map|set)\b|\bnode_hash_(?:map|set)\b")
+PTR_KEY_RE = re.compile(r"\bstd\s*::\s*(?:map|set|multimap|multiset)\s*<\s*"
+                        r"(?:const\s+)?[\w:]+\s*\*")
+MUTEX_DECL_RE = re.compile(r"\bstd\s*::\s*(?:shared_|recursive_)?mutex\b")
+LOCK_ANNOT_RE = re.compile(
+    r"\bLRPDB_(EXCLUSIVE_LOCKS_REQUIRED|SHARED_LOCKS_REQUIRED|ACQUIRE|"
+    r"ACQUIRE_SHARED|RELEASE|ACQUIRED_AFTER|ACQUIRED_BEFORE)\s*\(([^)]*)\)")
+
+
+def _stmt_text(tokens):
+    return " ".join(t.text for t in tokens)
+
+
+def _first_call_candidate(tokens):
+    """Index of the first depth-0 identifier immediately followed by '(' —
+    the declarator name for a function definition head."""
+    depth = 0
+    for i, t in enumerate(tokens):
+        if t.text in "([":
+            depth += 1
+        elif t.text in ")]":
+            depth -= 1
+        elif (depth == 0 and t.kind == "id" and t.text not in CONTROL_KEYWORDS
+              and i + 1 < len(tokens) and tokens[i + 1].text == "("):
+            if t.text == "operator":
+                continue  # `operator(` is handled below, via the symbol run
+            return i
+        elif depth == 0 and t.kind == "id" and t.text == "operator":
+            # operator= / operator== / operator[] ...: the declarator "name"
+            # is the symbol run between `operator` and the parameter list.
+            j = i + 1
+            while j < len(tokens) and tokens[j].kind != "id" and \
+                    tokens[j].text != "(":
+                j += 1
+            if j > i + 1 and j < len(tokens) and tokens[j].text == "(":
+                return j - 1
+    return -1
+
+
+def _qualified_name(tokens, name_idx):
+    """Walks back from tokens[name_idx] over `A::B::~name` chains."""
+    parts = [tokens[name_idx].text]
+    i = name_idx - 1
+    if tokens[name_idx].kind != "id":
+        # Symbol "name" from an operator declarator: absorb the punct run
+        # back to the `operator` keyword (operator=, operator==, ...).
+        while i >= 0 and tokens[i].kind != "id" and tokens[i].text != "::":
+            parts[0] = tokens[i].text + parts[0]
+            i -= 1
+        if i >= 0 and tokens[i].text == "operator":
+            parts[0] = "operator" + parts[0]
+            i -= 1
+    if i >= 0 and tokens[i].text == "~":
+        parts[0] = "~" + parts[0]
+        i -= 1
+    if i >= 0 and tokens[i].text == "operator":
+        parts[0] = "operator" + parts[0]
+        i -= 1
+    while i >= 1 and tokens[i].text == "::" and tokens[i - 1].kind == "id":
+        parts.insert(0, tokens[i - 1].text)
+        i -= 2
+    return "::".join(parts), parts
+
+
+class Scope:
+    def __init__(self, kind, name="", class_path=""):
+        self.kind = kind        # top|namespace|class|function|block|enum
+        self.name = name
+        self.class_path = class_path  # innermost class chain, "A::B"
+
+
+class FileModel:
+    def __init__(self, path):
+        self.path = path
+        self.functions = []       # [FunctionDef]
+        self.members = {}         # class_path -> {member_name: MemberInfo}
+        self.decl_annotations = {}  # "Class::fn" or "fn" -> [(kind, args)]
+        self.tokens = []
+
+
+def scan_structure(path, stripped_text):
+    """One pass over the token stream: scope tree, function defs, members."""
+    model = FileModel(path)
+    toks = tokenize(stripped_text)
+    model.tokens = toks
+    stack = [Scope("top")]
+    stmt = []  # tokens since the last statement boundary in this scope
+
+    def class_path():
+        return stack[-1].class_path
+
+    def record_class_member_stmt(tokens):
+        text = _stmt_text(tokens)
+        annots = LOCK_ANNOT_RE.findall(text)
+        # Declared name: last identifier before the terminator, skipping
+        # annotation argument lists and default initializers.
+        cut = len(tokens)
+        for i, t in enumerate(tokens):
+            if t.text == "=" or (t.kind == "id" and t.text.startswith("LRPDB_")):
+                cut = i
+                break
+        name = None
+        line = tokens[0].line
+        for t in reversed(tokens[:cut]):
+            if t.kind == "id" and t.text not in ("const", "mutable", "static"):
+                name = t.text
+                line = t.line
+                break
+        cp = class_path()
+        if not cp:
+            # Annotated free-function declarations (rare) land here too.
+            pass
+        if MUTEX_DECL_RE.search(text) and name:
+            after = [a.strip() for k, a in annots if k == "ACQUIRED_AFTER"
+                     for a in [a] if a.strip()]
+            before = [a.strip() for k, a in annots if k == "ACQUIRED_BEFORE"
+                      for a in [a] if a.strip()]
+            model.members.setdefault(cp, {})[name] = MemberInfo(
+                "mutex", line, text, after, before)
+            return
+        if name and cp:
+            if UNORDERED_RE.search(text):
+                model.members.setdefault(cp, {})[name] = MemberInfo(
+                    "unordered", line, text)
+            elif PTR_KEY_RE.search(text):
+                model.members.setdefault(cp, {})[name] = MemberInfo(
+                    "ptr-keyed", line, text)
+        # Member-function declarations carrying lock annotations.
+        if annots and "(" in text:
+            ci = _first_call_candidate(tokens)
+            if ci >= 0:
+                fn = tokens[ci].text
+                key = f"{cp}::{fn}" if cp else fn
+                model.decl_annotations.setdefault(key, []).extend(
+                    (k, a.strip()) for k, a in annots)
+
+    i = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i]
+        if t.text == "{":
+            enclosing = stack[-1]
+            kind = "block"
+            name = ""
+            cpath = enclosing.class_path
+            head = stmt
+            first = head[0].text if head else ""
+            # template <...> prefix does not change the classification.
+            body_head = head
+            if first == "template":
+                d = 0
+                for j, ht in enumerate(head):
+                    if ht.text == "<":
+                        d += 1
+                    elif ht.text == ">":
+                        d -= 1
+                        if d == 0:
+                            body_head = head[j + 1:]
+                            break
+                first = body_head[0].text if body_head else ""
+            if enclosing.kind in ("top", "namespace", "class") or first in (
+                    "namespace", "class", "struct", "union", "enum"):
+                if first == "namespace":
+                    kind = "namespace"
+                    name = body_head[-1].text if len(body_head) > 1 else ""
+                elif first in ("class", "struct", "union"):
+                    kind = "class"
+                    # Name: identifier after the class-key, before : or final.
+                    for ht in body_head[1:]:
+                        if ht.kind == "id" and ht.text not in (
+                                "final", "alignas", "LRPDB_CAPABILITY"):
+                            name = ht.text
+                            break
+                    cpath = f"{enclosing.class_path}::{name}" if \
+                        enclosing.class_path else name
+                elif first == "enum":
+                    kind = "enum"
+                elif first == "extern":
+                    kind = "namespace"
+                elif (body_head
+                      and not any(
+                          ht.text == "=" and (j == 0 or
+                                              body_head[j - 1].text
+                                              != "operator")
+                          for j, ht in enumerate(body_head))
+                      and enclosing.kind != "function"):
+                    ci = _first_call_candidate(body_head)
+                    if ci >= 0 and body_head[0].text not in CONTROL_KEYWORDS:
+                        qual, parts = _qualified_name(body_head, ci)
+                        close = match_forward(toks, i, "{", "}")
+                        fn_class = enclosing.class_path
+                        if len(parts) > 1:
+                            qualifier = "::".join(parts[:-1])
+                            fn_class = (f"{enclosing.class_path}::{qualifier}"
+                                        if enclosing.class_path else qualifier)
+                        model.functions.append(FunctionDef(
+                            parts[-1], qual, fn_class, path,
+                            body_head[ci].line, list(body_head),
+                            i + 1, close))
+                        kind = "function"
+                        name = qual
+            elif enclosing.kind in ("function", "block"):
+                kind = "block"
+            stack.append(Scope(kind, name, cpath))
+            stmt = []
+        elif t.text == "}":
+            if len(stack) > 1:
+                stack.pop()
+            stmt = []
+            # `};` terminators and do-while trailers stay harmless: the next
+            # boundary resets stmt anyway.
+        elif t.text == ";":
+            if stack[-1].kind == "class" and stmt:
+                record_class_member_stmt(stmt)
+            elif stack[-1].kind in ("top", "namespace") and stmt:
+                # Free-function declarations with lock annotations.
+                text = _stmt_text(stmt)
+                annots = LOCK_ANNOT_RE.findall(text)
+                if annots and "(" in text:
+                    ci = _first_call_candidate(stmt)
+                    if ci >= 0:
+                        model.decl_annotations.setdefault(
+                            stmt[ci].text, []).extend(
+                                (k, a.strip()) for k, a in annots)
+            stmt = []
+        else:
+            stmt.append(t)
+        i += 1
+    return model
+
+
+# --- statement AST ---------------------------------------------------------
+
+class Stmt:
+    """kind: simple | if | loop | switch | block | label
+    Fields by kind:
+      simple: tokens, plus derived facts via summarize helpers
+      if:     cond (tokens), then (list), els (list or None)
+      loop:   loop_kind (for|range_for|while|do), header (tokens),
+              body (list), unbounded (bool)
+      switch: cond, body (list)
+      block:  body (list)
+      label:  text ("case ...:" / "default:" / goto label)
+    """
+
+    def __init__(self, kind, line, **kw):
+        self.kind = kind
+        self.line = line
+        for k, v in kw.items():
+            setattr(self, k, v)
+
+
+def parse_statements(toks, lo, hi):
+    """Parses toks[lo:hi] (a function/block body) into a Stmt list."""
+    out = []
+    i = lo
+    while i < hi:
+        t = toks[i]
+        text = t.text
+        if text == ";":
+            i += 1
+            continue
+        if text == "{":
+            close = match_forward(toks, i, "{", "}")
+            out.append(Stmt("block", t.line,
+                            body=parse_statements(toks, i + 1, close)))
+            i = close + 1
+            continue
+        if text in ("case", "default"):
+            j = i
+            while j < hi and toks[j].text != ":":
+                j += 1
+            out.append(Stmt("label", t.line,
+                            text=_stmt_text(toks[i:j + 1])))
+            i = j + 1
+            continue
+        if text == "if":
+            if i + 1 < hi and toks[i + 1].text == "(":
+                cclose = match_forward(toks, i + 1, "(", ")")
+                cond = toks[i + 2:cclose]
+                then_body, j = _parse_one_embedded(toks, cclose + 1, hi)
+                els = None
+                if j < hi and toks[j].text == "else":
+                    els, j = _parse_one_embedded(toks, j + 1, hi)
+                out.append(Stmt("if", t.line, cond=cond, then=then_body,
+                                els=els))
+                i = j
+                continue
+        if text in ("while", "for"):
+            if i + 1 < hi and toks[i + 1].text == "(":
+                cclose = match_forward(toks, i + 1, "(", ")")
+                header = toks[i + 2:cclose]
+                body, j = _parse_one_embedded(toks, cclose + 1, hi)
+                kind, unbounded = _classify_loop(text, header)
+                out.append(Stmt("loop", t.line, loop_kind=kind, header=header,
+                                body=body, unbounded=unbounded))
+                i = j
+                continue
+        if text == "do":
+            body, j = _parse_one_embedded(toks, i + 1, hi)
+            header = []
+            unbounded = False
+            if j < hi and toks[j].text == "while" and j + 1 < hi and \
+                    toks[j + 1].text == "(":
+                cclose = match_forward(toks, j + 1, "(", ")")
+                header = toks[j + 2:cclose]
+                unbounded = _cond_is_true(header)
+                j = cclose + 1
+                if j < hi and toks[j].text == ";":
+                    j += 1
+            out.append(Stmt("loop", t.line, loop_kind="do", header=header,
+                            body=body, unbounded=unbounded))
+            i = j
+            continue
+        if text == "switch":
+            if i + 1 < hi and toks[i + 1].text == "(":
+                cclose = match_forward(toks, i + 1, "(", ")")
+                body, j = _parse_one_embedded(toks, cclose + 1, hi)
+                out.append(Stmt("switch", t.line, cond=toks[i + 2:cclose],
+                                body=body))
+                i = j
+                continue
+        if text == "else":
+            # Dangling else from a brace-less if parsed as simple; recover.
+            body, j = _parse_one_embedded(toks, i + 1, hi)
+            out.append(Stmt("block", t.line, body=body))
+            i = j
+            continue
+        # Simple statement: consume to the ';' at depth 0, skipping balanced
+        # parens/braces/brackets (lambda bodies, brace inits).
+        j = i
+        depth = 0
+        while j < hi:
+            tj = toks[j].text
+            if tj in ("(", "{", "["):
+                depth += 1
+            elif tj in (")", "}", "]"):
+                depth -= 1
+                if depth < 0:
+                    break
+            elif tj == ";" and depth == 0:
+                break
+            j += 1
+        out.append(Stmt("simple", t.line, tokens=toks[i:j]))
+        i = j + 1
+    return out
+
+
+def _parse_one_embedded(toks, i, hi):
+    """Parses one statement (braced block or single) starting at i; returns
+    (stmt_list, next_index)."""
+    if i < hi and toks[i].text == "{":
+        close = match_forward(toks, i, "{", "}")
+        return parse_statements(toks, i + 1, close), close + 1
+    # Single embedded statement: parse one statement via parse_statements on
+    # a narrowed range ending at its natural terminator.
+    if i >= hi:
+        return [], i
+    t = toks[i].text
+    if t in ("if", "while", "for", "do", "switch"):
+        first = _parse_first(toks, i, hi)
+        return [first[0]], first[1]
+    j = i
+    depth = 0
+    while j < hi:
+        tj = toks[j].text
+        if tj in ("(", "{", "["):
+            depth += 1
+        elif tj in (")", "}", "]"):
+            depth -= 1
+            if depth < 0:
+                break
+        elif tj == ";" and depth == 0:
+            break
+        j += 1
+    return [Stmt("simple", toks[i].line, tokens=toks[i:j])], j + 1
+
+
+def _parse_first(toks, i, hi):
+    """(first_stmt, next_index) for a control statement at i."""
+    t = toks[i].text
+    if t in ("while", "for", "if", "switch"):
+        cclose = match_forward(toks, i + 1, "(", ")")
+        body, j = _parse_one_embedded(toks, cclose + 1, hi)
+        header = toks[i + 2:cclose]
+        if t == "if":
+            els = None
+            if j < hi and toks[j].text == "else":
+                els, j = _parse_one_embedded(toks, j + 1, hi)
+            return Stmt("if", toks[i].line, cond=header, then=body,
+                        els=els), j
+        if t == "switch":
+            return Stmt("switch", toks[i].line, cond=header, body=body), j
+        kind, unbounded = _classify_loop(t, header)
+        return Stmt("loop", toks[i].line, loop_kind=kind, header=header,
+                    body=body, unbounded=unbounded), j
+    if t == "do":
+        body, j = _parse_one_embedded(toks, i + 1, hi)
+        header = []
+        unbounded = False
+        if j < hi and toks[j].text == "while" and toks[j + 1].text == "(":
+            cclose = match_forward(toks, j + 1, "(", ")")
+            header = toks[j + 2:cclose]
+            unbounded = _cond_is_true(header)
+            j = cclose + 1
+            if j < hi and toks[j].text == ";":
+                j += 1
+        return Stmt("loop", toks[i].line, loop_kind="do", header=header,
+                    body=body, unbounded=unbounded), j
+    raise AssertionError(t)
+
+
+def _cond_is_true(cond):
+    texts = [t.text for t in cond]
+    return texts in (["true"], ["1"])
+
+
+def _classify_loop(keyword, header):
+    if keyword == "while":
+        return "while", _cond_is_true(header)
+    # for: classic for has depth-0 ';' clauses; otherwise a depth-0 ':'
+    # (never '::', which tokenizes as one token) marks a range-for.
+    parts = _split_top(header, ";")
+    if len(parts) >= 2:
+        return "for", not parts[1]
+    depth = 0
+    for t in header:
+        if t.text in ("(", "[", "{"):
+            depth += 1
+        elif t.text in (")", "]", "}"):
+            depth -= 1
+        elif t.text == ":" and depth == 0:
+            return "range_for", False
+    return "for", False
+
+
+def _split_top(tokens, sep):
+    parts = [[]]
+    depth = 0
+    for t in tokens:
+        if t.text in ("(", "[", "{"):
+            depth += 1
+        elif t.text in (")", "]", "}"):
+            depth -= 1
+        if t.text == sep and depth == 0:
+            parts.append([])
+        else:
+            parts[-1].append(t)
+    return parts
+
+
+# --- statement-level fact extraction ---------------------------------------
+
+POLL_NAME_RE = re.compile(r"^(?:Poll\w*|CheckNow)$")
+ERROR_FACTORIES = {
+    "InvalidArgumentError", "NotFoundError", "InternalError",
+    "ResourceExhaustedError", "UnimplementedError", "ParseError",
+    "DeadlineExceededError", "CancelledError", "Trip",
+}
+GUARD_TYPES = {"lock_guard", "unique_lock", "shared_lock", "scoped_lock"}
+
+
+def stmt_outer_tokens(tokens):
+    """Tokens of a simple statement outside any nested brace group: lambda
+    bodies and brace-inits do not execute inline, so calls inside them must
+    not count as calls, polls, or lock acquisitions of this statement."""
+    out = []
+    depth = 0
+    for t in tokens:
+        if t.text == "{":
+            depth += 1
+            continue
+        if t.text == "}":
+            depth -= 1
+            continue
+        if depth == 0:
+            out.append(t)
+    return out
+
+
+def extract_calls(tokens):
+    """[(name, line)] for identifier '(' sequences, keywords excluded."""
+    calls = []
+    for i, t in enumerate(tokens):
+        if (t.kind == "id" and t.text not in NON_CALL_KEYWORDS
+                and i + 1 < len(tokens) and tokens[i + 1].text == "("):
+            calls.append((t.text, t.line))
+    return calls
+
+
+def is_poll_stmt(tokens):
+    return any(POLL_NAME_RE.match(name) for name, _ in extract_calls(tokens))
+
+
+def extract_lock_ops(tokens):
+    """Lock operations in one simple statement (outer tokens).
+
+    Returns a list of op dicts:
+      {"op": "guard", "var": name, "mutexes": [expr_text], "line": n}
+      {"op": "lock"/"unlock", "target": expr_text, "line": n}
+    """
+    ops = []
+    texts = [t.text for t in tokens]
+    for i, t in enumerate(tokens):
+        if t.kind == "id" and t.text in GUARD_TYPES:
+            # std::lock_guard<...> var(mu[, ...]);  (or CTAD, no <...>)
+            j = i + 1
+            if j < len(tokens) and tokens[j].text == "<":
+                d = 0
+                while j < len(tokens):
+                    if tokens[j].text == "<":
+                        d += 1
+                    elif tokens[j].text == ">":
+                        d -= 1
+                        if d == 0:
+                            break
+                    elif tokens[j].text == ">>":
+                        d -= 2
+                        if d <= 0:
+                            break
+                    j += 1
+                j += 1
+            if j < len(tokens) and tokens[j].kind == "id" and \
+                    j + 1 < len(tokens) and tokens[j + 1].text == "(":
+                var = tokens[j].text
+                close = match_forward(tokens, j + 1, "(", ")")
+                args = _split_top(tokens[j + 2:close], ",")
+                arg_texts = ["".join(a.text for a in arg) for arg in args if arg]
+                if any("defer_lock" in a for a in arg_texts):
+                    continue
+                mutexes = [a for a in arg_texts
+                           if "adopt_lock" not in a and "try_to_lock" not in a]
+                ops.append({"op": "guard", "var": var, "mutexes": mutexes,
+                            "line": t.line})
+        elif t.kind == "id" and t.text in ("lock", "unlock") and \
+                i + 1 < len(tokens) and tokens[i + 1].text == "(" and \
+                i >= 2 and texts[i - 1] in (".", "->"):
+            # expr.lock() / expr.unlock(): reconstruct the receiver chain.
+            k = i - 2
+            chain = [tokens[k].text] if tokens[k].kind == "id" else []
+            while k >= 2 and tokens[k - 1].text in (".", "->") and \
+                    tokens[k - 2].kind == "id":
+                chain.insert(0, tokens[k - 2].text + tokens[k - 1].text)
+                k -= 2
+            if chain:
+                ops.append({"op": t.text, "target": "".join(chain),
+                            "line": t.line})
+    return ops
+
+
+def local_unordered_decl(tokens):
+    """(name, kind) when a simple statement declares a local unordered or
+    pointer-keyed container or mutex; else None."""
+    text = _stmt_text(tokens)
+    if "=" in [t.text for t in tokens]:
+        eq = [t.text for t in tokens].index("=")
+        head = tokens[:eq]
+    else:
+        head = tokens
+    if any(t.kind == "id" and t.text in GUARD_TYPES for t in tokens):
+        # lock_guard<std::mutex> lk(mu_) declares a guard, not a mutex.
+        return None
+    kind = None
+    if UNORDERED_RE.search(text):
+        kind = "unordered"
+    elif PTR_KEY_RE.search(text):
+        kind = "ptr-keyed"
+    elif MUTEX_DECL_RE.search(_stmt_text(head)):
+        kind = "mutex"
+    if kind is None:
+        return None
+    # The declarator: last depth-0 identifier (never one inside a paren
+    # group, which would be a constructor/call argument).
+    name = None
+    depth = 0
+    for t in reversed(head):
+        if t.text in ")]":
+            depth += 1
+        elif t.text in "([":
+            depth -= 1
+        elif (depth == 0 and t.kind == "id"
+              and t.text not in ("const", "static", "mutable")):
+            name = t.text
+            break
+    # Guard against matching a *use* (e.g. passing an unordered arg): the
+    # head must start with a type-ish token, not a call or assignment target.
+    if name is None or not head or head[0].kind != "id":
+        return None
+    if head[0].text in NON_CALL_KEYWORDS or "(" == head[-1].text:
+        return None
+    return (name, kind)

@@ -1,0 +1,124 @@
+"""Canonical libclang engine: type-accurate augmentation of the builtin
+summaries.
+
+When python clang bindings and a compile_commands.json are available, this
+engine parses each translation unit with the real compiler front end and
+re-derives the facts the builtin tokenizer can only approximate:
+
+  - range-for statements whose range type canonicalizes to an unordered
+    container (catches aliases/typedefs the lexical member table misses),
+  - goto statements (escapes the structured CFG model),
+  - unbounded loops (while(true), for(;;), do-while(true)) as a
+    cross-check on the builtin loop classifier.
+
+The derived facts are merged into each file summary under the "libclang"
+key; passes treat them as additional sources, never as replacements — so a
+libclang parse failure on one TU degrades that TU to builtin facts instead
+of silently dropping findings. Returns (ok, note); analyze.py turns
+ok=False into a hard error under --require-libclang (CI) and a note
+otherwise.
+"""
+
+import json
+import os
+
+
+def _compile_args(entry):
+    """Include/define/std args from a compile_commands entry, with the
+    output/input file arguments stripped."""
+    args = entry.get("arguments")
+    if not args:
+        cmd = entry.get("command", "")
+        args = cmd.split()
+    keep = []
+    skip_next = False
+    for a in args[1:]:
+        if skip_next:
+            skip_next = False
+            continue
+        if a in ("-o", "-c"):
+            skip_next = a == "-o"
+            continue
+        if a.startswith(("-I", "-D", "-std", "-isystem", "-W", "-f")):
+            keep.append(a)
+    return keep
+
+
+UNORDERED_TYPE_MARKERS = ("unordered_map", "unordered_set",
+                          "unordered_multimap", "unordered_multiset")
+
+
+def augment(summaries, repo_root, compile_db_path):
+    try:
+        from clang import cindex
+    except ImportError:
+        return False, "python clang bindings not importable"
+    try:
+        index = cindex.Index.create()
+    except Exception as e:  # Bindings present, libclang.so missing.
+        return False, f"clang bindings present but unusable ({e})"
+    if not os.path.exists(compile_db_path):
+        return False, f"no compile database at {compile_db_path}"
+    try:
+        entries = json.load(open(compile_db_path))
+    except ValueError as e:
+        return False, f"unreadable compile database: {e}"
+
+    by_abs = {}
+    for entry in entries:
+        ap = os.path.normpath(os.path.join(entry.get("directory", ""),
+                                           entry["file"]))
+        by_abs[ap] = entry
+
+    kinds = cindex.CursorKind
+    parsed = 0
+    for rp, summary in summaries.items():
+        ap = os.path.normpath(os.path.join(repo_root, rp))
+        entry = by_abs.get(ap)
+        if entry is None or not rp.endswith(".cc"):
+            continue
+        try:
+            tu = index.parse(ap, args=_compile_args(entry))
+        except Exception:
+            continue
+        facts = {"unordered_range_fors": [], "goto_lines": [],
+                 "unbounded_loops": []}
+        try:
+            for cursor in tu.cursor.walk_preorder():
+                loc = cursor.location
+                if not loc.file or os.path.normpath(loc.file.name) != ap:
+                    continue
+                if cursor.kind == kinds.CXX_FOR_RANGE_STMT:
+                    children = list(cursor.get_children())
+                    if children:
+                        range_type = children[-2].type if \
+                            len(children) >= 2 else None
+                        spelling = ""
+                        try:
+                            spelling = range_type.get_canonical().spelling \
+                                if range_type is not None else ""
+                        except Exception:
+                            pass
+                        if any(m in spelling
+                               for m in UNORDERED_TYPE_MARKERS):
+                            facts["unordered_range_fors"].append(loc.line)
+                elif cursor.kind == kinds.GOTO_STMT:
+                    facts["goto_lines"].append(loc.line)
+                elif cursor.kind in (kinds.WHILE_STMT, kinds.FOR_STMT,
+                                     kinds.DO_STMT):
+                    try:
+                        tokens = [t.spelling for t in
+                                  list(cursor.get_tokens())[:8]]
+                    except Exception:
+                        tokens = []
+                    head = "".join(tokens)
+                    if head.startswith(("while(true)", "while(1)",
+                                        "for(;;)")):
+                        facts["unbounded_loops"].append(loc.line)
+        except Exception:
+            continue
+        summary["libclang"] = facts
+        parsed += 1
+    if parsed == 0:
+        return False, "libclang parsed no translation units"
+    return True, f"libclang parsed {parsed} translation unit(s)"

@@ -1,0 +1,94 @@
+"""failpoint-coverage: every Status-producing engine function within
+call-graph reach of an LRPDB_FAILPOINT.
+
+The fault-injection CI job (ci/check.sh --faults) can only exercise error
+paths that a failpoint reaches: an injected failure propagates up through
+every LRPDB_RETURN_IF_ERROR between the site and the caller. A function
+that constructs a *new* error Status (InternalError, InvalidArgumentError,
+exec->Trip, ...) with no failpoint anywhere in its body or transitive
+callees is an error path fault injection can never take, so regressions in
+its unwinding (leaks, locks held, partial state) go untested.
+
+For each Status/StatusOr-returning engine function this pass computes the
+call-graph distance to the nearest failpoint (0 = in the body, 1 = in a
+direct callee, ...). It fails when a function that produces a new error has
+no failpoint at any distance. `--report-failpoints` prints the full
+distance table.
+
+Suppression: `// lint: allow(failpoint-coverage)` on the function's first
+error-factory line, with a justification (e.g. pure-validation functions
+whose errors are exercised directly by unit tests and that sit on no
+resource-holding path).
+"""
+
+PASS_ID = "failpoint-coverage"
+ENGINE_DIRS = ("src/core/", "src/gdb/", "src/datalog1s/")
+
+
+def _distances(ctx):
+    """{(path, qual_name): distance or None} over all scanned functions."""
+    fns = []
+    by_name = {}
+    for path, summary in ctx.summaries.items():
+        for fn in summary["functions"]:
+            key = (path, fn["qual_name"], fn["line"])
+            fns.append((key, fn))
+            by_name.setdefault(fn["name"], []).append(key)
+    dist = {key: (0 if fn.get("failpoint") else None) for key, fn in fns}
+    callees = {key: fn.get("callees", []) for key, fn in fns}
+    # Relaxation to a fixpoint (the call graph is small; a handful of
+    # rounds). dist(F) = 0 if F has a failpoint else 1 + min over callees.
+    changed = True
+    while changed:
+        changed = False
+        for key, _ in fns:
+            if dist[key] == 0:
+                continue
+            best = None
+            for cname in callees[key]:
+                for ckey in by_name.get(cname, ()):
+                    if ckey == key:
+                        continue
+                    d = dist.get(ckey)
+                    if d is not None and (best is None or d + 1 < best):
+                        best = d + 1
+            if best is not None and (dist[key] is None or best < dist[key]):
+                dist[key] = best
+                changed = True
+    return dist, fns
+
+
+def run(ctx):
+    findings = []
+    dist, fns = _distances(ctx)
+    report = []
+    for key, fn in sorted(fns):
+        path = key[0]
+        if not path.startswith(ENGINE_DIRS):
+            continue
+        if not fn.get("returns_status"):
+            continue
+        d = dist[key]
+        produces = bool(fn.get("error_lines"))
+        report.append((path, fn["line"], fn["qual_name"], d, produces))
+        if produces and d is None:
+            line = fn["error_lines"][0]
+            findings.append(ctx.finding(
+                path, line, PASS_ID,
+                f"'{fn['qual_name']}' constructs a new error Status but no "
+                "LRPDB_FAILPOINT is reachable from it at any call-graph "
+                "distance: add a failpoint on the function's error path, "
+                "or justify with // lint: allow(failpoint-coverage)"))
+    ctx.failpoint_report = report
+    return findings
+
+
+def format_report(report):
+    lines = ["failpoint-coverage distances (engine Status functions):"]
+    width = max((len(q) for _, _, q, _, _ in report), default=10)
+    for path, line, qual, d, produces in report:
+        dd = "-" if d is None else str(d)
+        tag = "produces-error" if produces else "propagates-only"
+        lines.append(f"  {qual:<{width}}  d={dd:<2} {tag:<15} "
+                     f"{path}:{line}")
+    return "\n".join(lines)

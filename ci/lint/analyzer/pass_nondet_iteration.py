@@ -1,0 +1,98 @@
+"""nondeterministic-iteration: unordered-container / pointer-keyed walks
+whose loop body flows into output-affecting state.
+
+The engine's determinism contract (bit-identical models, insertion order,
+Explain output, and provenance logs at any thread count) dies quietly the
+moment a hash-ordered walk feeds tuple insertion, provenance records,
+metrics, dumps, or order-dependent early returns. This pass flags every
+range-for whose range resolves to a std::unordered_map/set (directly, via
+subscript into a container-of-unordered, or through a pointer-keyed ordered
+container — pointer keys order by allocation address, which ASLR
+randomizes) when the CFG-collected loop body contains an order-sensitive
+sink. Commutative integer accumulation (++n, n += k) is deliberately not a
+sink.
+
+Suppression: `// lint: allow(det)` on the loop line (or the line above)
+with a justification comment explaining why the body is order-insensitive.
+"""
+
+import re
+
+from cppmodel import UNORDERED_RE
+
+PASS_ID = "nondeterministic-iteration"
+TARGET_DIRS = ("src/core/", "src/gdb/", "src/datalog1s/")
+
+# Outermost container of a member/local declaration, for the
+# subscripted-vs-direct distinction.
+OUTER_CONTAINER_RE = re.compile(
+    r"\b(unordered_(?:map|set|multimap|multiset)|flat_hash_(?:map|set)|"
+    r"map|set|multimap|multiset|vector|deque|array|span)\s*<")
+
+
+def _outer_is_unordered(type_text):
+    m = OUTER_CONTAINER_RE.search(type_text)
+    return bool(m) and m.group(1).startswith(("unordered_", "flat_hash_"))
+
+
+def run(ctx):
+    findings = []
+    # Global member tables for cross-file resolution (members declared in a
+    # header, iterated in the .cc).
+    member_index = {}   # name -> [(class, info)]
+    for summary in ctx.summaries.values():
+        for cls, members in summary.get("members", {}).items():
+            for name, info in members.items():
+                member_index.setdefault(name, []).append((cls, info))
+
+    def classify_source(fn, base_ids, subscripted):
+        """(kind, decl) when the range expression resolves to a
+        nondeterministically-ordered container."""
+        local = fn.get("local_containers", {})
+        for bid in base_ids:
+            if bid in local and local[bid]["kind"] in ("unordered",
+                                                       "ptr-keyed"):
+                return local[bid]["kind"], f"local '{bid}'"
+        cls = fn.get("class_name", "")
+        for bid in base_ids:
+            candidates = member_index.get(bid, [])
+            scoped = [c for c in candidates if c[0] == cls] or (
+                candidates if len(candidates) == 1 else [])
+            for ccls, info in scoped:
+                if info["kind"] == "ptr-keyed":
+                    return "ptr-keyed", f"{ccls}::{bid}"
+                if info["kind"] != "unordered":
+                    continue
+                if subscripted:
+                    # data_index_[c]: the element type must be unordered.
+                    if UNORDERED_RE.search(info.get("type_text", "")):
+                        return "unordered", f"{ccls}::{bid}"
+                elif _outer_is_unordered(info.get("type_text", "")):
+                    return "unordered", f"{ccls}::{bid}"
+        return None, None
+
+    for path, summary in sorted(ctx.summaries.items()):
+        if not path.startswith(TARGET_DIRS):
+            continue
+        libclang_lines = set(
+            summary.get("libclang", {}).get("unordered_range_fors", []))
+        for fn in summary["functions"]:
+            for rf in fn.get("range_fors", []):
+                kind, decl = classify_source(fn, rf["base_ids"],
+                                             rf["subscripted"])
+                if kind is None and rf["line"] in libclang_lines:
+                    kind, decl = "unordered", "(libclang-resolved type)"
+                if kind is None:
+                    continue
+                sinks = rf.get("sinks", [])
+                if not sinks:
+                    continue
+                reason = "; ".join(sorted({r for _, r in sinks}))
+                what = ("pointer-keyed container" if kind == "ptr-keyed"
+                        else "unordered container")
+                findings.append(ctx.finding(
+                    path, rf["line"], PASS_ID,
+                    f"iteration over {what} {decl} flows into "
+                    f"output-affecting state ({reason}): iterate a sorted "
+                    "or dense-ID view, or justify with // lint: allow(det)"))
+    return findings

@@ -1,0 +1,245 @@
+"""Per-file summaries: the cacheable bridge between cppmodel and the passes.
+
+summarize_file() runs the intra-procedural analyses (statement AST, CFG
+paths, lock-event walk, range-for sink classification) once per file and
+returns a plain-dict summary. analyze.py caches these keyed on the file
+hash, so warm runs skip parsing entirely; the passes only combine
+summaries cross-file (interprocedural poll credit, lock graph, call-graph
+failpoint distances), which is cheap.
+"""
+
+import re
+
+import cfg
+from cppmodel import (ERROR_FACTORIES, LOCK_ANNOT_RE, NON_CALL_KEYWORDS,
+                      _first_call_candidate, _split_top, extract_calls,
+                      is_poll_stmt, local_unordered_decl, parse_statements,
+                      scan_structure, stmt_outer_tokens)
+
+# Mutating method names: calling one of these on a target that outlives the
+# loop makes the loop body order-sensitive.
+MUTATOR_METHODS = {
+    "push_back", "emplace_back", "insert", "emplace", "try_emplace",
+    "append", "Append", "Add", "Set", "Observe", "Record",
+    "RecordDerivation", "Inc", "Increment", "Merge", "Insert", "TryInsert",
+    "Write", "Emit", "push", "push_front", "assign", "Absorb",
+}
+# Macro/global emission sinks.
+SINK_CALLS = {
+    "LRPDB_COUNTER_INC", "LRPDB_COUNTER_ADD", "LRPDB_GAUGE_SET",
+    "LRPDB_HISTOGRAM_OBSERVE", "LRPDB_TRACE_SPAN",
+}
+CONSTANT_RETURNS = {"true", "false", "nullptr", "0", "1"}
+ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=",
+              ">>="}
+
+
+def _decl_names(tokens):
+    """Identifiers bound by a declaration-ish token run (range-for decl,
+    structured bindings included)."""
+    names = set()
+    texts = [t.text for t in tokens]
+    if "[" in texts and "]" in texts:
+        # Structured binding: auto& [a, b]
+        lo, hi = texts.index("["), texts.index("]")
+        for t in tokens[lo + 1:hi]:
+            if t.kind == "id":
+                names.add(t.text)
+    # Ordinary decl: the last identifier.
+    for t in reversed(tokens):
+        if t.kind == "id" and t.text not in ("const", "auto", "mutable"):
+            names.add(t.text)
+            break
+    return names
+
+
+def _range_for_parts(header):
+    parts = _split_top(header, ":")
+    if len(parts) < 2:
+        return [], []
+    return parts[0], [t for part in parts[1:] for t in part]
+
+
+def _loop_local_decls(body):
+    """Names declared inside the loop body (approximate: first-token-type
+    simple statements and nested range-for decls)."""
+    names = set()
+    for s in cfg.collect_simple(body):
+        toks = s.tokens
+        texts = [t.text for t in toks]
+        for op in ASSIGN_OPS:
+            if op in texts:
+                idx = texts.index(op)
+                head = toks[:idx]
+                if len(head) >= 2 and head[0].kind == "id" and \
+                        head[0].text not in NON_CALL_KEYWORDS:
+                    names |= _decl_names(head)
+                break
+        else:
+            if len(toks) >= 2 and toks[0].kind == "id":
+                names |= _decl_names(toks)
+    return names
+
+
+def _sinks_in_loop_body(body, loop_vars):
+    """[(line, reason)] for order-sensitive effects in a range-for body."""
+    sinks = []
+    local = _loop_local_decls(body) | set(loop_vars)
+    for s in cfg.collect_simple(body):
+        toks = s.tokens
+        texts = [t.text for t in toks]
+        if not texts:
+            continue
+        if texts[0] == "return":
+            rest = [t for t in texts[1:] if t not in (";",)]
+            if rest and not (len(rest) == 1 and rest[0] in CONSTANT_RETURNS):
+                sinks.append((s.line, "order-dependent return in loop body"))
+            continue
+        # Mutator method call on an escaping target: x.push_back(...),
+        # out->Append(...), foo_.insert(...).
+        for i, t in enumerate(toks):
+            if t.kind == "id" and t.text in MUTATOR_METHODS and \
+                    i + 1 < len(toks) and toks[i + 1].text == "(" and \
+                    i >= 2 and texts[i - 1] in (".", "->"):
+                base = toks[i - 2].text if toks[i - 2].kind == "id" else ""
+                if base and base not in local:
+                    sinks.append((s.line,
+                                  f"'{base}.{t.text}()' mutates state that "
+                                  "outlives the loop"))
+            if t.kind == "id" and t.text in SINK_CALLS:
+                sinks.append((s.line, f"'{t.text}' emits metrics/trace "
+                              "output from the loop body"))
+        # Assignment to an escaping lvalue whose RHS depends on the loop
+        # variable (selection/accumulation that is not commutative).
+        for op in ASSIGN_OPS:
+            if op in texts:
+                idx = texts.index(op)
+                head = toks[:idx]
+                rhs = toks[idx + 1:]
+                if not head:
+                    break
+                lhs_ids = [t.text for t in head if t.kind == "id"]
+                if not lhs_ids:
+                    break
+                target = lhs_ids[-1] if len(head) <= 2 else lhs_ids[0]
+                declared_here = len(head) >= 2 and head[0].kind == "id" and \
+                    head[-1].kind == "id" and head[-1].text == target
+                rhs_ids = {t.text for t in rhs if t.kind == "id"}
+                if (target not in local and not declared_here
+                        and rhs_ids & set(loop_vars)):
+                    sinks.append((s.line,
+                                  f"'{target} {op} ...' assigns "
+                                  "loop-dependent data to state that "
+                                  "outlives the loop"))
+                break
+        # Stream emission: escaping << chains.
+        if "<<" in texts:
+            first = toks[0]
+            if first.kind == "id" and first.text not in local:
+                sinks.append((s.line, f"'{first.text} << ...' emits "
+                              "order-dependent output"))
+    return sinks
+
+
+def _returns_status(sig_tokens, name_idx):
+    pre = sig_tokens[:name_idx]
+    # Skip over the qualifier chain back to the return type tokens.
+    return any(t.kind == "id" and t.text in ("Status", "StatusOr")
+               for t in pre)
+
+
+def summarize_file(path, stripped_text):
+    model = scan_structure(path, stripped_text)
+    summary = {
+        "path": path,
+        "members": {
+            cp: {name: {"kind": m.kind, "line": m.line,
+                        "type_text": m.type_text,
+                        "acquired_after": m.acquired_after,
+                        "acquired_before": m.acquired_before}
+                 for name, m in members.items()}
+            for cp, members in model.members.items()
+        },
+        "decl_annotations": dict(model.decl_annotations),
+        "functions": [],
+    }
+    for fn in model.functions:
+        stmts = parse_statements(model.tokens, fn.body_lo, fn.body_hi)
+        simple = cfg.collect_simple(stmts)
+        all_calls = []
+        for s in simple:
+            all_calls.extend(extract_calls(stmt_outer_tokens(s.tokens)))
+        call_names = {name for name, _ in all_calls}
+        sig_text = " ".join(t.text for t in fn.sig_tokens)
+        sig_annots = [(k, a) for k, a in LOCK_ANNOT_RE.findall(sig_text)]
+        name_idx = _first_call_candidate(fn.sig_tokens)
+        error_lines = sorted(line for name, line in all_calls
+                             if name in ERROR_FACTORIES)
+        # Unbounded loops with CFG path enumeration.
+        loops = []
+        for loop in cfg.collect_loops(stmts):
+            if not loop.unbounded:
+                continue
+            paths, exact = cfg.iteration_paths(loop)
+            body_simple = cfg.collect_simple(loop.body)
+            has_poll_token = any(
+                is_poll_stmt(stmt_outer_tokens(s.tokens))
+                for s in body_simple)
+            body_callees = sorted({
+                name for s in body_simple
+                for name, _ in extract_calls(stmt_outer_tokens(s.tokens))})
+            loops.append({"line": loop.line, "paths": paths, "exact": exact,
+                          "has_poll_token": has_poll_token,
+                          "callees": body_callees})
+        # Range-for loops with sink classification.
+        range_fors = []
+        local_containers = {}
+        for s in simple:
+            decl = local_unordered_decl(s.tokens)
+            if decl:
+                local_containers[decl[0]] = {"kind": decl[1],
+                                             "line": s.line}
+        for loop in cfg.collect_loops(stmts):
+            if loop.loop_kind != "range_for":
+                continue
+            decl_toks, range_toks = _range_for_parts(loop.header)
+            loop_vars = _decl_names(decl_toks)
+            base_ids = [t.text for t in range_toks if t.kind == "id"]
+            subscripted = any(t.text == "[" for t in range_toks)
+            sinks = _sinks_in_loop_body(loop.body, loop_vars)
+            range_fors.append({
+                "line": loop.line,
+                "range_text": "".join(t.text for t in range_toks),
+                "base_ids": base_ids,
+                "subscripted": subscripted,
+                "sinks": sinks,
+            })
+        lock_events = [
+            {"op": e.op, "what": e.what, "held": e.held, "line": e.line}
+            for e in cfg.walk_lock_events(
+                stmts,
+                entry_held=[a.strip() for k, args in sig_annots
+                            if k in ("EXCLUSIVE_LOCKS_REQUIRED",
+                                     "SHARED_LOCKS_REQUIRED")
+                            for a in args.split(",") if a.strip()])
+        ]
+        summary["functions"].append({
+            "name": fn.name,
+            "qual_name": fn.qual_name,
+            "class_name": fn.class_name,
+            "line": fn.line,
+            "returns_status": (_returns_status(fn.sig_tokens, name_idx)
+                               if name_idx >= 0 else False),
+            "sig_annotations": sig_annots,
+            "direct_polls": any(is_poll_stmt(
+                stmt_outer_tokens(s.tokens)) for s in simple),
+            "failpoint": "LRPDB_FAILPOINT" in call_names,
+            "error_lines": error_lines,
+            "callees": sorted(call_names),
+            "goto_line": cfg.has_goto(stmts),
+            "unbounded_loops": loops,
+            "range_fors": range_fors,
+            "local_containers": local_containers,
+            "lock_events": lock_events,
+        })
+    return summary

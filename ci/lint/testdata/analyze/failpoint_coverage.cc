@@ -1,0 +1,42 @@
+// analyze-fixture-path: src/core/fixture_failpoint.cc
+// Positive fixture for failpoint-coverage: a Status function constructing a
+// new error with no reachable failpoint must be flagged; coverage in the
+// body or in a transitive callee must not.
+#include "src/common/failpoint.h"
+#include "src/common/status.h"
+
+namespace lrpdb {
+
+// Constructs an error with no failpoint anywhere: flagged at the factory.
+Status Uncovered(int x) {
+  if (x < 0) {
+    return InvalidArgumentError("negative");  // expect-analyze: failpoint-coverage
+  }
+  return OkStatus();
+}
+
+// Failpoint in the body (distance 0): clean.
+Status Covered(int x) {
+  LRPDB_FAILPOINT("fixture.covered");
+  if (x < 0) {
+    return InvalidArgumentError("negative");
+  }
+  return OkStatus();
+}
+
+// Failpoint one call away (distance 1): clean.
+Status CoveredViaCallee(int x) {
+  LRPDB_RETURN_IF_ERROR(Covered(x));
+  if (x > 10) {
+    return InternalError("too big");
+  }
+  return OkStatus();
+}
+
+// Propagates callee errors but constructs none of its own: never flagged,
+// covered or not.
+Status PropagatesOnly(int x) {
+  return Uncovered(x);
+}
+
+}  // namespace lrpdb

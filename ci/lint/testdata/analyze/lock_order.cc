@@ -1,0 +1,35 @@
+// analyze-fixture-path: src/gdb/fixture_lock.cc
+// Positive fixture for lock-order: inverted acquisition orders across two
+// functions form a cycle in the acquisition graph; acquiring the same
+// member mutex on two instances is its own finding.
+#include <mutex>
+
+namespace lrpdb {
+
+class Account {
+ public:
+  void TransferTo();
+  void TransferFrom();
+  void Steal(Account& other);
+
+ private:
+  std::mutex mu_a_;
+  std::mutex mu_b_;
+};
+
+void Account::TransferTo() {
+  std::lock_guard<std::mutex> a(mu_a_);
+  std::lock_guard<std::mutex> b(mu_b_);  // expect-analyze: lock-order
+}
+
+void Account::TransferFrom() {
+  std::lock_guard<std::mutex> b(mu_b_);
+  std::lock_guard<std::mutex> a(mu_a_);
+}
+
+void Account::Steal(Account& other) {
+  std::lock_guard<std::mutex> mine(mu_a_);
+  std::lock_guard<std::mutex> theirs(other.mu_a_);  // expect-analyze: lock-order
+}
+
+}  // namespace lrpdb

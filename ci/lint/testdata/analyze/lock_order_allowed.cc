@@ -1,0 +1,36 @@
+// analyze-fixture-path: src/gdb/fixture_lock_allowed.cc
+// Suppressed fixture for lock-order: a cross-instance acquisition justified
+// with lint: allow(lock-order). Zero findings expected. A consistent
+// two-mutex order (both functions a then b) must also stay clean.
+#include <mutex>
+
+namespace lrpdb {
+
+class Account {
+ public:
+  void Merge(Account& other);
+  void Update();
+  void Refresh();
+
+ private:
+  std::mutex mu_a_;
+  std::mutex mu_b_;
+};
+
+void Account::Merge(Account& other) {
+  std::lock_guard<std::mutex> theirs(other.mu_a_);
+  // lint: allow(lock-order) -- callers own both instances exclusively.
+  std::lock_guard<std::mutex> mine(mu_a_);
+}
+
+void Account::Update() {
+  std::lock_guard<std::mutex> a(mu_a_);
+  std::lock_guard<std::mutex> b(mu_b_);
+}
+
+void Account::Refresh() {
+  std::lock_guard<std::mutex> a(mu_a_);
+  std::lock_guard<std::mutex> b(mu_b_);
+}
+
+}  // namespace lrpdb

@@ -1,0 +1,77 @@
+// analyze-fixture-path: src/gdb/fixture_nondet.cc
+// Positive fixture for nondeterministic-iteration: hash-ordered walks whose
+// body flows into output-affecting state must be flagged; sorted mirrors,
+// commutative accumulation, and existence checks must not.
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace lrpdb {
+
+struct Node;
+
+class Index {
+ public:
+  // Mutator sink on a target that outlives the loop: flagged.
+  void Emit(std::vector<int>* out) const {
+    for (const auto& [key, value] : by_key_) {  // expect-analyze: nondeterministic-iteration
+      out->push_back(value);
+    }
+  }
+
+  // Commutative integer accumulation: not a sink.
+  int Count() const {
+    int n = 0;
+    for (const auto& [key, value] : by_key_) {
+      ++n;
+    }
+    return n;
+  }
+
+  // Constant-return existence check: order-insensitive, not a sink.
+  bool Contains(int needle) const {
+    for (const auto& [key, value] : by_key_) {
+      if (value == needle) return true;
+    }
+    return false;
+  }
+
+  // Order-dependent early return of loop data: flagged.
+  int FirstPositive() const {
+    for (const auto& [key, value] : by_key_) {  // expect-analyze: nondeterministic-iteration
+      if (value > 0) return value;
+    }
+    return 0;
+  }
+
+  // Pointer-keyed ordered map: iteration order is allocation order, which
+  // ASLR randomizes. Flagged.
+  void EmitByNode(std::vector<int>* out) const {
+    for (const auto& [node, value] : by_node_) {  // expect-analyze: nondeterministic-iteration
+      out->push_back(value);
+    }
+  }
+
+  // Subscript into a container-of-unordered: the element walk is still
+  // hash-ordered. Flagged.
+  void EmitColumn(int c, std::vector<int>* out) const {
+    for (const auto& [key, value] : columns_[c]) {  // expect-analyze: nondeterministic-iteration
+      out->push_back(value);
+    }
+  }
+
+  // Ordered map: deterministic, never flagged.
+  void EmitSorted(std::vector<int>* out) const {
+    for (const auto& [key, value] : sorted_) {
+      out->push_back(value);
+    }
+  }
+
+ private:
+  std::unordered_map<int, int> by_key_;
+  std::map<const Node*, int> by_node_;
+  std::vector<std::unordered_map<int, int>> columns_;
+  std::map<int, int> sorted_;
+};
+
+}  // namespace lrpdb

@@ -1,0 +1,30 @@
+// analyze-fixture-path: src/gdb/fixture_nondet_allowed.cc
+// Suppressed fixture for nondeterministic-iteration: the same hash-ordered
+// walks as the positive fixture, justified with lint: allow(det). The
+// self-test asserts zero findings here.
+#include <unordered_map>
+#include <vector>
+
+namespace lrpdb {
+
+class Index {
+ public:
+  void Collect(std::vector<int>* out) const {
+    // lint: allow(det) -- collected then sorted by the caller.
+    for (const auto& [key, value] : by_key_) {
+      out->push_back(value);
+    }
+  }
+
+  int AnyPositive() const {
+    for (const auto& [key, value] : by_key_) {  // lint: allow(det) -- any witness is acceptable here.
+      if (value > 0) return value;
+    }
+    return 0;
+  }
+
+ private:
+  std::unordered_map<int, int> by_key_;
+};
+
+}  // namespace lrpdb

@@ -1,0 +1,19 @@
+// analyze-fixture-path: src/core/fixture_poll_allowed.cc
+// Suppressed fixture for poll-reachability: an unpolled unbounded loop
+// justified with lint: allow(poll-reachability). Zero findings expected.
+#include "src/common/exec_context.h"
+#include "src/common/status.h"
+
+namespace lrpdb {
+
+Status DrainBoundedByConstruction(ExecContext* exec) {
+  // The loop shape hides the bound: Step()'s sentinel exits it after at
+  // most two iterations.
+  // lint: allow(poll-reachability) -- bounded by construction, see above.
+  while (true) {
+    if (Step()) break;
+  }
+  return OkStatus();
+}
+
+}  // namespace lrpdb

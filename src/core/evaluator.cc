@@ -259,6 +259,7 @@ class RelationResolver {
 
   [[nodiscard]] StatusOr<const GeneralizedRelation*> Resolve(SymbolId predicate,
                                                bool is_intensional) const {
+    LRPDB_FAILPOINT("evaluator.resolve");
     const std::string& name = program_.predicates().NameOf(predicate);
     if (is_intensional) {
       auto it = idb_->find(name);
@@ -296,6 +297,7 @@ class RelationResolver {
  private:
   [[nodiscard]] StatusOr<std::vector<std::vector<DataValue>>> DataUniverse(
       int arity, const NormalizeLimits& limits) const {
+    LRPDB_FAILPOINT("evaluator.data_universe");
     constexpr int64_t kMaxRows = 65536;
     std::vector<std::vector<DataValue>> rows;
     if (arity == 0) {

@@ -155,6 +155,7 @@ bool Datalog1SResult::Holds(const std::string& predicate,
 }
 
 [[nodiscard]] Status ValidateDatalog1S(const Program& program) {
+  LRPDB_FAILPOINT("datalog1s.validate");
   LRPDB_RETURN_IF_ERROR(program.Validate());
   for (const auto& [predicate, schema] : program.declarations()) {
     if (schema.temporal_arity != 1) {

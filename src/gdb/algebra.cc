@@ -372,6 +372,7 @@ std::optional<GeneralizedTuple> IntersectTuples(const GeneralizedTuple& a,
 
 [[nodiscard]] StatusOr<GeneralizedRelation> SelectDataEquals(
     const GeneralizedRelation& r, int column, DataValue value) {
+  LRPDB_FAILPOINT("algebra.select_data");
   if (column < 0 || column >= r.schema().data_arity) {
     return InvalidArgumentError("gdb.select_data: column out of range");
   }
@@ -406,6 +407,7 @@ std::optional<GeneralizedTuple> IntersectTuples(const GeneralizedTuple& a,
 
 [[nodiscard]] StatusOr<GeneralizedRelation> SelectDataColumnsEqual(
     const GeneralizedRelation& r, int i, int j) {
+  LRPDB_FAILPOINT("algebra.select_data_eq");
   if (i < 0 || i >= r.schema().data_arity || j < 0 ||
       j >= r.schema().data_arity) {
     return InvalidArgumentError("gdb.select_data_eq: column out of range");

@@ -95,6 +95,7 @@ std::vector<std::optional<ResidueAnchor>> AnchorsOf(const Dbm& closed, int m) {
     const Dbm& t_dbm, int64_t period,
     const std::vector<std::vector<int64_t>>& choices,
     const std::vector<DataValue>& data, const NormalizeLimits& limits) {
+  LRPDB_FAILPOINT("normalize.enumerate_pieces");
   int m = static_cast<int>(choices.size());
   Dbm closed = t_dbm;
   if (!closed.IsSatisfiable()) return std::vector<NormalizedTuple>{};
@@ -298,6 +299,7 @@ struct ClassKey {
 [[nodiscard]] StatusOr<int64_t> CommonPeriodOf(const std::vector<NormalizedTuple>& a,
                                  const std::vector<NormalizedTuple>& b,
                                  const NormalizeLimits& limits) {
+  LRPDB_FAILPOINT("normalize.common_period");
   int64_t period = 1;
   for (const auto* v : {&a, &b}) {
     for (const NormalizedTuple& p : *v) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/failpoint.h"
 #include "src/common/math_util.h"
 
 namespace lrpdb {
@@ -38,6 +39,7 @@ namespace lrpdb {
 
 [[nodiscard]] StatusOr<EventuallyPeriodicSet> ToEventuallyPeriodicSet(
     const GeneralizedRelation& relation, const NormalizeLimits& limits) {
+  LRPDB_FAILPOINT("periodic.to_eventually_periodic");
   if (relation.schema().temporal_arity != 1 ||
       relation.schema().data_arity != 0) {
     return InvalidArgumentError(

@@ -90,9 +90,13 @@ TupleStore& TupleStore::operator=(TupleStore&& other) noexcept {
                       std::memory_order_relaxed);
   // std::scoped_lock would deadlock-order these for us, but the acquisition
   // order here matches LRPDB_ACQUIRED_AFTER(pieces_mu_) everywhere else.
+  // Cross-instance acquisition is safe here: move-assignment requires the
+  // caller to own both stores exclusively, so no mirrored-order call exists.
   std::lock_guard<std::mutex> other_pieces(other.pieces_mu_);
+  // lint: allow(lock-order) -- see exclusivity note above.
   std::lock_guard<std::mutex> self_pieces(pieces_mu_);
   std::lock_guard<std::mutex> other_stats(other.stats_mu_);
+  // lint: allow(lock-order) -- see exclusivity note above.
   std::lock_guard<std::mutex> self_stats(stats_mu_);
   pieces_cache_ = std::move(other.pieces_cache_);
   stats_ = other.stats_;
@@ -249,17 +253,30 @@ const std::vector<EntryId>* TupleStore::SmallestPosting(
 }
 
 [[nodiscard]] Status TupleStore::CheckConsistency() const {
+  LRPDB_FAILPOINT("tuple_store.check_consistency");
   if (delta_lo_ > delta_hi_ || delta_hi_ > entries_.size()) {
     return InternalError("generation ranges out of order");
   }
   if (data_index_.size() != static_cast<size_t>(schema_.data_arity)) {
     return InternalError("data index arity mismatch");
   }
-  // Signature buckets partition the entries and match their keys.
+  // Signature buckets partition the entries and match their keys. The
+  // buckets are visited in ascending SignatureId order (not hash order), so
+  // when several corruptions exist the one reported is the same on every
+  // run and at any load factor.
+  using SignatureItem = std::pair<const FreeExtension, SignatureBucket>;
+  std::vector<const SignatureItem*> buckets;
+  buckets.reserve(signature_index_.size());
+  // lint: allow(det) -- order-insensitive collection; sorted by id below.
+  for (const auto& item : signature_index_) buckets.push_back(&item);
+  std::sort(buckets.begin(), buckets.end(),
+            [](const SignatureItem* a, const SignatureItem* b) {
+              return a->second.id < b->second.id;
+            });
   size_t bucketed = 0;
-  std::unordered_set<SignatureId> signature_ids;
-  for (const auto& [fe, bucket] : signature_index_) {
-    if (!signature_ids.insert(bucket.id).second) {
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const auto& [fe, bucket] = *buckets[i];
+    if (i > 0 && buckets[i - 1]->second.id == bucket.id) {
       return InternalError("duplicate signature id");
     }
     for (EntryId id : bucket.entries) {
@@ -277,10 +294,21 @@ const std::vector<EntryId>* TupleStore::SmallestPosting(
   if (bucketed != entries_.size()) {
     return InternalError("signature buckets do not partition the entries");
   }
-  // Postings: sorted, value-correct, and complete per column.
+  // Postings: sorted, value-correct, and complete per column. Same
+  // discipline: postings are validated in ascending DataValue order.
   for (int c = 0; c < schema_.data_arity; ++c) {
+    using PostingItem = std::pair<const DataValue, std::vector<EntryId>>;
+    std::vector<const PostingItem*> postings;
+    postings.reserve(data_index_[c].size());
+    // lint: allow(det) -- order-insensitive collection; sorted by value below.
+    for (const auto& item : data_index_[c]) postings.push_back(&item);
+    std::sort(postings.begin(), postings.end(),
+              [](const PostingItem* a, const PostingItem* b) {
+                return a->first < b->first;
+              });
     size_t posted = 0;
-    for (const auto& [value, posting] : data_index_[c]) {
+    for (const PostingItem* item : postings) {
+      const auto& [value, posting] = *item;
       if (!std::is_sorted(posting.begin(), posting.end())) {
         return InternalError("posting list not sorted");
       }

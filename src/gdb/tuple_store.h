@@ -301,6 +301,11 @@ class TupleStore {
   std::string ToString(const Interner* interner = nullptr) const;
 
  private:
+  // Corrupts index internals from tests to verify that CheckConsistency
+  // reports the same first inconsistency on every run (dense-ID/sorted
+  // iteration order, never hash order).
+  friend class TupleStoreTestPeer;
+
   // Immutable once appended; safe to read without a lock between mutations.
   struct Entry {
     GeneralizedTuple tuple;

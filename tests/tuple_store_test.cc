@@ -17,6 +17,43 @@
 #include "src/parser/parser.h"
 
 namespace lrpdb {
+
+// Corrupts private index state so the tests below can assert that
+// CheckConsistency reports the same first inconsistency on every run
+// regardless of hash layout (it walks buckets by SignatureId and postings
+// by DataValue, never in hash order).
+class TupleStoreTestPeer {
+ public:
+  static void AppendToBucketWithId(TupleStore& store, SignatureId id,
+                                   EntryId bogus) {
+    for (auto& [fe, bucket] : store.signature_index_) {
+      if (bucket.id == id) {
+        bucket.entries.push_back(bogus);
+        return;
+      }
+    }
+    FAIL() << "no bucket with signature id " << id;
+  }
+
+  static void SetEntrySignature(TupleStore& store, EntryId id,
+                                SignatureId signature) {
+    store.entries_[id].signature = signature;
+  }
+
+  static void ReversePosting(TupleStore& store, int column, DataValue value) {
+    auto it = store.data_index_[column].find(value);
+    ASSERT_NE(it, store.data_index_[column].end());
+    std::reverse(it->second.begin(), it->second.end());
+  }
+
+  static void AppendToPosting(TupleStore& store, int column, DataValue value,
+                              EntryId bogus) {
+    auto it = store.data_index_[column].find(value);
+    ASSERT_NE(it, store.data_index_[column].end());
+    it->second.push_back(bogus);
+  }
+};
+
 namespace {
 
 // A banded tuple (period n + offset) restricted to [lo, hi] with one data
@@ -92,6 +129,65 @@ TEST(TupleStoreTest, InsertOutcomesMatchBruteForceReference) {
   }
   EXPECT_TRUE(indexed.CheckConsistency().ok());
   EXPECT_TRUE(reference.CheckConsistency().ok());
+}
+
+// With corruptions in two different signature buckets, the reported error
+// must always be the lower-id bucket's, independent of the hash layout the
+// store happens to have (regression test for the hash-order walk this
+// replaced). Varying the signature count varies bucket load factors and
+// therefore the unordered_map's internal ordering.
+TEST(TupleStoreTest, CheckConsistencyReportsLowestSignatureBucketFirst) {
+  for (int64_t signatures : {4, 9, 17, 40}) {
+    TupleStore store({1, 1});
+    // Band [0, 100] is wide enough that every offset < signatures + 1 keeps
+    // at least one point (an empty band would make Insert report a no-op).
+    for (int64_t offset = 0; offset < signatures; ++offset) {
+      ASSERT_TRUE(
+          store.Insert(Banded(signatures + 1, offset, 0, 100, 1))->inserted);
+    }
+    ASSERT_TRUE(store.CheckConsistency().ok());
+    // Lower bucket id: an out-of-range entry. Higher bucket id: an entry
+    // whose signature field disagrees. Distinct messages, so the walk order
+    // is observable.
+    TupleStoreTestPeer::AppendToBucketWithId(
+        store, 1, static_cast<EntryId>(store.size() + 100));
+    TupleStoreTestPeer::SetEntrySignature(
+        store, static_cast<EntryId>(signatures - 1), 9999);
+    Status status = store.CheckConsistency();
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.ToString().find("bucket id out of range"),
+              std::string::npos)
+        << "signatures=" << signatures << ": " << status.ToString();
+  }
+}
+
+// Same discipline for the per-column postings: with corruptions under two
+// different data values, the reported error is always the lower value's.
+TEST(TupleStoreTest, CheckConsistencyReportsLowestPostingValueFirst) {
+  for (int64_t values : {4, 9, 17, 40}) {
+    TupleStore store({1, 1});
+    for (int64_t v = 0; v < values; ++v) {
+      // Two entries per value (distinct signatures) so postings have
+      // length two and sortedness is observable. Band [0, 100] keeps every
+      // canonicalized offset non-empty.
+      ASSERT_TRUE(store.Insert(Banded(values + 1, 2 * v, 0, 100,
+                                      static_cast<DataValue>(v)))
+                      ->inserted);
+      ASSERT_TRUE(store.Insert(Banded(values + 1, 2 * v + 1, 0, 100,
+                                      static_cast<DataValue>(v)))
+                      ->inserted);
+    }
+    ASSERT_TRUE(store.CheckConsistency().ok());
+    TupleStoreTestPeer::ReversePosting(store, 0, static_cast<DataValue>(1));
+    TupleStoreTestPeer::AppendToPosting(
+        store, 0, static_cast<DataValue>(values - 1),
+        static_cast<EntryId>(store.size() + 100));
+    Status status = store.CheckConsistency();
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.ToString().find("posting list not sorted"),
+              std::string::npos)
+        << "values=" << values << ": " << status.ToString();
+  }
 }
 
 TEST(TupleStoreTest, DeltaGenerationProtocol) {
