@@ -36,8 +36,20 @@
 #                            provenance suite asserts identical derivation
 #                            logs across the same grid, and the TSan leg
 #                            repeats both with LRPDB_THREADS=8 forced into
-#                            the environment. Standalone mode: skips the
-#                            plain build/ctest above.
+#                            the environment, and the ASan leg also covers
+#                            the storage suites (WAL/snapshot corruption
+#                            fixtures plus the storage failpoint walk).
+#                            Standalone mode: skips the plain build/ctest
+#                            above.
+#   ci/check.sh --crash      crash-recovery pass: build an ASan tree and run
+#                            the storage suite plus the SIGKILL kill-loop
+#                            recovery fuzzer (crash_recovery_test) with
+#                            LRPDB_CRASH_ITERS raised to 150 kills per
+#                            scenario (450 total), asserting after every
+#                            kill that recovery surfaces exactly the
+#                            acknowledged batches, in order, with no
+#                            unacknowledged garbage. Standalone mode: skips
+#                            the plain build/ctest above.
 #   ci/check.sh --noprov     additionally build and test a tree configured
 #                            with -DLRPDB_NO_PROVENANCE=ON: the recording
 #                            sites fold away (provenance_disabled_test
@@ -71,6 +83,7 @@ lint=0
 analyze=0
 format=0
 faults=0
+crash=0
 noprov=0
 for arg in "$@"; do
   case "$arg" in
@@ -81,6 +94,7 @@ for arg in "$@"; do
     --analyze) analyze=1 ;;
     --format) format=1 ;;
     --faults) faults=1 ;;
+    --crash) crash=1 ;;
     --noprov) noprov=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
@@ -103,14 +117,19 @@ if [[ "$faults" == 1 ]]; then
   # bit-identical timing-free Explain() dumps and relation dumps across
   # 1, 2, and 8 worker threads) plus worker-side governance unwinding.
   fault_filter='^(ExecContextTest|GovernanceTest|FailpointTest|FaultInjectionWalkTest|ThreadPoolTest|ParallelEvaluatorTest|ProvenanceTest|GroundProvenanceTest)\.|ParallelDeterminismTest\.|ProvenanceRandomTest\.'
+  # The storage suites ride the ASan leg: the WAL/snapshot corruption
+  # fixtures and the storage failpoint walk (StoreFaultTest) are exactly the
+  # unwinding paths leak detection should watch.
+  storage_filter='^(Crc32cTest|FileUtilTest|CodecTest|WalTest|SnapshotTest|StoreTest|StoreFaultTest)\.'
   parallel_filter='(ThreadPoolTest|ParallelEvaluatorTest|ParallelDeterminismTest)\.|ProvenanceRandomTest\.'
   echo "== fault injection: ASan"
   cmake -B build-asan -S . -DLRPDB_SANITIZE=ON
   cmake --build build-asan -j"$(nproc)" --target \
     exec_context_test governance_test fault_injection_test \
-    parallel_evaluator_test provenance_test
+    parallel_evaluator_test provenance_test storage_test
   ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="print_stacktrace=1" \
-    ctest --test-dir build-asan --output-on-failure -R "$fault_filter"
+    ctest --test-dir build-asan --output-on-failure \
+    -R "$fault_filter|$storage_filter"
   echo "== fault injection: TSan"
   cmake -B build-tsan -S . -DLRPDB_SANITIZE=thread
   cmake --build build-tsan -j"$(nproc)" --target \
@@ -126,6 +145,30 @@ if [[ "$faults" == 1 ]]; then
   TSAN_OPTIONS="halt_on_error=1" LRPDB_THREADS=8 \
     ctest --test-dir build-tsan --output-on-failure -R "$parallel_filter"
   echo "ci/check.sh --faults: fault-injection pass passed"
+  exit 0
+fi
+
+if [[ "$crash" == 1 ]]; then
+  # The crash-recovery pass owns its own ASan tree, like --faults.
+  if [[ "$sanitize" == 1 || "$tsan" == 1 ]]; then
+    echo "--crash already builds an ASan tree; drop --sanitize/--tsan" >&2
+    exit 2
+  fi
+  echo "== crash recovery: ASan"
+  cmake -B build-asan -S . -DLRPDB_SANITIZE=ON
+  cmake --build build-asan -j"$(nproc)" --target storage_test crash_recovery_test
+  ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="print_stacktrace=1" \
+    ctest --test-dir build-asan --output-on-failure \
+    -R '^(Crc32cTest|FileUtilTest|CodecTest|WalTest|SnapshotTest|StoreTest|StoreFaultTest)\.'
+  echo "== SIGKILL kill-loop recovery fuzzer (150 kills per scenario)"
+  # The fuzzer forks a writer child, SIGKILLs it at a random point during
+  # append/snapshot/compaction (sometimes with a storage failpoint armed to
+  # pin the crash to an exact I/O boundary), recovers, and asserts every
+  # acknowledged batch is present in order with no unacknowledged garbage.
+  # Leak detection stays off for it: children die mid-operation by design.
+  ASAN_OPTIONS="detect_leaks=0" LRPDB_CRASH_ITERS=150 \
+    ctest --test-dir build-asan --output-on-failure -R '^CrashRecoveryTest\.'
+  echo "ci/check.sh --crash: crash-recovery pass passed"
   exit 0
 fi
 

@@ -22,7 +22,7 @@ resource-holding path).
 """
 
 PASS_ID = "failpoint-coverage"
-ENGINE_DIRS = ("src/core/", "src/gdb/", "src/datalog1s/")
+ENGINE_DIRS = ("src/core/", "src/gdb/", "src/datalog1s/", "src/storage/")
 
 
 def _distances(ctx):

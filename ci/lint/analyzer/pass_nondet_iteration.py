@@ -21,7 +21,7 @@ import re
 from cppmodel import UNORDERED_RE
 
 PASS_ID = "nondeterministic-iteration"
-TARGET_DIRS = ("src/core/", "src/gdb/", "src/datalog1s/")
+TARGET_DIRS = ("src/core/", "src/gdb/", "src/datalog1s/", "src/storage/")
 
 # Outermost container of a member/local declaration, for the
 # subscripted-vs-direct distinction.

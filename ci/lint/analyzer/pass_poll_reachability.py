@@ -16,7 +16,7 @@ loops that are provably bounded by construction but look unbounded).
 """
 
 PASS_ID = "poll-reachability"
-GOVERNED_DIRS = ("src/core/", "src/datalog1s/")
+GOVERNED_DIRS = ("src/core/", "src/datalog1s/", "src/storage/")
 
 
 def run(ctx):

@@ -83,13 +83,13 @@ RULE_IDS = [
     "raw-thread",
 ]
 
-HOT_PATH_DIRS = ("src/gdb/", "src/core/")
+HOT_PATH_DIRS = ("src/gdb/", "src/core/", "src/storage/")
 # Prefix-matched. src/common/exec_context is the governance layer: the
 # deadline is *defined* in terms of the monotonic clock, so it joins src/obs
 # as a legitimate clock owner.
 CLOCK_EXEMPT_DIRS = ("src/obs/", "src/common/exec_context")
 # Dirs whose unbounded loops must poll execution governance.
-GOVERNED_LOOP_DIRS = ("src/core/", "src/datalog1s/")
+GOVERNED_LOOP_DIRS = ("src/core/", "src/datalog1s/", "src/storage/")
 # The one place allowed to spawn threads (prefix covers .h and .cc).
 THREAD_EXEMPT_PREFIXES = ("src/common/thread_pool.",)
 

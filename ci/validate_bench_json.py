@@ -28,7 +28,7 @@ KNOWN_PREFIXES = (
     "eval.",       # includes eval.batch.*, eval.parallel.*, eval.prov.*
     "exec.",
     "gdb.",
-    "store.",
+    "store.",      # includes store.snapshot.*, store.wal.*, store.compact.*
     "templog.",
 )
 

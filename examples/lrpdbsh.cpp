@@ -3,6 +3,13 @@
 // Usage:
 //   lrpdbsh <program-file> [--window LO HI] [--fo "<formula>"] [--trace]
 //           [--export] [--why "<tuple>"] [--dot <file>] [--repl]
+//           [--save <dir>] [--load <dir>]
+//
+// --save persists the database plus the computed model as a checksummed
+// snapshot in <dir> (src/storage format); --load recovers a database from
+// <dir> (newest valid snapshot + WAL replay) before the program is parsed,
+// reporting corrupt input as a clean error status instead of dying
+// mid-stream. With --load and no program file, the program is empty.
 //
 // --export prints the computed model as .decl/.fact statements (the
 // "convert once and for all" workflow: re-load the closed form later as a
@@ -19,6 +26,8 @@
 //   :dot p#3 [file]            derivation graph as Graphviz DOT
 //   :metrics                   MetricsRegistry snapshot
 //   :explain                   the evaluation's per-rule EXPLAIN profile
+//   :save <dir>                persist database + model as a snapshot
+//   :load <dir>                recover a saved image and summarize it
 //   :quit                      leave
 //
 // Why-provenance recording is enabled whenever --why, --dot, or --repl is
@@ -47,6 +56,8 @@
 #include "src/gdb/serialize.h"
 #include "src/obs/metrics.h"
 #include "src/parser/parser.h"
+#include "src/storage/snapshot.h"
+#include "src/storage/store.h"
 
 namespace {
 
@@ -324,10 +335,99 @@ void PrintMetrics() {
   }
 }
 
+// Copies the extensional database plus the computed model into one image
+// database ready for snapshotting. For a predicate that is both extensional
+// and derived, the derived relation wins (it holds the seeded facts plus
+// everything the rules added).
+lrpdb::Status BuildImage(
+    const lrpdb::Database& db,
+    const std::map<std::string, lrpdb::GeneralizedRelation>* idb,
+    lrpdb::Database* out) {
+  out->interner() = db.interner();
+  auto add = [&](const std::string& name,
+                 const lrpdb::GeneralizedRelation& rel) -> lrpdb::Status {
+    LRPDB_RETURN_IF_ERROR(out->Declare(name, rel.schema()));
+    LRPDB_ASSIGN_OR_RETURN(lrpdb::GeneralizedRelation * dst,
+                           out->MutableRelation(name));
+    lrpdb::TupleStore& store = dst->mutable_store();
+    store.set_index_enabled(rel.store().index_enabled());
+    for (size_t i = 0; i < rel.size(); ++i) {
+      LRPDB_RETURN_IF_ERROR(store.RestoreEntry(rel.tuple(i)));
+    }
+    return store.RestoreGenerations(rel.store().delta_lo(),
+                                    rel.store().delta_hi());
+  };
+  for (const std::string& name : db.RelationNames()) {
+    if (idb != nullptr && idb->count(name) > 0) continue;
+    LRPDB_ASSIGN_OR_RETURN(const lrpdb::GeneralizedRelation* rel,
+                           db.Relation(name));
+    LRPDB_RETURN_IF_ERROR(add(name, *rel));
+  }
+  if (idb != nullptr) {
+    for (const auto& [name, rel] : *idb) {
+      LRPDB_RETURN_IF_ERROR(add(name, rel));
+    }
+  }
+  return lrpdb::OkStatus();
+}
+
+// Writes the image as snapshot seq 0 in `dir`; a later --load (or
+// PersistentStore::Open) recovers it and continues the WAL from seq 1.
+lrpdb::Status SaveImage(
+    const std::string& dir, const lrpdb::Database& db,
+    const std::map<std::string, lrpdb::GeneralizedRelation>* idb) {
+  lrpdb::Database image;
+  LRPDB_RETURN_IF_ERROR(BuildImage(db, idb, &image));
+  LRPDB_RETURN_IF_ERROR(lrpdb::CreateDir(dir));
+  return lrpdb::storage::WriteSnapshotFile(
+      dir + "/" + lrpdb::storage::SeqFileName("snapshot-", 0), 0, image,
+      /*sync=*/true);
+}
+
+// Recovers `dir` into a fresh database: newest valid snapshot, WAL replay,
+// torn tails truncated. Every corruption mode comes back as a Status.
+lrpdb::StatusOr<lrpdb::storage::RecoveryInfo> LoadImage(const std::string& dir,
+                                                        lrpdb::Database* db) {
+  LRPDB_ASSIGN_OR_RETURN(lrpdb::storage::PersistentStore store,
+                         lrpdb::storage::PersistentStore::Open(dir, db));
+  lrpdb::storage::RecoveryInfo info = store.recovery_info();
+  LRPDB_RETURN_IF_ERROR(store.Close());
+  return info;
+}
+
+void ReplSave(const ProvSession& s, const std::string& dir) {
+  lrpdb::Status status = SaveImage(dir, *s.db, &s.result->idb);
+  if (!status.ok()) {
+    std::printf(":save failed: %s\n", status.ToString().c_str());
+    return;
+  }
+  std::printf("saved database + model to %s\n", dir.c_str());
+}
+
+void ReplLoad(const std::string& dir) {
+  lrpdb::Database loaded;
+  auto info = LoadImage(dir, &loaded);
+  if (!info.ok()) {
+    std::printf(":load failed: %s\n", info.status().ToString().c_str());
+    return;
+  }
+  std::printf(
+      "loaded %s: %zu relations, snapshot seq %llu, %llu WAL records "
+      "replayed\n",
+      dir.c_str(), loaded.RelationNames().size(),
+      static_cast<unsigned long long>(info->snapshot_seq),
+      static_cast<unsigned long long>(info->replayed_records));
+  for (const std::string& name : loaded.RelationNames()) {
+    const lrpdb::GeneralizedRelation* rel = *loaded.Relation(name);
+    std::printf("  %s: %zu generalized tuples\n", name.c_str(), rel->size());
+  }
+}
+
 void Repl(const ProvSession& s) {
   std::printf(
       "lrpdbsh repl -- `explain why p#0`, `explain why p(26, \"a\")`, "
-      "`:dot p#0 [file]`, `:metrics`, `:explain`, `:quit`\n");
+      "`:dot p#0 [file]`, `:metrics`, `:explain`, `:save <dir>`, "
+      "`:load <dir>`, `:quit`\n");
   std::string line;
   while (true) {
     std::printf("lrpdb> ");
@@ -344,6 +444,18 @@ void Repl(const ProvSession& s) {
     }
     if (line == ":explain") {
       std::printf("%s", s.result->Explain().c_str());
+      continue;
+    }
+    if (line.rfind(":save", 0) == 0 || line.rfind(":load", 0) == 0) {
+      std::string dir = Trim(line.substr(5));
+      if (dir.empty()) {
+        std::printf("%s needs a directory argument\n",
+                    line.substr(0, 5).c_str());
+      } else if (line[1] == 's') {
+        ReplSave(s, dir);
+      } else {
+        ReplLoad(dir);
+      }
       continue;
     }
     if (line.rfind(":dot", 0) == 0) {
@@ -387,6 +499,9 @@ int main(int argc, char** argv) {
   bool trace = false;
   bool export_model = false;
   bool repl = false;
+  bool have_program_file = false;
+  std::string save_dir;
+  std::string load_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--window") == 0 && i + 2 < argc) {
       window_lo = std::atoll(argv[++i]);
@@ -403,6 +518,10 @@ int main(int argc, char** argv) {
       dot_path = argv[++i];
     } else if (std::strcmp(argv[i], "--repl") == 0) {
       repl = true;
+    } else if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
+      save_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--load") == 0 && i + 1 < argc) {
+      load_dir = argv[++i];
     } else {
       std::ifstream file(argv[i]);
       if (!file) {
@@ -412,10 +531,34 @@ int main(int argc, char** argv) {
       std::ostringstream buffer;
       buffer << file.rdbuf();
       source = buffer.str();
+      have_program_file = true;
     }
   }
+  // With a loaded image and no program, run the (empty) program over it
+  // rather than re-seeding the demo facts.
+  if (!load_dir.empty() && !have_program_file) source = "";
 
   lrpdb::Database db;
+  if (!load_dir.empty()) {
+    auto info = LoadImage(load_dir, &db);
+    if (!info.ok()) return Fail(info.status());
+    std::printf("== loaded %s ==\n", load_dir.c_str());
+    std::printf(
+        "snapshot seq %llu, %llu WAL records replayed, %llu torn bytes "
+        "truncated\n",
+        static_cast<unsigned long long>(info->snapshot_seq),
+        static_cast<unsigned long long>(info->replayed_records),
+        static_cast<unsigned long long>(info->truncated_tail_bytes));
+    if (info->corrupt_snapshots_skipped > 0) {
+      std::printf("warning: %llu corrupt snapshot(s) skipped during recovery\n",
+                  static_cast<unsigned long long>(
+                      info->corrupt_snapshots_skipped));
+    }
+    for (const std::string& name : db.RelationNames()) {
+      PrintRelation(name.c_str(), **db.Relation(name), db, window_lo,
+                    window_hi);
+    }
+  }
   auto unit = lrpdb::Parse(source, &db);
   if (!unit.ok()) return Fail(unit.status());
 
@@ -498,6 +641,12 @@ int main(int argc, char** argv) {
       PrintRelation("answers", fo_result->relation, db, window_lo,
                     window_hi);
     }
+  }
+
+  if (!save_dir.empty()) {
+    lrpdb::Status status = SaveImage(save_dir, db, &result->idb);
+    if (!status.ok()) return Fail(status);
+    std::printf("== saved database + model to %s ==\n\n", save_dir.c_str());
   }
 
   if (want_provenance) {

@@ -1,0 +1,66 @@
+#include "src/common/crc32c.h"
+
+namespace lrpdb {
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+struct Tables {
+  // table[k][b]: CRC of byte b followed by k zero bytes; slice-by-8 folds
+  // eight bytes per step through these.
+  uint32_t t[8][256];
+
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (int k = 1; k < 8; ++k) {
+      for (uint32_t i = 0; i < 256; ++i) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xff];
+      }
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t crc) {
+  const Tables& tb = GetTables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  // Head: byte-at-a-time until 8-aligned work remains.
+  while (n >= 8) {
+    // Assemble the next 8 bytes portably (no alignment assumptions).
+    uint32_t lo = static_cast<uint32_t>(p[0]) |
+                  (static_cast<uint32_t>(p[1]) << 8) |
+                  (static_cast<uint32_t>(p[2]) << 16) |
+                  (static_cast<uint32_t>(p[3]) << 24);
+    uint32_t hi = static_cast<uint32_t>(p[4]) |
+                  (static_cast<uint32_t>(p[5]) << 8) |
+                  (static_cast<uint32_t>(p[6]) << 16) |
+                  (static_cast<uint32_t>(p[7]) << 24);
+    lo ^= crc;
+    crc = tb.t[7][lo & 0xff] ^ tb.t[6][(lo >> 8) & 0xff] ^
+          tb.t[5][(lo >> 16) & 0xff] ^ tb.t[4][lo >> 24] ^
+          tb.t[3][hi & 0xff] ^ tb.t[2][(hi >> 8) & 0xff] ^
+          tb.t[1][(hi >> 16) & 0xff] ^ tb.t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xff];
+  }
+  return ~crc;
+}
+
+}  // namespace lrpdb

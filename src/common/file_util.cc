@@ -1,0 +1,246 @@
+#include "src/common/file_util.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/common/failpoint.h"
+
+namespace lrpdb {
+namespace {
+
+[[nodiscard]] Status ErrnoStatus(std::string_view op, const std::string& path, int err) {
+  std::string msg = std::string(op) + " '" + path + "': " + std::strerror(err);
+  if (err == ENOENT) return NotFoundError(msg);
+  return InternalError(msg);
+}
+
+// write(2) in a loop until all of `data` is accepted (short writes and EINTR
+// are retried; any other error aborts with errno preserved).
+[[nodiscard]] Status WriteAll(int fd, std::string_view data, const std::string& path) {
+  LRPDB_FAILPOINT("storage.file.write");
+  const char* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path, errno);
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+[[nodiscard]] Status SyncFd(int fd, const std::string& path) {
+  LRPDB_FAILPOINT("storage.file.sync");
+  if (::fsync(fd) != 0) return ErrnoStatus("fsync", path, errno);
+  return OkStatus();
+}
+
+// Close-on-scope-exit fd guard so every early return in the functions below
+// releases the descriptor. Release() hands ownership back for paths that
+// must observe close(2) errors.
+class FdCloser {
+ public:
+  explicit FdCloser(int fd) : fd_(fd) {}
+  ~FdCloser() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  FdCloser(const FdCloser&) = delete;
+  FdCloser& operator=(const FdCloser&) = delete;
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+[[nodiscard]] StatusOr<std::string> ReadFileToString(const std::string& path) {
+  LRPDB_FAILPOINT("storage.file.open");
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return ErrnoStatus("open", path, errno);
+  FdCloser closer(fd);
+  std::string out;
+  char buf[1 << 16];
+  while (true) {
+    LRPDB_FAILPOINT("storage.file.read");
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("read", path, errno);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+[[nodiscard]] Status WriteFileAtomic(const std::string& path, std::string_view contents,
+                       bool sync) {
+  // The temp file must live in the target's directory: rename(2) is only
+  // atomic within a filesystem.
+  std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  LRPDB_FAILPOINT("storage.file.open");
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return ErrnoStatus("open", tmp, errno);
+  {
+    FdCloser closer(fd);
+    Status st = WriteAll(fd, contents, tmp);
+    if (st.ok() && sync) st = SyncFd(fd, tmp);
+    if (!st.ok()) {
+      (void)::unlink(tmp.c_str());
+      return st;
+    }
+  }
+  LRPDB_FAILPOINT("storage.file.rename");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status st = ErrnoStatus("rename", tmp + " -> " + path, errno);
+    (void)::unlink(tmp.c_str());
+    return st;
+  }
+  if (sync) {
+    // Durable only once the directory entry itself is synced.
+    std::string::size_type slash = path.find_last_of('/');
+    std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+    LRPDB_RETURN_IF_ERROR(SyncDir(dir));
+  }
+  return OkStatus();
+}
+
+[[nodiscard]] Status CreateDir(const std::string& path) {
+  LRPDB_FAILPOINT("storage.dir.create");
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    return ErrnoStatus("mkdir", path, errno);
+  }
+  return OkStatus();
+}
+
+[[nodiscard]] StatusOr<std::vector<std::string>> ListDir(const std::string& path) {
+  LRPDB_FAILPOINT("storage.dir.list");
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return ErrnoStatus("opendir", path, errno);
+  std::vector<std::string> names;
+  errno = 0;
+  while (struct dirent* ent = ::readdir(dir)) {
+    std::string_view name = ent->d_name;
+    if (name == "." || name == "..") continue;
+    names.emplace_back(name);
+  }
+  int err = errno;
+  ::closedir(dir);
+  if (err != 0) return ErrnoStatus("readdir", path, err);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+[[nodiscard]] Status RemoveFile(const std::string& path) {
+  LRPDB_FAILPOINT("storage.file.remove");
+  if (::unlink(path.c_str()) != 0) return ErrnoStatus("unlink", path, errno);
+  return OkStatus();
+}
+
+[[nodiscard]] Status TruncateFile(const std::string& path, uint64_t size, bool sync) {
+  LRPDB_FAILPOINT("storage.file.truncate");
+  int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) return ErrnoStatus("open", path, errno);
+  FdCloser closer(fd);
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    return ErrnoStatus("ftruncate", path, errno);
+  }
+  if (sync) LRPDB_RETURN_IF_ERROR(SyncFd(fd, path));
+  return OkStatus();
+}
+
+[[nodiscard]] Status SyncDir(const std::string& path) {
+  LRPDB_FAILPOINT("storage.dir.sync");
+  int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return ErrnoStatus("open dir", path, errno);
+  FdCloser closer(fd);
+  if (::fsync(fd) != 0) return ErrnoStatus("fsync dir", path, errno);
+  return OkStatus();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+[[nodiscard]] StatusOr<uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return ErrnoStatus("stat", path, errno);
+  return static_cast<uint64_t>(st.st_size);
+}
+
+AppendableFile::~AppendableFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+AppendableFile::AppendableFile(AppendableFile&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)), size_(other.size_) {
+  other.fd_ = -1;
+}
+
+AppendableFile& AppendableFile::operator=(AppendableFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    size_ = other.size_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+[[nodiscard]] StatusOr<AppendableFile> AppendableFile::Open(const std::string& path) {
+  LRPDB_FAILPOINT("storage.file.open");
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return ErrnoStatus("open", path, errno);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status err = ErrnoStatus("fstat", path, errno);
+    ::close(fd);
+    return err;
+  }
+  AppendableFile file;
+  file.fd_ = fd;
+  file.path_ = path;
+  file.size_ = static_cast<uint64_t>(st.st_size);
+  return file;
+}
+
+[[nodiscard]] Status AppendableFile::Append(std::string_view data) {
+  if (fd_ < 0) return InternalError("append on closed file '" + path_ + "'");
+  LRPDB_RETURN_IF_ERROR(WriteAll(fd_, data, path_));
+  size_ += data.size();
+  return OkStatus();
+}
+
+[[nodiscard]] Status AppendableFile::Sync() {
+  if (fd_ < 0) return InternalError("sync on closed file '" + path_ + "'");
+  return SyncFd(fd_, path_);
+}
+
+[[nodiscard]] Status AppendableFile::Close() {
+  if (fd_ < 0) return OkStatus();
+  int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) return ErrnoStatus("close", path_, errno);
+  return OkStatus();
+}
+
+}  // namespace lrpdb

@@ -1,0 +1,92 @@
+// Status-returning POSIX file primitives for the storage layer
+// (src/storage): every operation that touches the filesystem lives here,
+// carries an LRPDB_FAILPOINT at its I/O boundary (so the fault-injection
+// battery and the crash-recovery fuzzer can fail or kill a writer at any
+// of them), and surfaces errno as a descriptive Status instead of aborting
+// or throwing.
+//
+// Durability contract (DESIGN.md §12): WriteFileAtomic implements the
+// write-to-temp / fsync / rename / fsync-directory protocol — after it
+// returns OK the file is durably visible under its final name with exactly
+// the given contents, and a crash at any point leaves either the old state
+// or the new state, never a torn file. AppendableFile::Sync() makes every
+// previously appended byte durable (fdatasync).
+#ifndef LRPDB_COMMON_FILE_UTIL_H_
+#define LRPDB_COMMON_FILE_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/statusor.h"
+
+namespace lrpdb {
+
+// Whole-file read. NotFound when the path does not exist.
+[[nodiscard]] StatusOr<std::string> ReadFileToString(const std::string& path);
+
+// Atomic durable write: temp file in the target's directory, write, fsync,
+// rename over `path`, fsync the directory. With sync == false the fsyncs
+// are skipped (unit-test speed; crash-safety tests always run with true).
+[[nodiscard]] Status WriteFileAtomic(const std::string& path,
+                                     std::string_view contents, bool sync);
+
+// Creates `path` as a directory (no error if it already exists).
+[[nodiscard]] Status CreateDir(const std::string& path);
+
+// Entry names in `path` (excluding "." / ".."), sorted ascending so every
+// caller iterates in a deterministic order regardless of readdir order.
+[[nodiscard]] StatusOr<std::vector<std::string>> ListDir(
+    const std::string& path);
+
+[[nodiscard]] Status RemoveFile(const std::string& path);
+
+// Truncates `path` to `size` bytes and (when sync) fsyncs it. The WAL
+// recovery path uses this to physically drop a torn tail before reopening
+// the segment for append.
+[[nodiscard]] Status TruncateFile(const std::string& path, uint64_t size,
+                                  bool sync);
+
+// fsync of a directory fd: makes renames/creates/removes inside durable.
+[[nodiscard]] Status SyncDir(const std::string& path);
+
+bool FileExists(const std::string& path);
+
+// Size of `path` in bytes.
+[[nodiscard]] StatusOr<uint64_t> FileSize(const std::string& path);
+
+// An append-only file handle (O_APPEND): the WAL's write end. Append()
+// issues one write(2) per call, so a crash mid-append leaves a *prefix* of
+// that record on disk — the torn-tail model WAL recovery is built on.
+class AppendableFile {
+ public:
+  AppendableFile() = default;
+  ~AppendableFile();
+  AppendableFile(AppendableFile&& other) noexcept;
+  AppendableFile& operator=(AppendableFile&& other) noexcept;
+  AppendableFile(const AppendableFile&) = delete;
+  AppendableFile& operator=(const AppendableFile&) = delete;
+
+  // Opens `path` for appending, creating it when absent.
+  [[nodiscard]] static StatusOr<AppendableFile> Open(const std::string& path);
+
+  [[nodiscard]] Status Append(std::string_view data);
+  // Durability barrier for everything appended so far.
+  [[nodiscard]] Status Sync();
+  [[nodiscard]] Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+  // Size at Open() plus bytes appended since.
+  uint64_t size() const { return size_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace lrpdb
+
+#endif  // LRPDB_COMMON_FILE_UTIL_H_

@@ -49,6 +49,17 @@ bool Database::IsDeclared(std::string_view name) const {
   return &it->second;
 }
 
+[[nodiscard]] StatusOr<GeneralizedRelation*> Database::MutableRelation(
+    std::string_view name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    // Same infallible-for-known-names contract as Relation() above.
+    // lint: allow(failpoint-coverage)
+    return NotFoundError("relation '" + std::string(name) + "' not declared");
+  }
+  return &it->second;
+}
+
 [[nodiscard]] StatusOr<RelationSchema> Database::SchemaOf(std::string_view name) const {
   auto it = relations_.find(name);
   if (it == relations_.end()) {

@@ -33,6 +33,11 @@ class Database {
   [[nodiscard]] Status AddTuple(std::string_view name, GeneralizedTuple tuple);
 
   [[nodiscard]] StatusOr<const GeneralizedRelation*> Relation(std::string_view name) const;
+
+  // Mutable access for the snapshot-restore path (src/storage), which
+  // rebuilds stores entry-by-entry through TupleStore::RestoreEntry.
+  [[nodiscard]] StatusOr<GeneralizedRelation*> MutableRelation(
+      std::string_view name);
   [[nodiscard]] StatusOr<RelationSchema> SchemaOf(std::string_view name) const;
 
   // Names of all declared relations, sorted.

@@ -212,6 +212,31 @@ bool TupleStore::InsertUnlessEmpty(GeneralizedTuple tuple) {
   return true;
 }
 
+[[nodiscard]] Status TupleStore::RestoreEntry(GeneralizedTuple tuple) {
+  LRPDB_FAILPOINT("tuple_store.restore_entry");
+  if (tuple.temporal_arity() != schema_.temporal_arity ||
+      tuple.data_arity() != schema_.data_arity) {
+    return InvalidArgumentError("restored tuple arity does not match schema");
+  }
+  // No filtering and no stats: the snapshot records what Append() stored,
+  // so replaying it through Append() reproduces every index exactly.
+  Append(std::move(tuple), {}, false);
+  return OkStatus();
+}
+
+[[nodiscard]] Status TupleStore::RestoreGenerations(size_t lo, size_t hi) {
+  LRPDB_FAILPOINT("tuple_store.restore_generations");
+  if (lo > hi || hi > entries_.size()) {
+    return InvalidArgumentError(
+        "restored generation ranges out of order: lo " + std::to_string(lo) +
+        ", hi " + std::to_string(hi) + ", size " +
+        std::to_string(entries_.size()));
+  }
+  delta_lo_ = lo;
+  delta_hi_ = hi;
+  return OkStatus();
+}
+
 bool TupleStore::Append(GeneralizedTuple tuple,
                         std::vector<NormalizedTuple> pieces, bool normalized) {
   // Same estimate Insert charges to the ExecContext byte budget: the entry

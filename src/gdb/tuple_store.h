@@ -218,6 +218,19 @@ class TupleStore {
   // redundancy). Returns false iff dropped.
   bool InsertUnlessEmpty(GeneralizedTuple tuple);
 
+  // --- Snapshot restore (src/storage) ---
+
+  // Appends `tuple` exactly as stored on disk: no emptiness or subsumption
+  // filtering, no stats, every index maintained. Snapshot load replays the
+  // original entry sequence through this, so entry ids, signature interning
+  // order, and postings come back identical to the snapshotted store.
+  // Requires exclusive access, like every mutation.
+  [[nodiscard]] Status RestoreEntry(GeneralizedTuple tuple);
+
+  // Restores the generation ranges saved with the entries. Must be called
+  // after the final RestoreEntry; validates 0 <= lo <= hi <= size().
+  [[nodiscard]] Status RestoreGenerations(size_t lo, size_t hi);
+
   // --- Delta generations ---
 
   // Promotes generations: the entries appended since the previous call

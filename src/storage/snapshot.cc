@@ -1,0 +1,89 @@
+#include "src/storage/snapshot.h"
+
+#include <utility>
+
+#include "src/common/crc32c.h"
+#include "src/common/failpoint.h"
+#include "src/common/file_util.h"
+#include "src/obs/metrics.h"
+#include "src/storage/codec.h"
+
+namespace lrpdb {
+namespace storage {
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'L', 'R', 'P', 'S', 'N', 'A', 'P', '1'};
+constexpr size_t kSnapshotHeadSize = 32;  // magic + version + seq + len + crc
+
+}  // namespace
+
+[[nodiscard]] Status WriteSnapshotFile(const std::string& path, uint64_t covered_seq,
+                         const Database& db, bool sync) {
+  LRPDB_FAILPOINT("storage.snapshot.write");
+  std::string payload = EncodeDatabaseImage(db);
+  std::string file;
+  file.reserve(kSnapshotHeadSize + payload.size() + 4);
+  file.append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  PutU32(&file, kSnapshotFormatVersion);
+  PutU64(&file, covered_seq);
+  PutU64(&file, payload.size());
+  PutU32(&file, MaskCrc32c(Crc32c(std::string_view(file.data(), 28))));
+  file.append(payload);
+  PutU32(&file, MaskCrc32c(Crc32c(payload)));
+  LRPDB_RETURN_IF_ERROR(WriteFileAtomic(path, file, sync));
+  LRPDB_COUNTER_INC("store.snapshot.writes");
+  LRPDB_COUNTER_ADD("store.snapshot.written_bytes",
+                    static_cast<int64_t>(file.size()));
+  return OkStatus();
+}
+
+[[nodiscard]] StatusOr<uint64_t> ReadSnapshotFile(const std::string& path, Database* db) {
+  LRPDB_FAILPOINT("storage.snapshot.read");
+  LRPDB_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  if (data.size() < kSnapshotHeadSize + 4) {
+    return ParseError("snapshot '" + path + "': file too short (" +
+                      std::to_string(data.size()) + " bytes)");
+  }
+  std::string_view head(data.data(), kSnapshotHeadSize);
+  if (head.substr(0, sizeof(kSnapshotMagic)) !=
+      std::string_view(kSnapshotMagic, sizeof(kSnapshotMagic))) {
+    return ParseError("snapshot '" + path + "': bad magic");
+  }
+  ByteReader header_reader(head.substr(sizeof(kSnapshotMagic)));
+  LRPDB_ASSIGN_OR_RETURN(uint32_t version,
+                         header_reader.U32("snapshot version"));
+  LRPDB_ASSIGN_OR_RETURN(uint64_t covered_seq,
+                         header_reader.U64("snapshot covered_seq"));
+  LRPDB_ASSIGN_OR_RETURN(uint64_t payload_len,
+                         header_reader.U64("snapshot payload length"));
+  LRPDB_ASSIGN_OR_RETURN(uint32_t head_crc,
+                         header_reader.U32("snapshot header crc"));
+  if (UnmaskCrc32c(head_crc) != Crc32c(head.substr(0, 28))) {
+    return ParseError("snapshot '" + path + "': header checksum mismatch");
+  }
+  if (version > kSnapshotFormatVersion) {
+    return ParseError("snapshot '" + path + "': format version " +
+                      std::to_string(version) + " is newer than supported " +
+                      std::to_string(kSnapshotFormatVersion));
+  }
+  if (data.size() != kSnapshotHeadSize + payload_len + 4) {
+    return ParseError("snapshot '" + path + "': size " +
+                      std::to_string(data.size()) +
+                      " does not match header payload length " +
+                      std::to_string(payload_len));
+  }
+  std::string_view payload(data.data() + kSnapshotHeadSize, payload_len);
+  ByteReader trailer(
+      std::string_view(data.data() + kSnapshotHeadSize + payload_len, 4));
+  LRPDB_ASSIGN_OR_RETURN(uint32_t payload_crc,
+                         trailer.U32("snapshot payload crc"));
+  if (UnmaskCrc32c(payload_crc) != Crc32c(payload)) {
+    return ParseError("snapshot '" + path + "': payload checksum mismatch");
+  }
+  LRPDB_RETURN_IF_ERROR(DecodeDatabaseImage(payload, db));
+  LRPDB_COUNTER_INC("store.snapshot.loads");
+  return covered_seq;
+}
+
+}  // namespace storage
+}  // namespace lrpdb

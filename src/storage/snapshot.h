@@ -1,0 +1,43 @@
+// Checksummed, versioned snapshot files (DESIGN.md §12).
+//
+// A snapshot is one atomically-renamed file holding a full database image:
+//
+//   "LRPSNAP1" | u32 version | u64 covered_seq | u64 payload_len
+//   | u32 crc(head) | payload (database image, codec.h) | u32 crc(payload)
+//
+// covered_seq is the sequence number of the last WAL record whose effects
+// the image includes; recovery replays only records with larger numbers.
+// Because snapshots are published by rename(2) after an fsync, a reader
+// never sees a torn snapshot — any checksum or framing violation here is
+// corruption and surfaces as a Status (recovery then falls back to an
+// older snapshot).
+#ifndef LRPDB_STORAGE_SNAPSHOT_H_
+#define LRPDB_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/statusor.h"
+#include "src/gdb/database.h"
+
+namespace lrpdb {
+namespace storage {
+
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+// Serializes `db` and durably publishes it at `path` (write temp, fsync,
+// rename, fsync directory — skipping the fsyncs when !sync).
+[[nodiscard]] Status WriteSnapshotFile(const std::string& path,
+                                       uint64_t covered_seq,
+                                       const Database& db, bool sync);
+
+// Loads a snapshot into `db` (which must be freshly constructed) and
+// returns its covered_seq. Every framing, checksum, version, and decode
+// violation is a descriptive non-OK Status.
+[[nodiscard]] StatusOr<uint64_t> ReadSnapshotFile(const std::string& path,
+                                                  Database* db);
+
+}  // namespace storage
+}  // namespace lrpdb
+
+#endif  // LRPDB_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,111 @@
+// PersistentStore: crash-safe persistence for a Database (DESIGN.md §12).
+//
+// Directory layout (all names carry 16 lowercase hex digits):
+//
+//   <dir>/snapshot-<covered_seq>   checksummed full image (snapshot.h)
+//   <dir>/wal-<start_seq>          append-only record segment (wal.h)
+//
+// Protocol:
+//   * AppendBatch validates, frames, writes, and fsyncs the batch into the
+//     active WAL segment *before* applying it to the database — an OK
+//     return is an acknowledged-durable batch.
+//   * WriteSnapshot publishes snapshot-<S> (S = last appended seq) by
+//     atomic rename, then rolls the WAL to a fresh segment wal-<S+1>.
+//   * Compact deletes snapshots and fully-covered segments superseded by
+//     the newest snapshot.
+//   * Open recovers: loads the newest *loadable* snapshot (corrupt ones are
+//     skipped, with a metric, falling back to older ones or to empty),
+//     replays every WAL record with seq > covered_seq in order, truncates a
+//     torn tail off the final segment, and reopens it for append. A torn
+//     tail in a non-final segment, a sequence gap or duplicate, a bad
+//     checksum in a complete record, or an unknown record type is
+//     corruption: a descriptive Status, never a crash or silent loss.
+//
+// Crash-window audit (each window is exercised by the recovery fuzzer):
+// killed mid-append -> torn tail, batch unacknowledged, truncated; killed
+// between snapshot rename and segment roll -> recovery skips the old
+// segment's covered records; killed mid-compaction -> leftover files are
+// re-deleted on the next Compact, never read.
+#ifndef LRPDB_STORAGE_STORE_H_
+#define LRPDB_STORAGE_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/statusor.h"
+#include "src/gdb/database.h"
+#include "src/storage/codec.h"
+#include "src/storage/wal.h"
+
+namespace lrpdb {
+namespace storage {
+
+struct StoreOptions {
+  // fsync batches, snapshots, and directory updates. Disable only for
+  // unit tests that don't crash; the durability contract needs true.
+  bool sync = true;
+};
+
+// What Open() found and did.
+struct RecoveryInfo {
+  bool loaded_snapshot = false;
+  uint64_t snapshot_seq = 0;      // covered_seq of the snapshot loaded
+  uint64_t replayed_records = 0;  // WAL records applied on top
+  uint64_t truncated_tail_bytes = 0;
+  uint64_t corrupt_snapshots_skipped = 0;
+  uint64_t next_seq = 1;  // first sequence number a new append receives
+};
+
+class PersistentStore {
+ public:
+  PersistentStore() = default;
+  PersistentStore(PersistentStore&&) = default;
+  PersistentStore& operator=(PersistentStore&&) = default;
+
+  // Opens (creating if needed) the store at `dir` and recovers `db` —
+  // which must be freshly constructed — to the last acknowledged state.
+  [[nodiscard]] static StatusOr<PersistentStore> Open(
+      const std::string& dir, Database* db,
+      const StoreOptions& options = StoreOptions());
+
+  // Durably logs `batch`, then applies it to the database. The batch is
+  // validated first so the WAL never holds a record that deterministically
+  // fails to apply.
+  [[nodiscard]] Status AppendBatch(const FactBatch& batch);
+
+  // Publishes a snapshot covering everything appended so far and rolls the
+  // WAL to a fresh segment.
+  [[nodiscard]] Status WriteSnapshot();
+
+  // Deletes snapshots and WAL segments superseded by the newest snapshot.
+  [[nodiscard]] Status Compact();
+
+  [[nodiscard]] Status Close();
+
+  const RecoveryInfo& recovery_info() const { return recovery_; }
+  uint64_t next_seq() const { return writer_.next_seq(); }
+  uint64_t snapshot_seq() const { return snapshot_seq_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  Database* db_ = nullptr;
+  StoreOptions options_;
+  WalWriter writer_;
+  uint64_t active_segment_start_ = 1;
+  uint64_t snapshot_seq_ = 0;  // 0 = no snapshot yet
+  RecoveryInfo recovery_;
+};
+
+// "snapshot-<seq>" / "wal-<seq>" filename helpers (16 hex digits), shared
+// with tests that build corruption fixtures.
+std::string SeqFileName(std::string_view prefix, uint64_t seq);
+// Returns true and sets *seq when `name` is `prefix` + 16 hex digits.
+bool ParseSeqFileName(std::string_view name, std::string_view prefix,
+                      uint64_t* seq);
+
+}  // namespace storage
+}  // namespace lrpdb
+
+#endif  // LRPDB_STORAGE_STORE_H_

@@ -1,0 +1,98 @@
+// Append-only write-ahead log segments (DESIGN.md §12).
+//
+// A segment file is a 24-byte header followed by length-framed records:
+//
+//   header:  "LRPWAL01" | u32 version | u64 start_seq | u32 crc(head)
+//   record:  u32 payload_len | u64 seq | u8 type | u32 crc(head)
+//            | payload | u32 crc(payload)
+//
+// All integers little-endian; CRCs are masked CRC32C (src/common/crc32c.h).
+// Record sequence numbers are consecutive from the segment's start_seq.
+//
+// Torn tail vs corruption — the load-bearing distinction: every record is
+// written with a single write(2), so a writer killed mid-append leaves a
+// *prefix* of the final record (and only of the final record). Scanning
+// therefore classifies:
+//   * incomplete header or record at EOF        -> torn tail (expected after
+//     a crash; reported, truncated by recovery, never an error)
+//   * complete frame failing any CRC, a bad     -> corruption (a descriptive
+//     magic/version, or a non-consecutive seq      Status, never a crash or
+//     number                                       silent acceptance)
+#ifndef LRPDB_STORAGE_WAL_H_
+#define LRPDB_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/file_util.h"
+#include "src/common/statusor.h"
+
+namespace lrpdb {
+namespace storage {
+
+inline constexpr uint32_t kWalFormatVersion = 1;
+inline constexpr size_t kWalHeaderSize = 24;
+inline constexpr size_t kWalRecordHeadSize = 17;
+// One record type today; unknown types in a CRC-valid record are rejected
+// at replay (they cannot be a torn write, so they are a future format or
+// corruption either way).
+inline constexpr uint8_t kRecordFactBatch = 1;
+
+struct WalRecord {
+  uint64_t seq = 0;
+  uint8_t type = 0;
+  std::string payload;
+};
+
+struct WalScanResult {
+  // False when the file is shorter than a full header (a writer died while
+  // creating the segment): no records, valid_bytes == 0.
+  bool header_valid = false;
+  uint64_t start_seq = 0;
+  std::vector<WalRecord> records;
+  // Length of the valid prefix (header + complete records). Recovery
+  // truncates the file here before reopening it for append.
+  uint64_t valid_bytes = 0;
+  // True when bytes past valid_bytes were ignored as a torn tail.
+  bool torn_tail = false;
+};
+
+// Parses one segment end-to-end, polling the ambient ExecContext per
+// record. Torn tails are reported in the result; corruption is a Status.
+[[nodiscard]] StatusOr<WalScanResult> ScanWalSegment(const std::string& path);
+
+// The write end of one segment. Append frames, checksums, writes (one
+// write(2) per record), and — when `sync` — fsyncs before returning, so an
+// OK Append is an acknowledged-durable record.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  WalWriter(WalWriter&&) = default;
+  WalWriter& operator=(WalWriter&&) = default;
+
+  // Opens `path` for appending with the next record numbered `next_seq`.
+  // An empty (or absent) file receives a fresh header with
+  // start_seq == next_seq; an existing file is expected to have been
+  // scanned and truncated to a valid prefix already.
+  [[nodiscard]] static StatusOr<WalWriter> Open(const std::string& path,
+                                                uint64_t next_seq, bool sync);
+
+  [[nodiscard]] Status Append(uint8_t type, std::string_view payload);
+  [[nodiscard]] Status Close();
+
+  uint64_t next_seq() const { return next_seq_; }
+  const std::string& path() const { return file_.path(); }
+  bool is_open() const { return file_.is_open(); }
+
+ private:
+  AppendableFile file_;
+  uint64_t next_seq_ = 1;
+  bool sync_ = true;
+};
+
+}  // namespace storage
+}  // namespace lrpdb
+
+#endif  // LRPDB_STORAGE_WAL_H_
