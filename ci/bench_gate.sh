@@ -13,8 +13,8 @@
 #     LRPDB_NO_FAILPOINTS, and LRPDB_NO_PROVENANCE: the gate times the
 #     engine, not the instrumentation — a disarmed failpoint load is still
 #     a load, and provenance recording is opt-in per evaluation anyway.
-#  2. Runs the evaluation-shaped benches (bench_e2, bench_e3, bench_e4)
-#     twice:
+#  2. Runs the evaluation-shaped benches (bench_e2, bench_e3, bench_e4,
+#     bench_i1) twice:
 #     LRPDB_THREADS=1 (the gated run — deterministic, machine-independent
 #     thread shape) and LRPDB_THREADS=max (informational: the parallel
 #     speedup on this machine, printed but never gated).
@@ -37,8 +37,12 @@ for arg in "$@"; do
 done
 
 build_dir=build-bench-gate
+# bench_i1 gates the incremental-maintenance walls (and aborts itself if a
+# maintained AddFacts is not >= 10x faster than a full refixpoint at 1e5
+# facts). In this LRPDB_NO_PROVENANCE build its retract fields measure the
+# documented full-recompute fallback.
 gate_benches=(bench_e2_termination_sweep bench_e3_algebra_ptime
-              bench_e4_closed_form_vs_ground)
+              bench_e4_closed_form_vs_ground bench_i1_incremental)
 
 echo "== bench gate: Release build (LRPDB_NO_METRICS, LRPDB_NO_FAILPOINTS, LRPDB_NO_PROVENANCE)"
 cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release \

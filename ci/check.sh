@@ -50,6 +50,17 @@
 #                            acknowledged batches, in order, with no
 #                            unacknowledged garbage. Standalone mode: skips
 #                            the plain build/ctest above.
+#   ci/check.sh --incremental  incremental-maintenance differential gauntlet:
+#                            build an ASan tree and run incremental_test —
+#                            108 random programs, each driven through a
+#                            random add/retract schedule whose every step is
+#                            checked against a from-scratch refixpoint
+#                            oracle and for bit-identical stored dumps
+#                            across {batch, legacy} kernels x {1, 2, 8}
+#                            threads — plus the directed incremental cases
+#                            and the tombstone-compaction regressions in
+#                            tuple_store_test. Standalone mode: skips the
+#                            plain build/ctest above.
 #   ci/check.sh --noprov     additionally build and test a tree configured
 #                            with -DLRPDB_NO_PROVENANCE=ON: the recording
 #                            sites fold away (provenance_disabled_test
@@ -84,6 +95,7 @@ analyze=0
 format=0
 faults=0
 crash=0
+incremental=0
 noprov=0
 for arg in "$@"; do
   case "$arg" in
@@ -95,6 +107,7 @@ for arg in "$@"; do
     --format) format=1 ;;
     --faults) faults=1 ;;
     --crash) crash=1 ;;
+    --incremental) incremental=1 ;;
     --noprov) noprov=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
@@ -116,17 +129,20 @@ if [[ "$faults" == 1 ]]; then
   # carry the determinism differential (ParallelDeterminismTest asserts
   # bit-identical timing-free Explain() dumps and relation dumps across
   # 1, 2, and 8 worker threads) plus worker-side governance unwinding.
-  fault_filter='^(ExecContextTest|GovernanceTest|FailpointTest|FaultInjectionWalkTest|ThreadPoolTest|ParallelEvaluatorTest|ProvenanceTest|GroundProvenanceTest)\.|ParallelDeterminismTest\.|ProvenanceRandomTest\.'
+  fault_filter='^(ExecContextTest|GovernanceTest|FailpointTest|FaultInjectionWalkTest|ThreadPoolTest|ParallelEvaluatorTest|ProvenanceTest|GroundProvenanceTest|IncrementalTest)\.|ParallelDeterminismTest\.|ProvenanceRandomTest\.|IncrementalRandomTest\.'
   # The storage suites ride the ASan leg: the WAL/snapshot corruption
   # fixtures and the storage failpoint walk (StoreFaultTest) are exactly the
   # unwinding paths leak detection should watch.
   storage_filter='^(Crc32cTest|FileUtilTest|CodecTest|WalTest|SnapshotTest|StoreTest|StoreFaultTest)\.'
-  parallel_filter='(ThreadPoolTest|ParallelEvaluatorTest|ParallelDeterminismTest)\.|ProvenanceRandomTest\.'
+  # The incremental gauntlet rides both legs: every schedule step exercises
+  # resume evaluation across {batch, legacy} kernels x {1, 2, 8} threads, so
+  # ASan watches the DRed unwinding paths and TSan the 8-wide resume rounds.
+  parallel_filter='(ThreadPoolTest|ParallelEvaluatorTest|ParallelDeterminismTest)\.|ProvenanceRandomTest\.|IncrementalRandomTest\.'
   echo "== fault injection: ASan"
   cmake -B build-asan -S . -DLRPDB_SANITIZE=ON
   cmake --build build-asan -j"$(nproc)" --target \
     exec_context_test governance_test fault_injection_test \
-    parallel_evaluator_test provenance_test storage_test
+    parallel_evaluator_test provenance_test storage_test incremental_test
   ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="print_stacktrace=1" \
     ctest --test-dir build-asan --output-on-failure \
     -R "$fault_filter|$storage_filter"
@@ -134,7 +150,7 @@ if [[ "$faults" == 1 ]]; then
   cmake -B build-tsan -S . -DLRPDB_SANITIZE=thread
   cmake --build build-tsan -j"$(nproc)" --target \
     exec_context_test governance_test fault_injection_test \
-    parallel_evaluator_test provenance_test
+    parallel_evaluator_test provenance_test incremental_test
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -R "$fault_filter"
   echo "== determinism differential under TSan with LRPDB_THREADS=8 forced"
@@ -169,6 +185,31 @@ if [[ "$crash" == 1 ]]; then
   ASAN_OPTIONS="detect_leaks=0" LRPDB_CRASH_ITERS=150 \
     ctest --test-dir build-asan --output-on-failure -R '^CrashRecoveryTest\.'
   echo "ci/check.sh --crash: crash-recovery pass passed"
+  exit 0
+fi
+
+if [[ "$incremental" == 1 ]]; then
+  # The incremental gauntlet owns its own ASan tree, like --crash.
+  if [[ "$sanitize" == 1 || "$tsan" == 1 ]]; then
+    echo "--incremental already builds an ASan tree; drop --sanitize/--tsan" >&2
+    exit 2
+  fi
+  echo "== incremental maintenance: ASan differential gauntlet"
+  cmake -B build-asan -S . -DLRPDB_SANITIZE=ON
+  cmake --build build-asan -j"$(nproc)" --target incremental_test tuple_store_test
+  # 18 seeds x 6 generated programs = 108 random programs, each pushed
+  # through a 6-step random add/retract schedule. After every step the
+  # maintained model must match a from-scratch refixpoint oracle on the
+  # canonical ground window, and the stored dumps must be bit-identical
+  # across {batch, legacy} kernels x {1, 2, 8} threads. The directed
+  # IncrementalTest cases cover DRed over-delete/re-derive, alternative
+  # derivations, retract misses, compaction stability, and the negation
+  # full-recompute fallback; the TupleStoreTest tombstone regressions cover
+  # the stable-EntryId compaction path underneath it all.
+  ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="print_stacktrace=1" \
+    ctest --test-dir build-asan --output-on-failure \
+    -R '^(IncrementalTest|TupleStoreTest)\.|IncrementalRandomTest\.'
+  echo "ci/check.sh --incremental: incremental-maintenance pass passed"
   exit 0
 fi
 

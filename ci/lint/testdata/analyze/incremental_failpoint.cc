@@ -1,0 +1,39 @@
+// analyze-fixture-path: src/core/fixture_incremental_failpoint.cc
+// Incremental-maintenance flavored fixture for failpoint-coverage: the
+// update entry points follow src/core/incremental.cc, where AddFacts /
+// RetractFacts / the DRed legs each arm an incremental.* failpoint before
+// any error can be constructed. A batch validator with no reachable
+// failpoint must still be flagged.
+#include "src/common/failpoint.h"
+#include "src/common/status.h"
+
+namespace lrpdb {
+
+// Rejects a malformed batch with no failpoint anywhere: flagged.
+Status ValidateBatchUncovered(int arity) {
+  if (arity < 0) {
+    return InvalidArgumentError("arity mismatch");  // expect-analyze: failpoint-coverage
+  }
+  return OkStatus();
+}
+
+// Failpoint armed at the top of the update, like AddFacts: clean.
+Status AddFactsCovered(int batch) {
+  LRPDB_FAILPOINT("incremental.add_facts");
+  if (batch == 0) {
+    return InvalidArgumentError("empty batch");
+  }
+  return OkStatus();
+}
+
+// The over-delete leg reaches a failpoint one call away, like the DRed
+// walk reaching incremental.over_delete through RetractFacts: clean.
+Status OverDeleteCoveredViaCallee(int batch) {
+  LRPDB_RETURN_IF_ERROR(AddFactsCovered(batch));
+  if (batch < 0) {
+    return InternalError("dependent walk out of range");
+  }
+  return OkStatus();
+}
+
+}  // namespace lrpdb

@@ -1,0 +1,31 @@
+// analyze-fixture-path: src/core/fixture_incremental_lock.cc
+// Incremental-maintenance flavored fixture for lock-order: an update
+// serializer that takes the model mutex and the provenance log mutex in
+// opposite orders on the add and retract paths forms an acquisition cycle.
+// (The real IncrementalEvaluator is single-writer and holds no locks; this
+// is the trap the pass exists to catch if that ever changes.)
+#include <mutex>
+
+namespace lrpdb {
+
+class UpdateSerializer {
+ public:
+  void ApplyAdd();
+  void ApplyRetract();
+
+ private:
+  std::mutex model_mu_;
+  std::mutex prov_mu_;
+};
+
+void UpdateSerializer::ApplyAdd() {
+  std::lock_guard<std::mutex> model(model_mu_);
+  std::lock_guard<std::mutex> prov(prov_mu_);  // expect-analyze: lock-order
+}
+
+void UpdateSerializer::ApplyRetract() {
+  std::lock_guard<std::mutex> prov(prov_mu_);
+  std::lock_guard<std::mutex> model(model_mu_);
+}
+
+}  // namespace lrpdb

@@ -1,0 +1,43 @@
+// analyze-fixture-path: src/core/fixture_incremental_nondet.cc
+// Incremental-maintenance flavored fixture for nondeterministic-iteration:
+// the provenance reverse index (origin -> dependents) is hash-keyed, so
+// seeding the DRed worklist straight out of a hash walk would make the
+// tombstone order — and with it the stored-dump differential — depend on
+// hash seeds. The real walk drains per-entry vectors in recorded order.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace lrpdb {
+
+class DependentIndex {
+ public:
+  // Seeding the over-delete worklist from a hash-ordered walk: flagged.
+  void SeedWorklist(std::vector<uint64_t>* worklist) const {
+    for (const auto& [origin, deps] : dependents_) {  // expect-analyze: nondeterministic-iteration
+      worklist->push_back(origin);
+    }
+  }
+
+  // Commutative census of recorded origins: order-insensitive, clean.
+  int OriginCount() const {
+    int n = 0;
+    for (const auto& [origin, deps] : dependents_) {
+      ++n;
+    }
+    return n;
+  }
+
+  // Existence probe for one origin's dependents: clean.
+  bool HasDependents(uint64_t origin) const {
+    for (const auto& [key, deps] : dependents_) {
+      if (key == origin && !deps.empty()) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::unordered_map<uint64_t, std::vector<uint64_t>> dependents_;
+};
+
+}  // namespace lrpdb

@@ -1,0 +1,39 @@
+// analyze-fixture-path: src/core/fixture_incremental_poll.cc
+// Incremental-maintenance flavored fixture for poll-reachability: the DRed
+// over-delete walk is an unbounded worklist loop (the dependent closure is
+// not known in advance), so every cyclic path must poll governance — the
+// shape src/core/incremental.cc's retraction walk has to keep.
+#include "src/common/exec_context.h"
+#include "src/common/status.h"
+
+namespace lrpdb {
+
+// Worklist drain with no poll: a hostile dependent closure spins
+// ungoverned. Flagged.
+Status OverDeleteUnpolled(ExecContext* exec) {
+  while (true) {  // expect-analyze: poll-reachability
+    TombstoneNext();
+  }
+}
+
+// Polls every iteration before tombstoning, like the real walk: clean.
+Status OverDeletePolled(ExecContext* exec) {
+  while (true) {
+    LRPDB_RETURN_IF_ERROR(PollExec(exec));
+    TombstoneNext();
+  }
+}
+
+// The already-tombstoned skip path continues past the poll: exactly one
+// cyclic path is unpolled. Flagged.
+Status OverDeleteSkipsPoll(ExecContext* exec) {
+  while (true) {  // expect-analyze: poll-reachability
+    if (AlreadyTombstoned()) {
+      continue;
+    }
+    LRPDB_RETURN_IF_ERROR(PollExec(exec));
+    TombstoneNext();
+  }
+}
+
+}  // namespace lrpdb

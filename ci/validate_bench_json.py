@@ -25,7 +25,8 @@ import sys
 KNOWN_PREFIXES = (
     "bench.",
     "datalog1s.",
-    "eval.",       # includes eval.batch.*, eval.parallel.*, eval.prov.*
+    "eval.",       # includes eval.batch.*, eval.parallel.*, eval.prov.*,
+                   # and the incremental-maintenance counters eval.inc.*
     "exec.",
     "gdb.",
     "store.",      # includes store.snapshot.*, store.wal.*, store.compact.*

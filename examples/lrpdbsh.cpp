@@ -26,9 +26,17 @@
 //   :dot p#3 [file]            derivation graph as Graphviz DOT
 //   :metrics                   MetricsRegistry snapshot
 //   :explain                   the evaluation's per-rule EXPLAIN profile
+//   :add p(24n+2, "a").        insert a fact (surface syntax, sans .fact)
+//                              and incrementally maintain the model
+//   :retract p(24n+2, "a").    retract an exact stored fact, DRed-style
 //   :save <dir>                persist database + model as a snapshot
 //   :load <dir>                recover a saved image and summarize it
 //   :quit                      leave
+//
+// :add / :retract lazily wrap the session in an IncrementalEvaluator
+// (src/core/incremental.h): the first update pays one full evaluation to
+// seed the maintained model, later updates resume the semi-naive loop
+// instead of refixpointing.
 //
 // Why-provenance recording is enabled whenever --why, --dot, or --repl is
 // given (it disables result compaction so entry ids stay stable; the model
@@ -51,6 +59,7 @@
 #include <vector>
 
 #include "src/core/evaluator.h"
+#include "src/core/incremental.h"
 #include "src/core/provenance.h"
 #include "src/fo/fo.h"
 #include "src/gdb/serialize.h"
@@ -353,6 +362,9 @@ lrpdb::Status BuildImage(
     store.set_index_enabled(rel.store().index_enabled());
     for (size_t i = 0; i < rel.size(); ++i) {
       LRPDB_RETURN_IF_ERROR(store.RestoreEntry(rel.tuple(i)));
+      if (!rel.store().is_live(static_cast<lrpdb::EntryId>(i))) {
+        store.Tombstone(static_cast<lrpdb::EntryId>(i));
+      }
     }
     return store.RestoreGenerations(rel.store().delta_lo(),
                                     rel.store().delta_hi());
@@ -423,11 +435,105 @@ void ReplLoad(const std::string& dir) {
   }
 }
 
-void Repl(const ProvSession& s) {
+// Parses one fact in the surface syntax (the text after :add / :retract,
+// without the leading `.fact`) into FactUpdates against `db`. The fact is
+// parsed into a scratch database seeded with db's interner and schemas, so
+// a malformed fact never touches the live state; data constants are then
+// re-interned through `db`.
+lrpdb::StatusOr<std::vector<lrpdb::FactUpdate>> ParseFactUpdates(
+    const std::string& text, lrpdb::Database* db) {
+  lrpdb::Database scratch;
+  scratch.interner() = db->interner();
+  // The parser only honors declarations in its own source, so prepend
+  // every live relation's .decl before the fact.
+  std::string source;
+  for (const std::string& name : db->RelationNames()) {
+    auto schema = db->SchemaOf(name);
+    if (schema.ok()) source += lrpdb::SerializeDeclaration(name, *schema);
+  }
+  source += ".fact " + text;
+  if (source.back() != '.') source += '.';
+  LRPDB_ASSIGN_OR_RETURN(auto unit, lrpdb::Parse(source, &scratch));
+  (void)unit;
+  std::vector<lrpdb::FactUpdate> updates;
+  for (const std::string& name : scratch.RelationNames()) {
+    auto rel = scratch.Relation(name);
+    if (!rel.ok()) continue;
+    const lrpdb::TupleStore& store = (*rel)->store();
+    for (size_t i = 0; i < store.size(); ++i) {
+      const lrpdb::GeneralizedTuple& t =
+          store.tuple(static_cast<lrpdb::EntryId>(i));
+      std::vector<lrpdb::DataValue> data;
+      data.reserve(t.data().size());
+      for (lrpdb::DataValue d : t.data()) {
+        data.push_back(db->Constant(scratch.interner().NameOf(d)));
+      }
+      updates.push_back({name, lrpdb::GeneralizedTuple(
+                                   t.lrps(), std::move(data), t.constraint())});
+    }
+  }
+  if (updates.empty()) {
+    return lrpdb::InvalidArgumentError("no facts in '" + text + "'");
+  }
+  return updates;
+}
+
+// The REPL's incremental-update session, created lazily by the first :add
+// or :retract (paying one full evaluation to seed the maintained model).
+// Once live, the ProvSession is re-pointed at the maintained model and its
+// provenance log so explain why / :save reflect every update.
+struct IncSession {
+  std::unique_ptr<lrpdb::IncrementalEvaluator> inc;
+
+  bool Ensure(ProvSession* s, const lrpdb::Program& program,
+              lrpdb::Database* db, const lrpdb::EvaluationOptions& options) {
+    if (inc != nullptr) return true;
+    auto fresh = std::make_unique<lrpdb::IncrementalEvaluator>(program, db,
+                                                               options);
+    lrpdb::Status status = fresh->Initialize();
+    if (!status.ok()) {
+      std::printf("incremental session failed: %s\n",
+                  status.ToString().c_str());
+      return false;
+    }
+    inc = std::move(fresh);
+    s->result = &inc->Result();
+    if (inc->provenance() != nullptr) s->log = inc->provenance();
+    return true;
+  }
+
+  void Update(bool add, const std::string& text, ProvSession* s,
+              const lrpdb::Program& program, lrpdb::Database* db,
+              const lrpdb::EvaluationOptions& options) {
+    if (!Ensure(s, program, db, options)) return;
+    auto updates = ParseFactUpdates(text, db);
+    if (!updates.ok()) {
+      std::printf("%s: %s\n", add ? ":add" : ":retract",
+                  updates.status().ToString().c_str());
+      return;
+    }
+    lrpdb::Status status =
+        add ? inc->AddFacts(*updates) : inc->RetractFacts(*updates);
+    if (!status.ok()) {
+      std::printf("%s failed: %s\n", add ? ":add" : ":retract",
+                  status.ToString().c_str());
+      return;
+    }
+    std::printf("%s %zu fact(s); model maintained (%d resume iterations, "
+                "fixpoint: %s)\n",
+                add ? "added" : "retracted", updates->size(),
+                inc->Result().iterations,
+                inc->at_fixpoint() ? "yes" : "NO");
+  }
+};
+
+void Repl(ProvSession s, const lrpdb::Program& program, lrpdb::Database* db,
+          const lrpdb::EvaluationOptions& options) {
   std::printf(
       "lrpdbsh repl -- `explain why p#0`, `explain why p(26, \"a\")`, "
-      "`:dot p#0 [file]`, `:metrics`, `:explain`, `:save <dir>`, "
-      "`:load <dir>`, `:quit`\n");
+      "`:dot p#0 [file]`, `:metrics`, `:explain`, `:add <fact>`, "
+      "`:retract <fact>`, `:save <dir>`, `:load <dir>`, `:quit`\n");
+  IncSession inc;
   std::string line;
   while (true) {
     std::printf("lrpdb> ");
@@ -458,6 +564,17 @@ void Repl(const ProvSession& s) {
       }
       continue;
     }
+    if (line.rfind(":add", 0) == 0 || line.rfind(":retract", 0) == 0) {
+      bool add = line[1] == 'a';
+      std::string text = Trim(line.substr(add ? 4 : 8));
+      if (text.empty()) {
+        std::printf("%s needs a fact, e.g. %s p(24n+2, \"a\").\n",
+                    add ? ":add" : ":retract", add ? ":add" : ":retract");
+      } else {
+        inc.Update(add, text, &s, program, db, options);
+      }
+      continue;
+    }
     if (line.rfind(":dot", 0) == 0) {
       std::istringstream in(line.substr(4));
       std::string spec;
@@ -483,7 +600,7 @@ void Repl(const ProvSession& s) {
     }
     std::printf(
         "unknown command; try `explain why <tuple>`, `:dot`, `:metrics`, "
-        "`:explain`, or `:quit`\n");
+        "`:explain`, `:add`, `:retract`, or `:quit`\n");
   }
 }
 
@@ -656,7 +773,7 @@ int main(int argc, char** argv) {
       int rc = ExplainWhy(session, why_spec);
       if (rc == 0 && !dot_path.empty()) ExportDot(session, why_spec, dot_path);
     }
-    if (repl) Repl(session);
+    if (repl) Repl(session, unit->program, &db, options);
   }
   return 0;
 }

@@ -336,6 +336,11 @@ bool UnifyTemporal(const NormalizedBodyAtom& atom,
       // Fused select chain: every data filter refines the one mask; the
       // posting's own column needs no re-check.
       mask.Reset(block.rows());
+      if (posting == nullptr && store.has_tombstones()) {
+        // Direct range scans can still see tombstoned slots; postings are
+        // pruned at Tombstone() time and need no liveness filter.
+        mask.KeepIf([&](size_t row) { return store.is_live(block.id(row)); });
+      }
       for (const TupleStore::DataRequirement& req :
            compiled.const_requirements) {
         if (indexed && req.column == posting_column) continue;

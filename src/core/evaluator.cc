@@ -345,8 +345,10 @@ std::vector<DataValue> CollectActiveDomain(const Program& program,
   std::set<DataValue> domain;
   for (const std::string& name : db.RelationNames()) {
     auto relation = db.Relation(name);
-    for (size_t i = 0; i < (*relation)->size(); ++i) {
-      for (DataValue d : (*relation)->tuple(i).data()) domain.insert(d);
+    const TupleStore& store = (*relation)->store();
+    for (size_t i = 0; i < store.size(); ++i) {
+      if (!store.is_live(static_cast<EntryId>(i))) continue;
+      for (DataValue d : store.tuple(i).data()) domain.insert(d);
     }
   }
   for (const Clause& clause : program.clauses()) {
@@ -467,8 +469,15 @@ std::string EvaluationResult::Explain(bool include_timings) const {
   return out;
 }
 
-[[nodiscard]] StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
-                                    const EvaluationOptions& options) {
+namespace {
+
+// Shared body of Evaluate and ResumeEvaluate. `resume`, when non-null,
+// seeds the IDB from a prior run and replaces the first round's task set
+// with the incremental one (rederive heads in full, everything else
+// pivoted on non-empty deltas); see ResumeSeed in evaluator.h.
+[[nodiscard]] StatusOr<EvaluationResult> EvaluateInternal(
+    const Program& program, const Database& db,
+    const EvaluationOptions& options, ResumeSeed* resume) {
   const SteadyTime eval_start = Now();
   LRPDB_TRACE_SPAN(eval_span, "eval.run");
   LRPDB_FAILPOINT("evaluator.evaluate");
@@ -496,7 +505,27 @@ std::string EvaluationResult::Explain(bool include_timings) const {
     result.profile.total_us = UsSince(eval_start);
   };
 
-  // Initialize empty IDB relations for every intensional predicate.
+  // Resumption is restricted to the semi-naive, negation-free fragment:
+  // complements are materialized per evaluation and would go stale across
+  // incremental updates, and the delta-pivot resume round assumes a single
+  // stratum. IncrementalEvaluator falls back to a full Evaluate otherwise.
+  if (resume != nullptr) {
+    if (!options.semi_naive) {
+      return InvalidArgumentError(
+          "ResumeEvaluate requires semi-naive evaluation");
+    }
+    for (const NormalizedClause& clause : normalized.clauses) {
+      for (const NormalizedBodyAtom& atom : clause.body) {
+        if (atom.negated) {
+          return InvalidArgumentError(
+              "ResumeEvaluate does not support negation");
+        }
+      }
+    }
+  }
+
+  // Initialize the IDB relations for every intensional predicate: empty,
+  // or adopted from the resume seed's prior run.
   for (SymbolId predicate : program.idb_predicates()) {
     const std::string& name = program.predicates().NameOf(predicate);
     std::optional<RelationSchema> schema = program.SchemaOf(predicate);
@@ -508,6 +537,13 @@ std::string EvaluationResult::Explain(bool include_timings) const {
       return InvalidArgumentError(
           "predicate '" + name +
           "' is defined by clauses but also exists extensionally");
+    }
+    if (resume != nullptr) {
+      auto it = resume->idb.find(name);
+      if (it != resume->idb.end()) {
+        result.idb.emplace(name, std::move(it->second));
+        continue;
+      }
     }
     result.idb.emplace(name, GeneralizedRelation(*schema));
   }
@@ -740,7 +776,29 @@ std::string EvaluationResult::Explain(bool include_timings) const {
                 resolver.Resolve(atom.predicate, atom.is_intensional));
           }
         }
-        if (!options.semi_naive || round == 1 || recursive == 0) {
+        if (resume != nullptr && round == 1) {
+          // Incremental resume round: a clause re-derives in full when a
+          // retraction over-deleted from its head relation; otherwise it
+          // runs once per positive body atom with a pending delta (EDB
+          // deltas seeded by AddFacts included), pivoted to that delta.
+          // Clauses with neither can derive nothing new and are skipped —
+          // that skip is the incremental win.
+          const std::string& head_name =
+              program.predicates().NameOf(clause.head_predicate);
+          if (resume->rederive_heads.count(head_name) > 0) {
+            add_tasks(ci, sources);
+          } else {
+            for (size_t pivot = 0; pivot < clause.body.size(); ++pivot) {
+              if (clause.body[pivot].negated) continue;
+              if (sources[pivot].relation->store().delta_size() == 0) {
+                continue;
+              }
+              std::vector<AtomSource> pivot_sources = sources;
+              pivot_sources[pivot].generation = TupleStore::Generation::kDelta;
+              add_tasks(ci, pivot_sources);
+            }
+          }
+        } else if (!options.semi_naive || round == 1 || recursive == 0) {
           add_tasks(ci, sources);
         } else {
           for (size_t pivot = 0; pivot < clause.body.size(); ++pivot) {
@@ -969,6 +1027,20 @@ std::string EvaluationResult::Explain(bool include_timings) const {
   }
   finalize();
   return result;
+}
+
+}  // namespace
+
+[[nodiscard]] StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
+                                    const EvaluationOptions& options) {
+  return EvaluateInternal(program, db, options, /*resume=*/nullptr);
+}
+
+[[nodiscard]] StatusOr<EvaluationResult> ResumeEvaluate(
+    const Program& program, const Database& db,
+    const EvaluationOptions& options, ResumeSeed seed) {
+  LRPDB_FAILPOINT("evaluator.resume_evaluate");
+  return EvaluateInternal(program, db, options, &seed);
 }
 
 [[nodiscard]] Status Evaluator::Run() {

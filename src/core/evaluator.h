@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -225,6 +226,33 @@ struct EvaluationResult {
 [[nodiscard]] StatusOr<EvaluationResult> Evaluate(const Program& program, const Database& db,
                                     const EvaluationOptions& options =
                                         EvaluationOptions());
+
+// Seed for resuming a previously computed fixpoint in place instead of
+// refixpointing from scratch (incremental maintenance, DESIGN.md §13).
+// ResumeEvaluate adopts `idb` (the relations of the prior run, moved in)
+// and runs the same semi-naive loop with a modified first round:
+//  * clauses whose head predicate is named in `rederive_heads` are applied
+//    in full (every generation), re-deriving anything a retraction
+//    over-deleted;
+//  * every other clause is applied once per positive body atom whose
+//    store currently has a non-empty delta generation (EDB stores seeded
+//    by AddFacts included), with that atom pivoted to the delta range.
+// Rounds >= 2 are the unmodified semi-naive loop, so the resumed run
+// reaches the same least fixpoint as a from-scratch evaluation of the
+// updated database (soundness/completeness argument in DESIGN.md §13).
+// Restricted to semi-naive, negation-free (single-stratum) programs;
+// callers fall back to Evaluate() otherwise.
+struct ResumeSeed {
+  // Prior-run IDB relations, adopted (moved) into the resumed result. Any
+  // intensional predicate missing here starts empty.
+  std::map<std::string, GeneralizedRelation> idb;
+  // Head predicates to re-apply in full during the first resumed round.
+  std::set<std::string> rederive_heads;
+};
+
+[[nodiscard]] StatusOr<EvaluationResult> ResumeEvaluate(
+    const Program& program, const Database& db,
+    const EvaluationOptions& options, ResumeSeed seed);
 
 // Object-style wrapper around Evaluate() exposing the EXPLAIN API: run
 // once, then read the per-rule profile or the rendered dump. References to

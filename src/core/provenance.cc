@@ -15,6 +15,11 @@ const std::vector<DerivationOrigin>& NoOrigins() {
   return kEmpty;
 }
 
+const std::vector<ProvRef>& NoDependents() {
+  static const std::vector<ProvRef> kEmpty;
+  return kEmpty;
+}
+
 // Escapes `text` for use inside a double-quoted DOT string.
 std::string DotEscape(const std::string& text) {
   std::string out;
@@ -46,6 +51,7 @@ ProvRelationId ProvenanceLog::InternRelation(const std::string& name) {
   relation_names_.push_back(name);
   relation_ids_.emplace(name, id);
   origins_.emplace_back();
+  dependents_.emplace_back();
   return id;
 }
 
@@ -69,6 +75,25 @@ std::optional<ProvRelationId> ProvenanceLog::FindRelation(
     exec->ChargeBytes(bytes);
     LRPDB_RETURN_IF_ERROR(exec->Poll());
   }
+  if (track_dependents_) {
+    // Reverse edges, one per distinct parent of this origin (an entry
+    // matched by several body atoms yields one edge; cross-origin
+    // duplicates stay and are deduped by consumers).
+    for (size_t k = 0; k < origin.parents.size(); ++k) {
+      ProvRef parent = origin.parents[k];
+      bool repeat = false;
+      for (size_t j = 0; j < k; ++j) {
+        if (origin.parents[j] == parent) {
+          repeat = true;
+          break;
+        }
+      }
+      if (repeat) continue;
+      std::vector<std::vector<ProvRef>>& rel = dependents_[parent.relation];
+      if (rel.size() <= parent.entry) rel.resize(parent.entry + 1);
+      rel[parent.entry].push_back(derived);
+    }
+  }
   std::vector<std::vector<DerivationOrigin>>& rel = origins_[derived.relation];
   if (rel.size() <= derived.entry) rel.resize(derived.entry + 1);
   rel[derived.entry].push_back(std::move(origin));
@@ -86,6 +111,20 @@ const std::vector<DerivationOrigin>& ProvenanceLog::Origins(
       origins_[ref.relation];
   if (ref.entry >= rel.size()) return NoOrigins();
   return rel[ref.entry];
+}
+
+const std::vector<ProvRef>& ProvenanceLog::Dependents(ProvRef ref) const {
+  if (ref.relation >= dependents_.size()) return NoDependents();
+  const std::vector<std::vector<ProvRef>>& rel = dependents_[ref.relation];
+  if (ref.entry >= rel.size()) return NoDependents();
+  return rel[ref.entry];
+}
+
+void ProvenanceLog::Forget(ProvRef ref) {
+  if (ref.relation >= origins_.size()) return;
+  std::vector<std::vector<DerivationOrigin>>& rel = origins_[ref.relation];
+  if (ref.entry >= rel.size()) return;
+  rel[ref.entry].clear();
 }
 
 [[nodiscard]] StatusOr<ProvenanceLog::Graph> ProvenanceLog::WhyProvenance(

@@ -152,6 +152,26 @@ class ProvenanceLog {
   const std::vector<DerivationOrigin>& Origins(ProvRef ref) const;
   bool HasOrigins(ProvRef ref) const { return !Origins(ref).empty(); }
 
+  // --- Reverse index (incremental retraction, DESIGN.md §13) ---
+  //
+  // When dependent tracking is on, Record() also appends the derived ref to
+  // the dependents list of every parent, so DRed-style retraction can walk
+  // derivations forward (parents -> dependents) without scanning the log.
+  // Must be enabled before the first Record(); the index only covers
+  // records made while enabled.
+  void set_track_dependents(bool track) { track_dependents_ = track; }
+  bool track_dependents() const { return track_dependents_; }
+
+  // Refs recorded with `ref` among their origin parents. May contain
+  // duplicates (one edge per recorded origin) and refs later forgotten or
+  // tombstoned; callers dedupe / filter by liveness.
+  const std::vector<ProvRef>& Dependents(ProvRef ref) const;
+
+  // Drops every recorded origin of `ref` (a retraction tombstoned its
+  // entry). Reverse edges pointing at `ref` are left in place — consumers
+  // filter dead targets — and the lifetime counters are not rewound.
+  void Forget(ProvRef ref);
+
   // Lifetime accounting (mirrored in eval.prov.{records,bytes}).
   int64_t records() const { return records_; }
   int64_t approx_bytes() const { return approx_bytes_; }
@@ -202,6 +222,11 @@ class ProvenanceLog {
   // origins_[relation][entry] = that entry's recorded origins; the inner
   // vector is dense by entry id and grows on first record.
   std::vector<std::vector<std::vector<DerivationOrigin>>> origins_;
+  // dependents_[relation][entry] = refs recorded with that entry as an
+  // origin parent. Same shape as origins_; populated only while
+  // track_dependents_ is set.
+  std::vector<std::vector<std::vector<ProvRef>>> dependents_;
+  bool track_dependents_ = false;
   int64_t records_ = 0;
   int64_t approx_bytes_ = 0;
 };

@@ -8,6 +8,7 @@ bool GeneralizedRelation::ContainsGround(
     const std::vector<int64_t>& times,
     const std::vector<DataValue>& data) const {
   for (size_t i = 0; i < store_.size(); ++i) {
+    if (!store_.is_live(static_cast<EntryId>(i))) continue;
     if (store_.tuple(static_cast<EntryId>(i)).ContainsGround(times, data)) {
       return true;
     }
@@ -29,6 +30,7 @@ std::vector<GroundTuple> GeneralizedRelation::EnumerateGround(
   std::vector<GroundTuple> out;
   int m = schema().temporal_arity;
   for (size_t e = 0; e < store_.size(); ++e) {
+    if (!store_.is_live(static_cast<EntryId>(e))) continue;
     const GeneralizedTuple& t = store_.tuple(static_cast<EntryId>(e));
     Dbm closed = t.constraint();
     closed.Close();
@@ -76,6 +78,7 @@ std::vector<GroundTuple> GeneralizedRelation::EnumerateGround(
     const NormalizeLimits& limits) const {
   std::vector<NormalizedTuple> all;
   for (size_t i = 0; i < store_.size(); ++i) {
+    if (!store_.is_live(static_cast<EntryId>(i))) continue;
     LRPDB_ASSIGN_OR_RETURN(const std::vector<NormalizedTuple>* cached,
                            store_.pieces(static_cast<EntryId>(i), limits));
     all.insert(all.end(), cached->begin(), cached->end());

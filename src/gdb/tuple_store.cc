@@ -67,7 +67,9 @@ TupleStore::TupleStore(TupleStore&& other) noexcept
       data_columns_(std::move(other.data_columns_)),
       delta_lo_(other.delta_lo_),
       delta_hi_(other.delta_hi_),
-      index_enabled_(other.index_enabled_) {
+      index_enabled_(other.index_enabled_),
+      live_(std::move(other.live_)),
+      tombstones_(other.tombstones_) {
   approx_bytes_.store(other.approx_bytes_.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
   std::lock_guard<std::mutex> pieces_lock(other.pieces_mu_);
@@ -86,6 +88,8 @@ TupleStore& TupleStore::operator=(TupleStore&& other) noexcept {
   delta_lo_ = other.delta_lo_;
   delta_hi_ = other.delta_hi_;
   index_enabled_ = other.index_enabled_;
+  live_ = std::move(other.live_);
+  tombstones_ = other.tombstones_;
   approx_bytes_.store(other.approx_bytes_.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
   // std::scoped_lock would deadlock-order these for us, but the acquisition
@@ -161,6 +165,7 @@ void TupleStore::BumpStat(int64_t StoreStats::*field, int64_t amount,
     if (it != signature_index_.end()) bucket_entries = it->second.entries;
   } else {
     for (size_t i = 0; i < entries_.size(); ++i) {
+      if (!is_live(static_cast<EntryId>(i))) continue;
       if (entries_[i].tuple.data() == tuple.data() &&
           entries_[i].tuple.lrps() == tuple.lrps()) {
         bucket_entries.push_back(static_cast<EntryId>(i));
@@ -256,11 +261,67 @@ bool TupleStore::Append(GeneralizedTuple tuple,
     data_columns_[c].push_back(tuple.data()[c]);
   }
   entries_.push_back(Entry{std::move(tuple), it->second.id});
+  live_.push_back(kLive);
   {
     std::lock_guard<std::mutex> lock(pieces_mu_);
     pieces_cache_.push_back(PiecesCache{std::move(pieces), normalized});
   }
   return created;
+}
+
+void TupleStore::Tombstone(EntryId id) {
+  LRPDB_CHECK(id < entries_.size());
+  if (live_[id] != kLive) return;  // Already tombstoned (and maybe compacted).
+  live_[id] = kDead;
+  ++tombstones_;
+  const GeneralizedTuple& tuple = entries_[id].tuple;
+  // Prune the signature bucket. The bucket itself is kept even when it
+  // empties: SignatureId allocation is ordinal in signature_index_, so
+  // erasing the key would shift ids of signatures interned later.
+  auto bucket = signature_index_.find(tuple.free_extension());
+  if (bucket != signature_index_.end()) {
+    auto& ids = bucket->second.entries;
+    ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+  }
+  // Prune every posting list; empty postings are erased so "value has no
+  // entries" probes keep short-circuiting.
+  for (int c = 0; c < schema_.data_arity; ++c) {
+    auto posting = data_index_[c].find(tuple.data()[c]);
+    if (posting == data_index_[c].end()) continue;
+    auto& ids = posting->second;
+    ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+    if (ids.empty()) data_index_[c].erase(posting);
+  }
+  LRPDB_COUNTER_INC("store.tombstones");
+}
+
+size_t TupleStore::CompactTombstones() {
+  size_t compacted = 0;
+  for (size_t id = 0; id < entries_.size(); ++id) {
+    if (live_[id] != kDead) continue;
+    Entry& entry = entries_[id];
+    int64_t released = entry.tuple.ApproxBytes();
+    {
+      std::lock_guard<std::mutex> lock(pieces_mu_);
+      PiecesCache& cache = pieces_cache_[id];
+      released += static_cast<int64_t>(cache.pieces.size()) *
+                  (schema_.temporal_arity + 2) * 8;
+      cache.pieces.clear();
+      cache.pieces.shrink_to_fit();
+      cache.normalized = true;  // Never renormalize a released slot.
+    }
+    // An arity-0 placeholder keeps the slot (and every later EntryId)
+    // addressable while dropping the lrps/data/DBM payload.
+    entry.tuple = GeneralizedTuple::Unconstrained({}, {});
+    for (int c = 0; c < schema_.data_arity; ++c) data_columns_[c][id] = 0;
+    approx_bytes_.fetch_add(entry.tuple.ApproxBytes() - released,
+                            std::memory_order_relaxed);
+    live_[id] = kCompacted;
+    ++compacted;
+  }
+  LRPDB_COUNTER_ADD("store.tombstones_compacted",
+                    static_cast<int64_t>(compacted));
+  return compacted;
 }
 
 const std::vector<EntryId>* TupleStore::SmallestPosting(
@@ -285,7 +346,18 @@ const std::vector<EntryId>* TupleStore::SmallestPosting(
   if (data_index_.size() != static_cast<size_t>(schema_.data_arity)) {
     return InternalError("data index arity mismatch");
   }
-  // Signature buckets partition the entries and match their keys. The
+  if (live_.size() != entries_.size()) {
+    return InternalError("liveness vector length mismatch");
+  }
+  size_t dead = 0;
+  for (size_t id = 0; id < live_.size(); ++id) {
+    if (live_[id] != kLive) ++dead;
+  }
+  if (dead != tombstones_) {
+    return InternalError("tombstone count disagrees with liveness vector");
+  }
+  const size_t live_entries = entries_.size() - tombstones_;
+  // Signature buckets partition the *live* entries and match their keys. The
   // buckets are visited in ascending SignatureId order (not hash order), so
   // when several corruptions exist the one reported is the same on every
   // run and at any load factor.
@@ -306,6 +378,9 @@ const std::vector<EntryId>* TupleStore::SmallestPosting(
     }
     for (EntryId id : bucket.entries) {
       if (id >= entries_.size()) return InternalError("bucket id out of range");
+      if (!is_live(id)) {
+        return InternalError("tombstoned entry still bucketed");
+      }
       const Entry& entry = entries_[id];
       if (!(entry.tuple.free_extension() == fe)) {
         return InternalError("entry filed under a foreign signature");
@@ -316,8 +391,8 @@ const std::vector<EntryId>* TupleStore::SmallestPosting(
       ++bucketed;
     }
   }
-  if (bucketed != entries_.size()) {
-    return InternalError("signature buckets do not partition the entries");
+  if (bucketed != live_entries) {
+    return InternalError("signature buckets do not partition the live entries");
   }
   // Postings: sorted, value-correct, and complete per column. Same
   // discipline: postings are validated in ascending DataValue order.
@@ -341,14 +416,17 @@ const std::vector<EntryId>* TupleStore::SmallestPosting(
         if (id >= entries_.size()) {
           return InternalError("posting id out of range");
         }
+        if (!is_live(id)) {
+          return InternalError("tombstoned entry still posted");
+        }
         if (entries_[id].tuple.data()[c] != value) {
           return InternalError("posting value mismatch");
         }
         ++posted;
       }
     }
-    if (posted != entries_.size()) {
-      return InternalError("postings do not cover all entries");
+    if (posted != live_entries) {
+      return InternalError("postings do not cover all live entries");
     }
   }
   // Columnar mirrors agree with the entries.
@@ -360,6 +438,9 @@ const std::vector<EntryId>* TupleStore::SmallestPosting(
       return InternalError("data column mirror length mismatch");
     }
     for (size_t id = 0; id < entries_.size(); ++id) {
+      // Dead entries may have had their payload released (CompactTombstones
+      // zeroes the mirror slot), so only live slots must agree.
+      if (!is_live(static_cast<EntryId>(id))) continue;
       if (data_columns_[c][id] != entries_[id].tuple.data()[c]) {
         return InternalError("data column mirror value mismatch");
       }
@@ -370,8 +451,9 @@ const std::vector<EntryId>* TupleStore::SmallestPosting(
 
 std::string TupleStore::ToString(const Interner* interner) const {
   std::string s;
-  for (const Entry& e : entries_) {
-    s += e.tuple.ToString(interner);
+  for (size_t id = 0; id < entries_.size(); ++id) {
+    if (!is_live(static_cast<EntryId>(id))) continue;
+    s += entries_[id].tuple.ToString(interner);
     s += "\n";
   }
   return s;

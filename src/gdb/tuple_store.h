@@ -243,6 +243,36 @@ class TupleStore {
   size_t delta_hi() const { return delta_hi_; }
   size_t delta_size() const { return delta_hi_ - delta_lo_; }
 
+  // --- Tombstones (incremental retraction; DESIGN.md §13) ---
+  //
+  // Entry ids are append-order dense and referenced externally (provenance
+  // origins, snapshot images), so retraction never renumbers: a retracted
+  // entry is tombstoned in place. Tombstone() removes the entry from its
+  // signature bucket and every posting list, so the indexed probe paths
+  // never see it again; the direct range scans and the batch kernel filter
+  // on is_live(). The entry slot, its id, and its signature interning
+  // survive — empty buckets are deliberately kept, because SignatureId
+  // allocation is ordinal in signature_index_ and erasure would corrupt
+  // future ids.
+
+  // Marks entry `id` dead. Idempotent; requires exclusive access, like
+  // every mutation.
+  void Tombstone(EntryId id);
+
+  // True iff the entry has not been tombstoned. Valid for any id < size().
+  bool is_live(EntryId id) const { return live_[id] == kLive; }
+  // Cheap gate for hot scan paths: when false, every entry is live and the
+  // per-id filter can be skipped entirely.
+  bool has_tombstones() const { return tombstones_ > 0; }
+  size_t live_size() const { return entries_.size() - tombstones_; }
+
+  // Releases the payload (tuple, cached pieces, mirror slots) of every
+  // tombstoned entry while keeping ids stable — the compaction story for
+  // stores whose entry ids are pinned by provenance or snapshots. Returns
+  // the number of entries whose memory was reclaimed by this call.
+  // Requires exclusive access.
+  size_t CompactTombstones() LRPDB_LOCKS_EXCLUDED(pieces_mu_);
+
   // --- Join-side candidate probes ---
 
   // Invokes `fn(EntryId)` for every entry of `generation` compatible with
@@ -283,11 +313,19 @@ class TupleStore {
     }
     if (posting != nullptr) {
       // Postings are ascending, so the generation filter is a range scan.
+      // Tombstoned entries were pruned from the posting at Tombstone()
+      // time, so this path yields live ids only.
       auto it = std::lower_bound(posting->begin(), posting->end(),
                                  static_cast<EntryId>(lo));
       for (; it != posting->end() && *it < hi; ++it) {
         ++scanned;
         fn(*it);
+      }
+    } else if (has_tombstones()) {
+      for (size_t id = lo; id < hi; ++id) {
+        if (!is_live(static_cast<EntryId>(id))) continue;
+        ++scanned;
+        fn(static_cast<EntryId>(id));
       }
     } else {
       for (size_t id = lo; id < hi; ++id) {
@@ -365,6 +403,16 @@ class TupleStore {
   size_t delta_lo_ = 0;
   size_t delta_hi_ = 0;
   bool index_enabled_ = true;
+
+  // Liveness codes for live_. A tombstoned entry stays kDead until
+  // CompactTombstones() releases its payload and marks it kCompacted (so
+  // repeated compaction never double-subtracts the byte estimate).
+  static constexpr uint8_t kDead = 0;
+  static constexpr uint8_t kLive = 1;
+  static constexpr uint8_t kCompacted = 2;
+  // live_[id]: one code per entry, maintained by Append/Tombstone.
+  std::vector<uint8_t> live_;
+  size_t tombstones_ = 0;
 
   // Serializes concurrent const readers against the fill-on-first-use
   // residue cache. Writers (Append) also hold it while growing the deque.

@@ -179,8 +179,20 @@ std::string EncodeDatabaseImage(const Database& db) {
     PutU32(&out, static_cast<uint32_t>(store.schema().data_arity));
     PutU8(&out, store.index_enabled() ? 1 : 0);
     PutU64(&out, store.size());
+    // Dead (retracted) entries keep their slot so entry ids stay stable,
+    // but their payload is canonicalized to a schema-shaped placeholder:
+    // compacted entries have no payload left to write, and writing the
+    // same placeholder for not-yet-compacted tombstones makes the image
+    // independent of when CompactTombstones ran.
+    const GeneralizedTuple placeholder = GeneralizedTuple::Unconstrained(
+        std::vector<Lrp>(static_cast<size_t>(store.schema().temporal_arity),
+                         Lrp(1, 0)),
+        std::vector<DataValue>(static_cast<size_t>(store.schema().data_arity),
+                               0));
     for (size_t i = 0; i < store.size(); ++i) {
-      const GeneralizedTuple& tuple = store.tuple(static_cast<EntryId>(i));
+      const EntryId id = static_cast<EntryId>(i);
+      const GeneralizedTuple& tuple =
+          store.is_live(id) ? store.tuple(id) : placeholder;
       for (const Lrp& lrp : tuple.lrps()) {
         PutI64(&out, lrp.period());
         PutI64(&out, lrp.offset());
@@ -192,6 +204,17 @@ std::string EncodeDatabaseImage(const Database& db) {
     }
     PutU64(&out, store.delta_lo());
     PutU64(&out, store.delta_hi());
+    // v2: the dead-entry id list, ascending; decode re-tombstones them.
+    std::string dead;
+    uint32_t dead_count = 0;
+    for (size_t i = 0; i < store.size(); ++i) {
+      if (!store.is_live(static_cast<EntryId>(i))) {
+        PutU64(&dead, i);
+        ++dead_count;
+      }
+    }
+    PutU32(&out, dead_count);
+    out.append(dead);
   }
   return out;
 }
@@ -260,6 +283,21 @@ std::string EncodeDatabaseImage(const Database& db) {
     LRPDB_ASSIGN_OR_RETURN(uint64_t delta_hi, reader.U64("delta_hi"));
     LRPDB_RETURN_IF_ERROR(store.RestoreGenerations(
         static_cast<size_t>(delta_lo), static_cast<size_t>(delta_hi)));
+    LRPDB_ASSIGN_OR_RETURN(uint32_t dead_count, reader.U32("tombstone count"));
+    uint64_t prev_dead = 0;
+    for (uint32_t t = 0; t < dead_count; ++t) {
+      LRPDB_ASSIGN_OR_RETURN(uint64_t dead_id, reader.U64("tombstone id"));
+      if (dead_id >= num_entries) {
+        return ParseError("relation '" + name +
+                          "': tombstone id out of range");
+      }
+      if (t > 0 && dead_id <= prev_dead) {
+        return ParseError("relation '" + name +
+                          "': tombstone ids out of order");
+      }
+      prev_dead = dead_id;
+      store.Tombstone(static_cast<EntryId>(dead_id));
+    }
   }
   if (!reader.AtEnd()) {
     return ParseError("trailing garbage after database image (" +
@@ -404,6 +442,60 @@ std::string EncodeFactBatch(const FactBatch& batch) {
     LRPDB_RETURN_IF_ERROR(db->AddTuple(
         fact.relation,
         GeneralizedTuple(fact.lrps, std::move(data), fact.constraint)));
+  }
+  return OkStatus();
+}
+
+// --- Retract batch ---
+
+[[nodiscard]] Status ValidateRetractBatch(const FactBatch& batch, const Database& db) {
+  if (!batch.decls.empty()) {
+    // Pure validation over an in-memory batch, exercised directly by
+    // storage_test rejection fixtures; no resource is held.
+    // lint: allow(failpoint-coverage)
+    return InvalidArgumentError("retract batch carries declarations");
+  }
+  for (const BatchFact& fact : batch.facts) {
+    if (!db.IsDeclared(fact.relation)) {
+      return InvalidArgumentError("retract batch fact for undeclared "
+                                  "relation '" + fact.relation + "'");
+    }
+    LRPDB_ASSIGN_OR_RETURN(RelationSchema schema, db.SchemaOf(fact.relation));
+    if (static_cast<int>(fact.lrps.size()) != schema.temporal_arity ||
+        static_cast<int>(fact.data.size()) != schema.data_arity) {
+      return InvalidArgumentError("retract batch fact arity mismatch for '" +
+                                  fact.relation + "'");
+    }
+    if (fact.constraint.num_vars() != static_cast<int>(fact.lrps.size())) {
+      return InvalidArgumentError("retract batch fact DBM arity mismatch "
+                                  "for '" + fact.relation + "'");
+    }
+  }
+  return OkStatus();
+}
+
+[[nodiscard]] Status ApplyRetractBatch(const FactBatch& batch, Database* db) {
+  for (const BatchFact& fact : batch.facts) {
+    // Constant(d) interns unseen names on both the live path and replay,
+    // so the interner state stays identical between them even when a
+    // retraction names a constant the database never stored (a miss).
+    std::vector<DataValue> data;
+    data.reserve(fact.data.size());
+    for (const std::string& d : fact.data) data.push_back(db->Constant(d));
+    LRPDB_ASSIGN_OR_RETURN(GeneralizedRelation * relation,
+                           db->MutableRelation(fact.relation));
+    TupleStore& store = relation->mutable_store();
+    // Same match-and-tombstone loop as IncrementalEvaluator::RetractFacts,
+    // so replay reproduces exactly the live/dead partition.
+    for (size_t i = 0; i < store.size(); ++i) {
+      const EntryId id = static_cast<EntryId>(i);
+      if (!store.is_live(id)) continue;
+      const GeneralizedTuple& stored = store.tuple(id);
+      if (stored.lrps() != fact.lrps) continue;
+      if (stored.data() != data) continue;
+      if (!(stored.constraint() == fact.constraint)) continue;
+      store.Tombstone(id);
+    }
   }
   return OkStatus();
 }

@@ -132,6 +132,26 @@ std::string EncodeFactBatch(const FactBatch& batch);
 // produced.
 [[nodiscard]] Status ApplyFactBatch(const FactBatch& batch, Database* db);
 
+// --- Retract batch (WAL record payload, kRecordRetractBatch) ---
+//
+// A retraction reuses the FactBatch encoding with the declaration section
+// required empty: the facts are exact value matches to tombstone, not
+// entries to insert.
+
+// Checks that `batch` is a well-formed retraction against `db`: no decls,
+// every relation declared, every fact matching its relation's arities.
+// Whether each fact matches a live entry is deliberately not checked — a
+// miss is a observable no-op (eval.inc.retract_misses), not a failure, so
+// replay of a valid record can never fail halfway.
+[[nodiscard]] Status ValidateRetractBatch(const FactBatch& batch,
+                                          const Database& db);
+
+// Tombstones every live entry whose lrps, data, and constraint equal a
+// fact of the batch (misses are skipped). Entry ids are never renumbered,
+// so replay reproduces exactly the live/dead partition a live retract
+// produced.
+[[nodiscard]] Status ApplyRetractBatch(const FactBatch& batch, Database* db);
+
 }  // namespace storage
 }  // namespace lrpdb
 

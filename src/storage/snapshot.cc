@@ -61,9 +61,12 @@ constexpr size_t kSnapshotHeadSize = 32;  // magic + version + seq + len + crc
   if (UnmaskCrc32c(head_crc) != Crc32c(head.substr(0, 28))) {
     return ParseError("snapshot '" + path + "': header checksum mismatch");
   }
-  if (version > kSnapshotFormatVersion) {
+  if (version != kSnapshotFormatVersion) {
+    // Older versions are rejected too (not just newer): the image payload
+    // is not self-describing, so decoding a v1 image with the v2 codec
+    // would misparse rather than fail cleanly.
     return ParseError("snapshot '" + path + "': format version " +
-                      std::to_string(version) + " is newer than supported " +
+                      std::to_string(version) + " is not the supported " +
                       std::to_string(kSnapshotFormatVersion));
   }
   if (data.size() != kSnapshotHeadSize + payload_len + 4) {

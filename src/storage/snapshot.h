@@ -23,7 +23,13 @@
 namespace lrpdb {
 namespace storage {
 
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+// Version history:
+//   1 — initial format.
+//   2 — database image gained a per-relation tombstone section (dead entry
+//       ids after the generation ranges; codec.cc) for incremental
+//       retraction. Older images lack the section, so v1 files are
+//       rejected rather than misparsed.
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
 
 // Serializes `db` and durably publishes it at `path` (write temp, fsync,
 // rename, fsync directory — skipping the fsyncs when !sync).

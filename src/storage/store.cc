@@ -151,7 +151,8 @@ bool ParseSeqFileName(std::string_view name, std::string_view prefix,
                                    : " leaves a gap (expected " +
                                          std::to_string(expected) + ")"));
       }
-      if (record.type != kRecordFactBatch) {
+      if (record.type != kRecordFactBatch &&
+          record.type != kRecordRetractBatch) {
         return ParseError("WAL segment '" + path +
                           "': unknown record type " +
                           std::to_string(record.type) + " at seq " +
@@ -159,8 +160,13 @@ bool ParseSeqFileName(std::string_view name, std::string_view prefix,
       }
       LRPDB_ASSIGN_OR_RETURN(FactBatch batch,
                              DecodeFactBatch(record.payload));
-      LRPDB_RETURN_IF_ERROR(ValidateFactBatch(batch, *db));
-      LRPDB_RETURN_IF_ERROR(ApplyFactBatch(batch, db));
+      if (record.type == kRecordFactBatch) {
+        LRPDB_RETURN_IF_ERROR(ValidateFactBatch(batch, *db));
+        LRPDB_RETURN_IF_ERROR(ApplyFactBatch(batch, db));
+      } else {
+        LRPDB_RETURN_IF_ERROR(ValidateRetractBatch(batch, *db));
+        LRPDB_RETURN_IF_ERROR(ApplyRetractBatch(batch, db));
+      }
       ++expected;
       ++store.recovery_.replayed_records;
       LRPDB_COUNTER_INC("store.wal.replayed_records");
@@ -232,6 +238,19 @@ bool ParseSeqFileName(std::string_view name, std::string_view prefix,
   // Durable from here: apply to the in-memory database. Replay runs the
   // identical code path, so recovered and live state agree exactly.
   return ApplyFactBatch(batch, db_);
+}
+
+[[nodiscard]] Status PersistentStore::AppendRetractBatch(const FactBatch& batch) {
+  LRPDB_FAILPOINT("storage.store.append_retract_batch");
+  if (db_ == nullptr || !writer_.is_open()) {
+    return InternalError("AppendRetractBatch on a closed store");
+  }
+  LRPDB_RETURN_IF_ERROR(ValidateRetractBatch(batch, *db_));
+  std::string payload = EncodeFactBatch(batch);
+  LRPDB_RETURN_IF_ERROR(writer_.Append(kRecordRetractBatch, payload));
+  // Durable from here; replay runs the identical apply, so recovered and
+  // live tombstones agree exactly.
+  return ApplyRetractBatch(batch, db_);
 }
 
 [[nodiscard]] Status PersistentStore::WriteSnapshot() {

@@ -74,6 +74,11 @@ class PersistentStore {
   // fails to apply.
   [[nodiscard]] Status AppendBatch(const FactBatch& batch);
 
+  // Durably logs `batch` as a retraction (kRecordRetractBatch; the decl
+  // section must be empty), then tombstones every value-matched live entry.
+  // Same protocol as AppendBatch: validate, frame, fsync, apply.
+  [[nodiscard]] Status AppendRetractBatch(const FactBatch& batch);
+
   // Publishes a snapshot covering everything appended so far and rolls the
   // WAL to a fresh segment.
   [[nodiscard]] Status WriteSnapshot();

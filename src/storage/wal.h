@@ -35,10 +35,12 @@ namespace storage {
 inline constexpr uint32_t kWalFormatVersion = 1;
 inline constexpr size_t kWalHeaderSize = 24;
 inline constexpr size_t kWalRecordHeadSize = 17;
-// One record type today; unknown types in a CRC-valid record are rejected
-// at replay (they cannot be a torn write, so they are a future format or
-// corruption either way).
+// Record types. Unknown types in a CRC-valid record are rejected at replay
+// (they cannot be a torn write, so they are a future format or corruption
+// either way). A retract batch reuses the fact-batch payload encoding with
+// the declaration section required empty.
 inline constexpr uint8_t kRecordFactBatch = 1;
+inline constexpr uint8_t kRecordRetractBatch = 2;
 
 struct WalRecord {
   uint64_t seq = 0;

@@ -14,7 +14,12 @@
 //     and the recovered sequence cursor agrees (next_seq == M + 1);
 //   * TupleStore::CheckConsistency passes on every recovered relation.
 //
-// The kill loop runs 70 iterations per scenario x 3 scenarios = 210
+// The retract scenario interleaves retract records with the appends; its
+// invariant is stronger: the recovered database must be bit-identical (as
+// an encoded image: entries, order, tombstones, interner) to an offline
+// replay of the durable record prefix.
+//
+// The kill loop runs 70 iterations per scenario x 4 scenarios = 280
 // random-kill iterations by default; ci/check.sh --crash raises it via
 // LRPDB_CRASH_ITERS.
 #include <signal.h>
@@ -103,6 +108,12 @@ struct Scenario {
   const char* tag;
   int snapshot_every;  // WriteSnapshot every N appends (0 = never)
   int compact_every;   // Compact every N appends (0 = never)
+  // Every sequence number divisible by this becomes a retract record
+  // (tombstoning the fact appended at the previous sequence number)
+  // instead of a fact batch; 0 = append-only. The schedule is a pure
+  // function of the sequence number so an offline replay can reproduce
+  // the exact durable state of any prefix.
+  int retract_every = 0;
 };
 
 // Storage failpoints a child may crash at. Listed statically because the
@@ -115,8 +126,19 @@ const char* const kCrashSites[] = {
     "storage.dir.list",    "storage.wal.open",      "storage.wal.append",
     "storage.snapshot.write", "storage.snapshot.read",
     "storage.store.open",  "storage.store.append_batch",
+    "storage.store.append_retract_batch",
     "storage.store.write_snapshot", "storage.store.compact",
 };
+
+// The retract record for sequence `id`: tombstones the single fact the
+// batch at sequence `id - 1` appended (decls stay empty — retraction never
+// declares). With retract_every >= 3 the previous record is always a fact
+// batch, so the retraction always matches a live entry.
+FactBatch MakeRetract(uint64_t id) {
+  FactBatch batch = MakeBatch(id - 1);
+  batch.decls.clear();
+  return batch;
+}
 
 // The writer child: recover, then append acknowledged batches until
 // killed. Never returns. Acks are written to `acks_path` only after
@@ -141,7 +163,12 @@ const char* const kCrashSites[] = {
   if (!acks.ok()) _exit(0);
   for (int appended = 1; appended <= 100000; ++appended) {
     uint64_t id = store->next_seq();
-    if (!store->AppendBatch(MakeBatch(id)).ok()) _exit(0);
+    if (scenario.retract_every > 0 &&
+        id % static_cast<uint64_t>(scenario.retract_every) == 0) {
+      if (!store->AppendRetractBatch(MakeRetract(id)).ok()) _exit(0);
+    } else if (!store->AppendBatch(MakeBatch(id)).ok()) {
+      _exit(0);
+    }
     // The batch is durable; acknowledge it. A crash between these two
     // writes only under-reports acks, which weakens but never falsifies
     // the "every acked batch present" check.
@@ -227,6 +254,48 @@ uint64_t VerifyRecovered(const std::string& dir,
   return visible;
 }
 
+// Verification for scenarios that interleave retract records: the durable
+// prefix 1..M is fully determined by M (the schedule is a pure function of
+// the sequence number), so an offline in-memory replay of the same records
+// must land on a bit-identical stored image — same entries, same order,
+// same tombstone pattern, same interner. EncodeDatabaseImage canonicalizes
+// tombstoned payloads, so when the writer compacted or snapshotted before
+// dying the comparison still holds.
+uint64_t VerifyRecoveredWithRetracts(const std::string& dir,
+                                     const std::string& acks_path,
+                                     const Scenario& scenario) {
+  Database db;
+  auto store = PersistentStore::Open(dir, &db, StoreOptions());
+  EXPECT_TRUE(store.ok()) << "recovery failed: " << store.status();
+  if (!store.ok()) return 0;
+  const uint64_t durable = store->next_seq() - 1;
+  Database oracle;
+  for (uint64_t s = 1; s <= durable; ++s) {
+    Status applied =
+        (s % static_cast<uint64_t>(scenario.retract_every) == 0)
+            ? ApplyRetractBatch(MakeRetract(s), &oracle)
+            : ApplyFactBatch(MakeBatch(s), &oracle);
+    EXPECT_TRUE(applied.ok()) << "offline replay of seq " << s << ": "
+                              << applied;
+    if (!applied.ok()) return 0;
+  }
+  EXPECT_TRUE(EncodeDatabaseImage(db) == EncodeDatabaseImage(oracle))
+      << "recovered image diverges from the offline replay of records 1.."
+      << durable;
+  for (const std::string& name : db.RelationNames()) {
+    auto relation = db.Relation(name);
+    EXPECT_TRUE(relation.ok());
+    if (!relation.ok()) continue;
+    Status consistent = (*relation)->store().CheckConsistency();
+    EXPECT_TRUE(consistent.ok()) << consistent;
+  }
+  EXPECT_LE(MaxAckedId(acks_path), durable)
+      << "an acknowledged record is missing after recovery";
+  Status closed = store->Close();
+  EXPECT_TRUE(closed.ok()) << closed;
+  return durable;
+}
+
 void RunKillLoop(const Scenario& scenario) {
   const int iterations = IterationsPerScenario();
   std::string dir = TestDir(scenario.tag);
@@ -252,7 +321,10 @@ void RunKillLoop(const Scenario& scenario) {
     ::kill(pid, SIGKILL);
     int wstatus = 0;
     ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
-    uint64_t visible = VerifyRecovered(dir, acks_path);
+    uint64_t visible =
+        scenario.retract_every > 0
+            ? VerifyRecoveredWithRetracts(dir, acks_path, scenario)
+            : VerifyRecovered(dir, acks_path);
     // Durable state never regresses across crashes.
     EXPECT_GE(visible, last_visible);
     last_visible = visible;
@@ -277,6 +349,16 @@ TEST(CrashRecoveryTest, SnapshotKillLoop) {
 
 TEST(CrashRecoveryTest, SnapshotAndCompactionKillLoop) {
   RunKillLoop(Scenario{"compact", /*snapshot_every=*/4, /*compact_every=*/3});
+}
+
+// Adds interleaved with retract records (every 3rd sequence number
+// tombstones the previous fact), plus snapshots and compaction: after
+// every kill, recovery must replay to the exact stored image an offline
+// replay of the durable prefix produces — the incremental-maintenance
+// durability contract (DESIGN.md §13).
+TEST(CrashRecoveryTest, RetractInterleavedKillLoop) {
+  RunKillLoop(Scenario{"retract", /*snapshot_every=*/4, /*compact_every=*/5,
+                       /*retract_every=*/3});
 }
 
 }  // namespace

@@ -373,6 +373,99 @@ TEST(CodecTest, ValidateRejectsDbmVariableMismatch) {
   EXPECT_FALSE(ValidateFactBatch(batch, db).ok());
 }
 
+// --- codec: retract batches (incremental retraction, DESIGN.md §13) ------
+
+TEST(CodecTest, RetractBatchTombstonesExactMatchesAndSkipsMisses) {
+  Database db;
+  ASSERT_TRUE(ApplyFactBatch(MakeBatch(1), &db).ok());
+  ASSERT_TRUE(ApplyFactBatch(MakeBatch(2), &db).ok());
+  auto relation = db.Relation("r");
+  ASSERT_TRUE(relation.ok());
+  ASSERT_EQ((*relation)->store().live_size(), 2u);
+
+  // Retracting fact 1 tombstones exactly its entry (decls stay empty).
+  FactBatch retract = MakeBatch(1);
+  retract.decls.clear();
+  ASSERT_TRUE(ValidateRetractBatch(retract, db).ok());
+  ASSERT_TRUE(ApplyRetractBatch(retract, &db).ok());
+  EXPECT_EQ((*relation)->store().size(), 2u);       // ids are stable
+  EXPECT_EQ((*relation)->store().live_size(), 1u);  // fact 1 is dead
+  EXPECT_FALSE((*relation)->store().is_live(0));
+  EXPECT_TRUE((*relation)->store().is_live(1));
+
+  // A miss (never-stored fact) is skipped, not an error: replay must never
+  // fail halfway through a WAL.
+  FactBatch miss = MakeBatch(99);
+  miss.decls.clear();
+  ASSERT_TRUE(ApplyRetractBatch(miss, &db).ok());
+  EXPECT_EQ((*relation)->store().live_size(), 1u);
+  // The miss still interned its data constant, exactly like the live
+  // retraction path, so replay reproduces the interner bit-for-bit.
+  EXPECT_GE(db.interner().Find("c99"), 0);
+}
+
+TEST(CodecTest, ValidateRetractRejectsDeclsAndUndeclaredAndArity) {
+  Database db;
+  ASSERT_TRUE(ApplyFactBatch(MakeBatch(1), &db).ok());
+  // Retract batches never declare.
+  FactBatch with_decls = MakeBatch(1);
+  EXPECT_FALSE(ValidateRetractBatch(with_decls, db).ok());
+  // Undeclared target relation.
+  FactBatch undeclared = MakeBatch(1);
+  undeclared.decls.clear();
+  undeclared.facts[0].relation = "ghost";
+  EXPECT_FALSE(ValidateRetractBatch(undeclared, db).ok());
+  // Data arity mismatch.
+  FactBatch arity = MakeBatch(1);
+  arity.decls.clear();
+  arity.facts[0].data.push_back("extra");
+  EXPECT_FALSE(ValidateRetractBatch(arity, db).ok());
+  // DBM variable-count mismatch.
+  FactBatch dbm = MakeBatch(1);
+  dbm.decls.clear();
+  dbm.facts[0].constraint = Dbm(3);
+  EXPECT_FALSE(ValidateRetractBatch(dbm, db).ok());
+}
+
+TEST(CodecTest, ImageRoundTripsTombstones) {
+  // The v2 image carries the tombstone pattern: dead entries decode dead,
+  // live entries keep their ids, and re-encoding the decoded image is a
+  // fixed point even though dead payloads were canonicalized at encode.
+  Database db = MakeRichDatabase();
+  ASSERT_TRUE(ApplyFactBatch(MakeBatch(5), &db).ok());
+  {
+    auto meet = db.MutableRelation("meet");
+    ASSERT_TRUE(meet.ok());
+    (*meet)->mutable_store().Tombstone(0);
+  }
+  std::string payload = EncodeDatabaseImage(db);
+  Database out;
+  ASSERT_TRUE(DecodeDatabaseImage(payload, &out).ok());
+  auto meet = out.Relation("meet");
+  ASSERT_TRUE(meet.ok());
+  EXPECT_EQ((*meet)->store().size(), 2u);
+  EXPECT_FALSE((*meet)->store().is_live(0));
+  EXPECT_TRUE((*meet)->store().is_live(1));
+  auto r = out.Relation("r");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->store().live_size(), 1u);
+  for (const std::string& name : out.RelationNames()) {
+    auto relation = out.Relation(name);
+    ASSERT_TRUE(relation.ok());
+    Status s = (*relation)->store().CheckConsistency();
+    EXPECT_TRUE(s.ok()) << name << ": " << s;
+  }
+  EXPECT_EQ(EncodeDatabaseImage(out), payload);
+  // Compaction timing is invisible in the image: compacting the original
+  // store's tombstones and re-encoding yields the identical bytes.
+  {
+    auto meet_live = db.MutableRelation("meet");
+    ASSERT_TRUE(meet_live.ok());
+    EXPECT_EQ((*meet_live)->mutable_store().CompactTombstones(), 1u);
+  }
+  EXPECT_EQ(EncodeDatabaseImage(db), payload);
+}
+
 TEST(CodecTest, BatchTruncationAlwaysRejected) {
   std::string payload = EncodeFactBatch(MakeBatch(42));
   for (size_t len = 0; len < payload.size(); ++len) {
@@ -609,26 +702,33 @@ TEST(SnapshotTest, EveryTruncationIsDetected) {
   RemoveTree(dir);
 }
 
-TEST(SnapshotTest, FutureFormatVersionIsRejected) {
+TEST(SnapshotTest, OtherFormatVersionsAreRejected) {
+  // Newer AND older versions both refuse cleanly: the image payload is not
+  // self-describing (v2 added the per-relation tombstone sections), so a
+  // version mismatch in either direction must never be misparsed.
   std::string dir = TestDir();
   ASSERT_TRUE(CreateDir(dir).ok());
   std::string path = dir + "/snap";
   ASSERT_TRUE(WriteSnapshotFile(path, 1, Database(), false).ok());
-  // Bump the version field (bytes 8..11) and re-seal the head CRC so only
-  // the version check can object.
-  std::string data = ReadAll(path);
-  data[8] = static_cast<char>(kSnapshotFormatVersion + 1);
-  std::string head(data.data(), 28);
-  uint32_t crc = MaskCrc32c(Crc32c(head));
-  for (int i = 0; i < 4; ++i) {
-    data[28 + i] = static_cast<char>((crc >> (8 * i)) & 0xff);
+  for (int delta : {+1, -1}) {
+    // Patch the version field (bytes 8..11) and re-seal the head CRC so
+    // only the version check can object.
+    std::string data = ReadAll(path);
+    data[8] = static_cast<char>(kSnapshotFormatVersion + delta);
+    std::string head(data.data(), 28);
+    uint32_t crc = MaskCrc32c(Crc32c(head));
+    for (int i = 0; i < 4; ++i) {
+      data[28 + i] = static_cast<char>((crc >> (8 * i)) & 0xff);
+    }
+    std::string patched = dir + "/snap_patched";
+    WriteAll(patched, data);
+    Database out;
+    auto covered = ReadSnapshotFile(patched, &out);
+    ASSERT_FALSE(covered.ok()) << "version delta " << delta << " loaded";
+    EXPECT_NE(covered.status().ToString().find("is not the supported"),
+              std::string::npos)
+        << covered.status();
   }
-  WriteAll(path, data);
-  Database out;
-  auto covered = ReadSnapshotFile(path, &out);
-  ASSERT_FALSE(covered.ok());
-  EXPECT_NE(covered.status().ToString().find("newer than supported"),
-            std::string::npos);
   RemoveTree(dir);
 }
 

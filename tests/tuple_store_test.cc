@@ -515,5 +515,99 @@ TEST(TupleStoreTest, ApproxBytesIsReadableWhileAnotherThreadInserts) {
   EXPECT_EQ(store.stats().inserts, int64_t{kInserts});
 }
 
+// --- Tombstones (incremental retraction, DESIGN.md §13) -------------------
+
+// Tombstoning removes an entry from every probe path without renumbering:
+// the slot and id stay, live accounting and consistency hold, and the dead
+// entry no longer absorbs a duplicate insert.
+TEST(TupleStoreTest, TombstoneRemovesEntryFromProbePathsButKeepsIds) {
+  TupleStore store({1, 1});
+  for (int64_t offset = 0; offset < 4; ++offset) {
+    ASSERT_TRUE(store.Insert(Banded(9, offset, 0, 30, offset % 2))->inserted);
+  }
+  ASSERT_EQ(store.size(), 4u);
+  EXPECT_FALSE(store.has_tombstones());
+
+  store.Tombstone(1);
+  EXPECT_TRUE(store.has_tombstones());
+  EXPECT_EQ(store.size(), 4u);        // ids are stable...
+  EXPECT_EQ(store.live_size(), 3u);   // ...but entry 1 no longer counts
+  EXPECT_FALSE(store.is_live(1));
+  EXPECT_TRUE(store.is_live(0));
+  EXPECT_TRUE(store.CheckConsistency().ok());
+  store.Tombstone(1);  // idempotent
+  EXPECT_EQ(store.live_size(), 3u);
+
+  // The dead entry is out of the subsumption path: re-inserting the exact
+  // tuple lands as a fresh entry at the next id instead of being absorbed.
+  auto outcome = store.Insert(Banded(9, 1, 0, 30, 1));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->inserted);
+  EXPECT_EQ(store.size(), 5u);
+  EXPECT_EQ(store.live_size(), 4u);
+  EXPECT_TRUE(store.CheckConsistency().ok());
+}
+
+// CompactTombstones releases dead payloads in place: every live entry keeps
+// its id and its tuple bit-for-bit, dead entries stay dead, and later
+// inserts still append at size(). This is the regression test for the
+// compaction story under active provenance (recorded entry ids must stay
+// valid addresses across compaction).
+TEST(TupleStoreTest, CompactTombstonesKeepsStableEntryIds) {
+  TupleStore store({1, 1});
+  for (int64_t offset = 0; offset < 5; ++offset) {
+    ASSERT_TRUE(store.Insert(Banded(8, offset, 0, 40, offset))->inserted);
+  }
+  store.Tombstone(1);
+  store.Tombstone(3);
+  std::vector<std::string> live_before;
+  for (EntryId id = 0; id < store.size(); ++id) {
+    live_before.push_back(store.is_live(id) ? store.tuple(id).ToString()
+                                            : "<dead>");
+  }
+
+  EXPECT_EQ(store.CompactTombstones(), 2u);
+  ASSERT_EQ(store.size(), 5u);
+  EXPECT_EQ(store.live_size(), 3u);
+  for (EntryId id = 0; id < store.size(); ++id) {
+    EXPECT_EQ(store.is_live(id), id != 1 && id != 3);
+    if (store.is_live(id)) {
+      EXPECT_EQ(store.tuple(id).ToString(), live_before[id]) << "id " << id;
+    }
+  }
+  EXPECT_TRUE(store.CheckConsistency().ok());
+  // Already-compacted entries are not reclaimed twice.
+  EXPECT_EQ(store.CompactTombstones(), 0u);
+
+  // Ids keep advancing densely after compaction.
+  ASSERT_TRUE(store.Insert(Banded(8, 6, 0, 40, 6))->inserted);
+  EXPECT_EQ(store.size(), 6u);
+  EXPECT_TRUE(store.is_live(5));
+  EXPECT_TRUE(store.CheckConsistency().ok());
+}
+
+// Tombstones interact cleanly with the delta-generation protocol: a dead
+// entry inside the current delta window stays addressable (the window is a
+// range of ids, not of live entries) and live accounting is unaffected by
+// generation advances.
+TEST(TupleStoreTest, TombstoneInsideDeltaWindowKeepsRangeAddressing) {
+  TupleStore store({1, 1});
+  ASSERT_TRUE(store.Insert(Banded(5, 0, 0, 20, 0))->inserted);
+  ASSERT_TRUE(store.Insert(Banded(5, 1, 0, 20, 1))->inserted);
+  ASSERT_TRUE(store.Insert(Banded(5, 2, 0, 20, 2))->inserted);
+  store.AdvanceGeneration();  // Delta = {0, 1, 2}.
+  ASSERT_EQ(store.delta_lo(), 0u);
+  ASSERT_EQ(store.delta_hi(), 3u);
+
+  store.Tombstone(1);
+  EXPECT_EQ(store.delta_lo(), 0u);  // the window is untouched...
+  EXPECT_EQ(store.delta_hi(), 3u);
+  EXPECT_EQ(store.live_size(), 2u);
+  store.AdvanceGeneration();
+  EXPECT_EQ(store.delta_size(), 0u);
+  EXPECT_EQ(store.live_size(), 2u);  // ...and advancing changes no liveness
+  EXPECT_TRUE(store.CheckConsistency().ok());
+}
+
 }  // namespace
 }  // namespace lrpdb
